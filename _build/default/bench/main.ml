@@ -1,0 +1,387 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations DESIGN.md calls out.
+
+     dune exec bench/main.exe              all experiments
+     dune exec bench/main.exe -- table1    Sec. 5.1 / Table 1
+     dune exec bench/main.exe -- table2    Table 2
+     dune exec bench/main.exe -- fig8      Figure 8 (DEC Alpha)
+     dune exec bench/main.exe -- fig9      Figure 9 (HP PA-RISC)
+     dune exec bench/main.exe -- ablation-model     UGS vs dependence model
+     dune exec bench/main.exe -- ablation-brute     tables vs brute force
+     dune exec bench/main.exe -- ablation-prefetch  prefetch-bandwidth sweep
+     dune exec bench/main.exe -- ablation-permute   permutation pre-pass
+     dune exec bench/main.exe -- ablation-registers register-file sweep
+     dune exec bench/main.exe -- speed     Bechamel micro-benchmarks *)
+
+open Ujam_linalg
+open Ujam_core
+
+let section title =
+  Format.printf "@.=============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "=============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: input-dependence share of routine dependence graphs.      *)
+
+let table1 () =
+  section "Table 1 — percentage of input dependences (Sec. 5.1)";
+  Format.printf
+    "corpus: the 19 suite kernels + synthetic routines, 1187 total (the@.\
+     paper's routine count for SPEC92/Perfect/NAS/local)@.@.";
+  let synthetic = Ujam_workload.Generator.corpus ~count:1168 () in
+  let kernel_routines =
+    List.map
+      (fun (e : Ujam_kernels.Catalogue.entry) ->
+        { Ujam_workload.Generator.name = e.Ujam_kernels.Catalogue.name;
+          nests = [ e.Ujam_kernels.Catalogue.build ~n:24 () ] })
+      Ujam_kernels.Catalogue.all
+  in
+  let report = Ujam_workload.Corpus.measure (kernel_routines @ synthetic) in
+  Format.printf "%a@." Ujam_workload.Corpus.pp report;
+  Format.printf
+    "paper reported: 649/1187 routines with dependences; 84%% of 305,885@.\
+     dependences input; mean 55.7%% per routine (stddev 33.6); buckets@.\
+     0%%:69  1-32%%:101  33-39%%:65  40-49%%:67  50-59%%:48  60-69%%:46@.\
+     70-79%%:48  80-89%%:43  90-100%%:162@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the evaluation suite.                                      *)
+
+let table2 () =
+  section "Table 2 — description of test loops";
+  Format.printf "%a@." Ujam_kernels.Catalogue.pp_table ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8 and 9: normalized execution time per loop.                *)
+
+let bar width v =
+  (* one '#' per 0.05 of normalized time, capped for display *)
+  let n = min width (int_of_float (v /. 0.05)) in
+  String.make (max 0 n) '#'
+
+let figure machine =
+  let rows =
+    List.map
+      (fun (e : Ujam_kernels.Catalogue.entry) ->
+        let nest = e.Ujam_kernels.Catalogue.build () in
+        let baseline = Ujam_sim.Runner.run ~machine nest in
+        let normalized cache =
+          let r = Driver.optimize ~bound:8 ~cache ~machine nest in
+          let sim =
+            Ujam_sim.Runner.run ~machine ~plan:r.Driver.plan r.Driver.transformed
+          in
+          (r.Driver.choice.Search.u, Ujam_sim.Runner.normalized ~baseline sim)
+        in
+        let u_nc, nocache = normalized false in
+        let u_c, cache = normalized true in
+        (e.Ujam_kernels.Catalogue.name, u_nc, nocache, u_c, cache))
+      Ujam_kernels.Catalogue.all
+  in
+  Format.printf "%-10s %-9s %-8s %-9s %-8s@." "loop" "u(nocache)" "nocache"
+    "u(cache)" "cache";
+  List.iter
+    (fun (name, u_nc, nocache, u_c, cache) ->
+      Format.printf "%-10s %-9s %-8.3f %-9s %-8.3f@." name (Vec.to_string u_nc)
+        nocache (Vec.to_string u_c) cache)
+    rows;
+  let geomean sel =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (sel r)) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  Format.printf "@.geometric mean normalized time: nocache %.3f, cache %.3f@."
+    (geomean (fun (_, _, v, _, _) -> v))
+    (geomean (fun (_, _, _, _, v) -> v));
+  Format.printf "@.normalized execution time (1.0 = original; shorter is faster):@.";
+  List.iter
+    (fun (name, _, nocache, _, cache) ->
+      Format.printf "%-10s original |%s@.%-10s nocache  |%s@.%-10s cache    |%s@.@."
+        name (bar 40 1.0) "" (bar 40 nocache) "" (bar 40 cache))
+    rows
+
+let fig8 () =
+  section "Figure 8 — performance of test loops on DEC Alpha";
+  figure Ujam_machine.Presets.alpha
+
+let fig9 () =
+  section "Figure 9 — performance of test loops on HP PA-RISC";
+  figure Ujam_machine.Presets.hppa
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A1: UGS model vs dependence-based model vs brute force.    *)
+
+let time_it f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let ablation_model () =
+  section "Ablation A1 — UGS tables vs dependence-based model (Sec. 5.2)";
+  let machine = Ujam_machine.Presets.alpha in
+  Format.printf "%-10s %-10s %-10s %-10s %-6s %-18s@." "loop" "u(UGS)" "u(dep)"
+    "u(brute)" "agree" "graph edges (in/out)";
+  let agree_all = ref true in
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build ~n:24 () in
+      let d = Ujam_ir.Nest.depth nest in
+      let bound = 4 in
+      let r, _ = time_it (fun () -> Driver.optimize ~bound ~machine nest) in
+      let space = r.Driver.space in
+      let u_ugs = r.Driver.choice.Search.u in
+      let (u_dep, _), _ = time_it (fun () -> Depmodel.best ~cache:true ~machine space nest) in
+      let (u_bf, _), _ = time_it (fun () -> Bruteforce.best ~cache:true ~machine space nest) in
+      let with_input, without = Depmodel.graph_cost nest (Vec.zero d) in
+      let agree = Vec.equal u_ugs u_dep && Vec.equal u_ugs u_bf in
+      if not agree then agree_all := false;
+      Format.printf "%-10s %-10s %-10s %-10s %-6s %d/%d@."
+        e.Ujam_kernels.Catalogue.name (Vec.to_string u_ugs) (Vec.to_string u_dep)
+        (Vec.to_string u_bf)
+        (if agree then "yes" else "NO")
+        with_input without)
+    Ujam_kernels.Catalogue.all;
+  Format.printf "@.all models agree: %b (afold holds the one coupled-subscript@."
+    !agree_all;
+  Format.printf
+    "reference, C(I+J-1), where distance vectors are coarser than linear@.\
+     algebra — the paper's Sec. 3.5 restriction)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A2: cost of the table approach vs brute-force unrolling.   *)
+
+let ablation_brute () =
+  section "Ablation A2 — analysis cost: tables vs brute force (Sec. 5.3)";
+  let machine = Ujam_machine.Presets.alpha in
+  Format.printf "%-10s %-12s %-12s %-12s %-8s@." "loop" "tables (s)" "brute (s)"
+    "depgraph (s)" "speedup";
+  let tot_t = ref 0.0 and tot_b = ref 0.0 and tot_d = ref 0.0 in
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build ~n:24 () in
+      let bound = 6 in
+      let _, t_tables = time_it (fun () -> Driver.optimize ~bound ~machine nest) in
+      let space =
+        (Driver.optimize ~bound ~machine nest).Driver.space
+      in
+      let _, t_brute =
+        time_it (fun () -> Bruteforce.best ~cache:true ~machine space nest)
+      in
+      let _, t_dep =
+        time_it (fun () -> Depmodel.best ~cache:true ~machine space nest)
+      in
+      tot_t := !tot_t +. t_tables;
+      tot_b := !tot_b +. t_brute;
+      tot_d := !tot_d +. t_dep;
+      Format.printf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@."
+        e.Ujam_kernels.Catalogue.name t_tables t_brute t_dep
+        (t_brute /. Float.max 1e-9 t_tables))
+    Ujam_kernels.Catalogue.all;
+  Format.printf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@." "total" !tot_t !tot_b
+    !tot_d (!tot_b /. Float.max 1e-9 !tot_t)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A3: prefetch bandwidth (Sec. 3.2's pi term).               *)
+
+let ablation_prefetch () =
+  section "Ablation A3 — prefetch-issue bandwidth sweep";
+  Format.printf "%-10s" "loop";
+  let bws = [ 0.0; 0.1; 0.25; 0.5; 1.0 ] in
+  List.iter (fun bw -> Format.printf " pi=%-9.2f" bw) bws;
+  Format.printf "@.";
+  List.iter
+    (fun name ->
+      let e = Option.get (Ujam_kernels.Catalogue.find name) in
+      let nest = e.Ujam_kernels.Catalogue.build ~n:48 () in
+      Format.printf "%-10s" name;
+      List.iter
+        (fun prefetch_bandwidth ->
+          let machine = Ujam_machine.Presets.generic ~prefetch_bandwidth () in
+          let r = Driver.optimize ~bound:6 ~machine nest in
+          Format.printf " %-8s b=%.2f"
+            (Vec.to_string r.Driver.choice.Search.u)
+            r.Driver.choice.Search.balance)
+        bws;
+      Format.printf "@.")
+    [ "dmxpy0"; "mmjki"; "sor"; "jacobi" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A4: loop permutation as a pre-pass (Wolf-Maydan-Chen        *)
+(* combine permutation with unroll-and-jam; we measure what it adds).  *)
+
+let ablation_permute () =
+  section "Ablation A4 — permutation pre-pass (Wolf–Maydan–Chen setting)";
+  let machine = Ujam_machine.Presets.alpha in
+  Format.printf "%-10s %-12s %-10s %-10s %-10s@." "loop" "permutation" "ujam"
+    "perm+ujam" "perm cost";
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build () in
+      let baseline = Ujam_sim.Runner.run ~machine nest in
+      let plain = Driver.optimize ~bound:8 ~machine nest in
+      let t_plain =
+        Ujam_sim.Runner.normalized ~baseline
+          (Ujam_sim.Runner.run ~machine ~plan:plain.Driver.plan
+             plain.Driver.transformed)
+      in
+      let choice, combined = Permute.optimize ~bound:8 ~machine nest in
+      let t_comb =
+        Ujam_sim.Runner.normalized ~baseline
+          (Ujam_sim.Runner.run ~machine ~plan:combined.Driver.plan
+             combined.Driver.transformed)
+      in
+      Format.printf "%-10s %-12s %-10.3f %-10.3f %.3f->%.3f@."
+        e.Ujam_kernels.Catalogue.name
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int choice.Permute.permutation)))
+        t_plain t_comb choice.Permute.original_cost choice.Permute.cost)
+    Ujam_kernels.Catalogue.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A5: register-file size (the paper's future work on          *)
+(* architectures with larger register sets).                            *)
+
+let ablation_registers () =
+  section "Ablation A5 — register-file size sweep (future work, Sec. 6)";
+  let regs = [ 8; 16; 32; 64; 128 ] in
+  Format.printf "%-10s" "loop";
+  List.iter (fun r -> Format.printf " %-16s" (Printf.sprintf "R=%d" r)) regs;
+  Format.printf "@.";
+  List.iter
+    (fun name ->
+      let e = Option.get (Ujam_kernels.Catalogue.find name) in
+      let nest = e.Ujam_kernels.Catalogue.build () in
+      Format.printf "%-10s" name;
+      List.iter
+        (fun fp_registers ->
+          let machine =
+            Ujam_machine.Machine.make ~name:"sweep" ~fp_registers
+              ~cache_size:16384 ~cache_line:4 ~miss_penalty:24 ~fp_latency:6 ()
+          in
+          let baseline = Ujam_sim.Runner.run ~machine nest in
+          let r = Driver.optimize ~bound:10 ~machine nest in
+          let t =
+            Ujam_sim.Runner.normalized ~baseline
+              (Ujam_sim.Runner.run ~machine ~plan:r.Driver.plan
+                 r.Driver.transformed)
+          in
+          Format.printf " %-8s t=%.3f"
+            (Vec.to_string r.Driver.choice.Search.u)
+            t)
+        regs;
+      Format.printf "@.")
+    [ "mmjki"; "mmjik"; "dmxpy0"; "sor"; "gmtry.3"; "afold" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment pipeline.   *)
+
+let speed () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let machine = Ujam_machine.Presets.alpha in
+  let nest = Ujam_kernels.Kernels.mmjki ~n:24 () in
+  let d = Ujam_ir.Nest.depth nest in
+  let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let bounds = [| 4; 4; 0 |] in
+  let space = Unroll_space.make ~bounds in
+  let tests =
+    [ Test.make ~name:"table1:corpus-50-routines"
+        (Staged.stage (fun () ->
+             Ujam_workload.Corpus.measure
+               (Ujam_workload.Generator.corpus ~count:50 ())));
+      Test.make ~name:"table2:catalogue-build"
+        (Staged.stage (fun () ->
+             List.map
+               (fun (e : Ujam_kernels.Catalogue.entry) ->
+                 e.Ujam_kernels.Catalogue.build ~n:12 ())
+               Ujam_kernels.Catalogue.all));
+      Test.make ~name:"fig8:select+transform-mmjki"
+        (Staged.stage (fun () -> Driver.optimize ~bound:4 ~machine nest));
+      Test.make ~name:"fig8:simulate-mmjki-n24"
+        (Staged.stage (fun () -> Ujam_sim.Runner.run ~machine nest));
+      Test.make ~name:"core:gts-table-build"
+        (Staged.stage (fun () ->
+             List.map
+               (fun g -> Tables.gts_table space ~localized g)
+               (Ujam_reuse.Ugs.of_nest nest)));
+      Test.make ~name:"core:memory-table-build"
+        (Staged.stage (fun () -> Rrs.memory_table space ~localized nest));
+      Test.make ~name:"baseline:bruteforce-search"
+        (Staged.stage (fun () -> Bruteforce.best ~cache:true ~machine space nest));
+      Test.make ~name:"baseline:depmodel-search"
+        (Staged.stage (fun () -> Depmodel.best ~cache:true ~machine space nest)) ]
+  in
+  let test = Test.make_grouped ~name:"ujam" ~fmt:"%s/%s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun _measure (by_name : (string, Analyze.OLS.t) Hashtbl.t) ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
+        |> List.sort compare
+      in
+      Format.printf "%-40s %s@." "benchmark" "ns/run";
+      List.iter
+        (fun (name, ols) ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> Printf.sprintf "%.0f" e
+            | Some _ | None -> "n/a"
+          in
+          Format.printf "%-40s %s@." name est)
+        rows)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table2 ();
+  fig8 ();
+  fig9 ();
+  ablation_model ();
+  ablation_brute ();
+  ablation_prefetch ();
+  ablation_permute ();
+  ablation_registers ();
+  speed ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> all ()
+  | _ :: args ->
+      List.iter
+        (function
+          | "table1" -> table1 ()
+          | "table2" -> table2 ()
+          | "fig8" -> fig8 ()
+          | "fig9" -> fig9 ()
+          | "ablation-model" -> ablation_model ()
+          | "ablation-brute" -> ablation_brute ()
+          | "ablation-prefetch" -> ablation_prefetch ()
+          | "ablation-permute" -> ablation_permute ()
+          | "ablation-registers" -> ablation_registers ()
+          | "speed" -> speed ()
+          | "all" -> all ()
+          | other ->
+              Format.eprintf
+                "unknown experiment %S (table1 table2 fig8 fig9 ablation-model \
+                 ablation-brute ablation-prefetch ablation-permute ablation-registers \
+                 speed all)@."
+                other;
+              exit 2)
+        args
+  | [] -> all ()

@@ -1,0 +1,336 @@
+(* ujc — unroll-and-jam compiler driver.
+
+   Subcommands expose each stage of the pipeline on the kernel suite:
+   list/show the kernels, analyze reuse, build the unroll tables,
+   optimize (choose unroll amounts and transform), and simulate. *)
+
+open Cmdliner
+open Ujam_linalg
+open Ujam_core
+
+let machine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "alpha" -> Ok Ujam_machine.Presets.alpha
+    | "hppa" | "pa-risc" -> Ok Ujam_machine.Presets.hppa
+    | "generic" -> Ok (Ujam_machine.Presets.generic ())
+    | _ -> Error (`Msg (Printf.sprintf "unknown machine %S (alpha|hppa|generic)" s))
+  in
+  let print ppf (m : Ujam_machine.Machine.t) =
+    Format.pp_print_string ppf m.Ujam_machine.Machine.name
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Ujam_machine.Presets.alpha
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Target machine (alpha, hppa, generic).")
+
+let size_arg =
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size.")
+
+let bound_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "b"; "bound" ] ~docv:"B" ~doc:"Unroll-space bound per loop.")
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Use the all-hits balance model of Carr-Kennedy.")
+
+let kernel_arg =
+  let parse s =
+    match Ujam_kernels.Catalogue.find s with
+    | Some e -> Ok e
+    | None -> (
+        match List.assoc_opt s Ujam_kernels.Extras.all with
+        | Some build ->
+            Ok
+              { Ujam_kernels.Catalogue.num = 0; name = s;
+                description = "extra kernel";
+                build = (fun ?n () -> build ?n ()) }
+        | None ->
+            Error (`Msg (Printf.sprintf "unknown kernel %S; see `ujc list'" s)))
+  in
+  let print ppf (e : Ujam_kernels.Catalogue.entry) =
+    Format.pp_print_string ppf e.Ujam_kernels.Catalogue.name
+  in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"KERNEL" ~doc:"Kernel name from Table 2 (see `ujc list').")
+
+let build (e : Ujam_kernels.Catalogue.entry) n =
+  match n with
+  | Some n -> e.Ujam_kernels.Catalogue.build ~n ()
+  | None -> e.Ujam_kernels.Catalogue.build ()
+
+let list_cmd =
+  let run () =
+    Format.printf "%a@." Ujam_kernels.Catalogue.pp_table ();
+    Format.printf "extras: %s@."
+      (String.concat ", " (List.map fst Ujam_kernels.Extras.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 19 evaluation loops (Table 2).")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run e n = Format.printf "%a@." Ujam_ir.Nest.pp (build e n) in
+  Cmd.v (Cmd.info "show" ~doc:"Print a kernel as Fortran-style source.")
+    Term.(const run $ kernel_arg $ size_arg)
+
+let analyze_cmd =
+  let run e n (machine : Ujam_machine.Machine.t) =
+    let nest = build e n in
+    let d = Ujam_ir.Nest.depth nest in
+    let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+    let line = machine.Ujam_machine.Machine.cache_line in
+    Format.printf "%a@.@." Ujam_ir.Nest.pp nest;
+    let vn = Ujam_ir.Nest.var_name nest in
+    List.iter
+      (fun (g : Ujam_reuse.Ugs.t) ->
+        let cost = Ujam_reuse.Locality.ugs_cost ~line ~localized g in
+        Format.printf "%a@,  stream: %a, g_T=%d, g_S=%d, accesses/iter=%.3f@."
+          (Ujam_reuse.Ugs.pp ~var_name:vn) g Ujam_reuse.Locality.pp_stream
+          cost.Ujam_reuse.Locality.stream cost.Ujam_reuse.Locality.g_t
+          cost.Ujam_reuse.Locality.g_s cost.Ujam_reuse.Locality.accesses)
+      (Ujam_reuse.Ugs.of_nest nest);
+    let with_input = Ujam_depend.Graph.build ~include_input:true nest in
+    let without = Ujam_depend.Graph.build ~include_input:false nest in
+    Format.printf "@.dependences (with input): %a@."
+      Ujam_depend.Stats.pp (Ujam_depend.Stats.of_graph with_input);
+    Format.printf "dependence graph: %d edges with input, %d without (%.0f%% saved)@."
+      (List.length with_input.Ujam_depend.Graph.edges)
+      (List.length without.Ujam_depend.Graph.edges)
+      (100.0
+      *. (1.0
+         -. (float_of_int (List.length without.Ujam_depend.Graph.edges)
+            /. float_of_int (max 1 (List.length with_input.Ujam_depend.Graph.edges)))));
+    Format.printf "locality ranking (level, accesses/iter): %s@."
+      (String.concat ", "
+         (List.map
+            (fun (l, c) -> Printf.sprintf "%s:%.3f" (vn l) c)
+            (Ujam_reuse.Locality.rank_outer_loops ~line nest)))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Reuse and dependence analysis of a kernel.")
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg)
+
+let tables_cmd =
+  let run e n bound =
+    let nest = build e n in
+    let d = Ujam_ir.Nest.depth nest in
+    let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+    let bounds = Array.make d bound in
+    bounds.(d - 1) <- 0;
+    let space = Unroll_space.make ~bounds in
+    let mem = Rrs.memory_table space ~localized nest in
+    let reg = Rrs.register_table space ~localized nest in
+    Format.printf "u          V_M  R    g_T  g_S@.";
+    Unroll_space.iter space (fun u ->
+        let gt =
+          List.fold_left
+            (fun acc g -> acc + Tables.gts_exact space ~localized g u)
+            0 (Ujam_reuse.Ugs.of_nest nest)
+        in
+        let gs =
+          List.fold_left
+            (fun acc g -> acc + Tables.gss_exact space ~localized g u)
+            0 (Ujam_reuse.Ugs.of_nest nest)
+        in
+        Format.printf "%-10s %-4d %-4d %-4d %-4d@." (Vec.to_string u)
+          (Unroll_space.Table.get mem u)
+          (Unroll_space.Table.get reg u)
+          gt gs)
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the precomputed unroll tables of a kernel.")
+    Term.(const run $ kernel_arg $ size_arg $ bound_arg)
+
+let optimize_cmd =
+  let run e n machine bound no_cache =
+    let nest = build e n in
+    let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+    Format.printf "%a@.@." Driver.pp r;
+    Format.printf "--- transformed ---@.%a@.@." Ujam_ir.Nest.pp r.Driver.transformed;
+    Format.printf "--- after scalar replacement ---@.%a@." Ujam_ir.Nest.pp
+      (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel.")
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ bound_arg $ cache_arg)
+
+let simulate_cmd =
+  let run e n machine bound no_cache =
+    let nest = build e n in
+    let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+    let s0 = Ujam_sim.Runner.run ~machine nest in
+    let s1 = Ujam_sim.Runner.run ~machine ~plan:r.Driver.plan r.Driver.transformed in
+    Format.printf "machine: %a@." Ujam_machine.Machine.pp machine;
+    Format.printf "original:    %a@." Ujam_sim.Runner.pp s0;
+    Format.printf "transformed: %a (u = %a)@." Ujam_sim.Runner.pp s1 Vec.pp
+      r.Driver.choice.Search.u;
+    Format.printf "normalized execution time: %.3f@."
+      (Ujam_sim.Runner.normalized ~baseline:s0 s1)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a kernel before and after optimization.")
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ bound_arg $ cache_arg)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Loop nest in the Fortran-style syntax (see `ujc show').")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  match Ujam_ir.Parse.nest ~name:(Filename.remove_extension (Filename.basename path))
+          (read_file path)
+  with
+  | Ok nest -> nest
+  | Error e ->
+      Format.eprintf "%s: %a@." path Ujam_ir.Parse.pp_error e;
+      exit 1
+
+let compile_cmd =
+  let run path machine bound no_cache permute =
+    let nest = parse_file path in
+    let nest, perm_note =
+      if permute then begin
+        let c = Permute.best_legal ~machine nest in
+        ( c.Permute.permuted,
+          Printf.sprintf "permutation [%s], Eq.1 cost %.3f -> %.3f"
+            (String.concat ";"
+               (Array.to_list (Array.map string_of_int c.Permute.permutation)))
+            c.Permute.original_cost c.Permute.cost )
+      end
+      else (nest, "")
+    in
+    let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+    if perm_note <> "" then Format.printf "%s@." perm_note;
+    Format.printf "%a@.@." Driver.pp r;
+    Format.printf "%a@." Ujam_ir.Nest.pp
+      (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
+  in
+  let permute_flag =
+    Arg.(value & flag & info [ "permute" ] ~doc:"Run the loop-permutation pre-pass.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Optimize a loop nest read from a file (parse, permute,              unroll-and-jam, scalar replace).")
+    Term.(const run $ file_arg $ machine_arg $ bound_arg $ cache_arg $ permute_flag)
+
+let fortran_cmd =
+  let run e n machine bound no_cache transform =
+    let nest = build e n in
+    let out =
+      if transform then begin
+        let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+        Scalar_replace.apply r.Driver.transformed r.Driver.plan
+      end
+      else nest
+    in
+    print_string (Ujam_sim.Codegen.to_program out)
+  in
+  let transform_flag =
+    Arg.(value & flag & info [ "transform" ] ~doc:"Emit the optimized loop.")
+  in
+  Cmd.v
+    (Cmd.info "fortran"
+       ~doc:"Emit a runnable Fortran 77 program for a kernel (optionally              after optimization).")
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ bound_arg $ cache_arg
+          $ transform_flag)
+
+let graph_cmd =
+  let dot_flag =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let input_flag =
+    Arg.(
+      value & flag
+      & info [ "no-input" ]
+          ~doc:"Exclude input (read-read) dependences, as the UGS model does.")
+  in
+  let run e n dot no_input =
+    let nest = build e n in
+    let g = Ujam_depend.Graph.build ~include_input:(not no_input) nest in
+    if dot then print_string (Ujam_depend.Graph.to_dot g)
+    else begin
+      Format.printf "%a@." Ujam_depend.Graph.pp g;
+      Format.printf "%a@." Ujam_depend.Stats.pp (Ujam_depend.Stats.of_graph g)
+    end
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print a kernel's dependence graph (optionally DOT).")
+    Term.(const run $ kernel_arg $ size_arg $ dot_flag $ input_flag)
+
+let verify_cmd =
+  let run e n machine bound no_cache =
+    let nest = build e n in
+    let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+    (* Clamp the chosen unroll amounts to factors dividing the trip
+       counts: the remainder (cleanup) loop is outside the IR's perfect
+       nests, so verification requires exact coverage. *)
+    let u =
+      match Ujam_ir.Nest.trip_counts nest with
+      | None -> r.Driver.choice.Search.u
+      | Some trips ->
+          Vec.init (Ujam_ir.Nest.depth nest) (fun k ->
+              let want = Vec.get r.Driver.choice.Search.u k + 1 in
+              let rec fit f = if trips.(k) mod f = 0 then f else fit (f - 1) in
+              fit (max 1 (min want trips.(k))) - 1)
+    in
+    let t = Ujam_ir.Unroll.unroll_and_jam nest u in
+    let plan = Scalar_replace.plan t in
+    let body = Scalar_replace.apply t plan in
+    let pre = Scalar_replace.preheader t plan in
+    let reference = Ujam_sim.Interp.run nest in
+    let transformed = Ujam_sim.Interp.run ~preheader:(fun _ -> pre) body in
+    let ok = Ujam_sim.Interp.equal reference transformed in
+    Format.printf
+      "%s: search chose u = %a, verified at u = %a@.interpreted checksums: original %.9f, transformed %.9f@.locations written: %d vs %d@.semantics %s@."
+      (Ujam_ir.Nest.name nest) Vec.pp r.Driver.choice.Search.u Vec.pp u
+      (Ujam_sim.Interp.checksum reference)
+      (Ujam_sim.Interp.checksum transformed)
+      (Ujam_sim.Interp.written reference)
+      (Ujam_sim.Interp.written transformed)
+      (if ok then "PRESERVED" else "BROKEN");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Interpret a kernel before and after the full pipeline              (unroll-and-jam, scalar replacement, chain priming) and              compare the results element by element.")
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ bound_arg $ cache_arg)
+
+let corpus_cmd =
+  let count_arg =
+    Arg.(value & opt int 1187 & info [ "count" ] ~docv:"N" ~doc:"Corpus size.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1997 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let run count seed =
+    let routines = Ujam_workload.Generator.corpus ~seed ~count () in
+    Format.printf "%a@." Ujam_workload.Corpus.pp (Ujam_workload.Corpus.measure routines)
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Input-dependence statistics over a synthetic corpus (Table 1).")
+    Term.(const run $ count_arg $ seed_arg)
+
+let () =
+  let doc = "unroll-and-jam using uniformly generated sets" in
+  let info = Cmd.info "ujc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
+      compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd ]))

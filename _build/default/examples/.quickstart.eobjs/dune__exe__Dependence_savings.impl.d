@@ -1,0 +1,1 @@
+examples/dependence_savings.ml: Format Graph List Printf Stats Ujam_depend Ujam_kernels Ujam_workload

@@ -1,0 +1,1 @@
+examples/dependence_savings.mli:

@@ -1,0 +1,1 @@
+examples/machine_sweep.ml: Driver Format List Search Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Vec

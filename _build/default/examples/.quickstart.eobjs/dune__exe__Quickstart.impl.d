@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver Format Scalar_replace Ujam_core Ujam_ir Ujam_machine Ujam_sim

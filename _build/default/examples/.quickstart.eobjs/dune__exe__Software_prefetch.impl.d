@@ -1,0 +1,1 @@
+examples/software_prefetch.ml: Balance Driver Format List Search Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Vec

@@ -1,0 +1,1 @@
+examples/stencil_locality.ml: Driver Format Groups List Locality Mat Search Selfreuse String Subspace Ugs Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Ujam_reuse Ujam_sim Vec

@@ -1,0 +1,1 @@
+examples/tiling_pipeline.ml: Format List Nest Scalar_replace Tile Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Ujam_sim Unroll Vec

@@ -1,0 +1,33 @@
+(* The paper's storage argument in miniature: build each kernel's
+   dependence graph with and without input dependences and report the
+   share the UGS model never has to store, plus a small synthetic-corpus
+   run (the full Table 1 experiment lives in bench/main.exe).
+
+   Run with: dune exec examples/dependence_savings.exe *)
+
+open Ujam_depend
+
+let () =
+  Format.printf "%-10s %-8s %-8s %-8s %s@." "loop" "edges" "input" "other" "input share";
+  let tot = ref 0 and tot_input = ref 0 in
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build ~n:24 () in
+      let stats = Stats.of_graph (Graph.build ~include_input:true nest) in
+      let total = Stats.total stats in
+      tot := !tot + total;
+      tot_input := !tot_input + stats.Stats.input;
+      Format.printf "%-10s %-8d %-8d %-8d %s@." e.Ujam_kernels.Catalogue.name total
+        stats.Stats.input
+        (total - stats.Stats.input)
+        (match Stats.input_fraction stats with
+        | Some f -> Printf.sprintf "%.0f%%" (100.0 *. f)
+        | None -> "-"))
+    Ujam_kernels.Catalogue.all;
+  Format.printf "%-10s %-8d %-8d %-8d %.0f%%@.@." "total" !tot !tot_input
+    (!tot - !tot_input)
+    (100.0 *. float_of_int !tot_input /. float_of_int (max 1 !tot));
+
+  Format.printf "synthetic corpus (200 routines):@.";
+  let routines = Ujam_workload.Generator.corpus ~count:200 () in
+  Format.printf "%a@." Ujam_workload.Corpus.pp (Ujam_workload.Corpus.measure routines)

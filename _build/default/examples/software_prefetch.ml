@@ -1,0 +1,23 @@
+(* The balance model's prefetch term (Sec. 3.2): as prefetch-issue
+   bandwidth grows, unserviced misses shrink and the cache model
+   converges to the all-hits model.
+
+   Run with: dune exec examples/software_prefetch.exe *)
+
+open Ujam_linalg
+open Ujam_core
+
+let () =
+  let nest = Ujam_kernels.Kernels.dmxpy0 ~n:64 () in
+  Format.printf "%a@.@." Ujam_ir.Nest.pp nest;
+  Format.printf "%-10s %-10s %-12s %-12s@." "pf/cycle" "u" "beta_L" "misses/iter";
+  List.iter
+    (fun prefetch_bandwidth ->
+      let machine = Ujam_machine.Presets.generic ~prefetch_bandwidth () in
+      let r = Driver.optimize ~bound:8 ~machine nest in
+      let balance = Balance.prepare ~machine r.Driver.space nest in
+      Format.printf "%-10.2f %-10s %-12.3f %-12.3f@." prefetch_bandwidth
+        (Vec.to_string r.Driver.choice.Search.u) r.Driver.choice.Search.balance
+        (Balance.misses balance r.Driver.choice.Search.u
+        /. Vec.fold (fun acc x -> float_of_int (x + 1) *. acc) 1.0 r.Driver.choice.Search.u))
+    [ 0.0; 0.05; 0.1; 0.25; 0.5; 1.0 ]

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Float List Locality Machine Rrs Subspace Tables Ugs Ujam_ir Ujam_linalg Ujam_machine Ujam_reuse Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/balance.mli: Ujam_ir Ujam_linalg Ujam_machine Unroll_space Vec

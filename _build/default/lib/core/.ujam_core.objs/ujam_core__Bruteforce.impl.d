@@ -1,0 +1,1 @@
+lib/core/bruteforce.ml: Float Locality Machine Nest Streams Subspace Ujam_ir Ujam_linalg Ujam_machine Ujam_reuse Unroll Unroll_space Vec

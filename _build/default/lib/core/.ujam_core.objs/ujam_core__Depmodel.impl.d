@@ -1,0 +1,1 @@
+lib/core/depmodel.ml: Affine Aref Array Bruteforce Depvec Float Fun Graph Hashtbl List Machine Nest Queue Site Stmt Streams Ujam_depend Ujam_ir Ujam_linalg Ujam_machine Unroll Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/depmodel.mli: Bruteforce Ujam_ir Ujam_linalg Ujam_machine Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Balance Float Format List Machine Nest Printf Scalar_replace Search String Ujam_depend Ujam_ir Ujam_linalg Ujam_machine Ujam_reuse Unroll Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Format Scalar_replace Search Ujam_ir Ujam_machine Unroll_space

@@ -1,0 +1,1 @@
+lib/core/permute.ml: Array Driver Fun Interchange Machine Nest Ujam_depend Ujam_ir Ujam_machine Ujam_reuse

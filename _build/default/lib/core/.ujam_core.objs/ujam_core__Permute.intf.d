@@ -1,0 +1,1 @@
+lib/core/permute.mli: Driver Ujam_ir Ujam_machine

@@ -1,0 +1,1 @@
+lib/core/rrs.ml: Aref Array List Mat Option Site Solvers Streams String Subspace Ugs Ujam_ir Ujam_linalg Ujam_reuse Unroll_space Vec

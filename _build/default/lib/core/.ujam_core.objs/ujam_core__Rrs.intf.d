@@ -1,0 +1,1 @@
+lib/core/rrs.mli: Streams Subspace Ujam_ir Ujam_linalg Unroll_space

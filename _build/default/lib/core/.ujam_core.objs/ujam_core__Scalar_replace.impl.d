@@ -1,0 +1,1 @@
+lib/core/scalar_replace.ml: Aref Array Expr Format Hashtbl List Loop Nest Option Printf Site Stmt Streams Subspace Ujam_ir Ujam_linalg

@@ -1,0 +1,1 @@
+lib/core/scalar_replace.mli: Format Streams Ujam_ir

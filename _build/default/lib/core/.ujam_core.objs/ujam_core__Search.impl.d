@@ -1,0 +1,1 @@
+lib/core/search.ml: Balance Float Ujam_linalg Ujam_machine Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/solvers.ml: Hashtbl List Mat Option Selfreuse Subspace Ujam_linalg Ujam_reuse Vec

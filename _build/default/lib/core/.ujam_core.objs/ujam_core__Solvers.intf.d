@@ -1,0 +1,1 @@
+lib/core/solvers.mli: Mat Subspace Ujam_linalg Vec

@@ -1,0 +1,1 @@
+lib/core/streams.ml: Aref Array Groups List Mat Selfreuse Site Solvers Subspace Ugs Ujam_ir Ujam_linalg Ujam_reuse Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/streams.mli: Subspace Ugs Ujam_ir Ujam_linalg Ujam_reuse Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Array Groups List Option Solvers Ugs Ujam_ir Ujam_linalg Ujam_reuse Unroll_space Vec

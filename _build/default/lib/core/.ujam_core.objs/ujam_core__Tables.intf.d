@@ -1,0 +1,1 @@
+lib/core/tables.mli: Solvers Subspace Ujam_linalg Ujam_reuse Unroll_space Vec

@@ -1,0 +1,1 @@
+lib/core/unroll_space.ml: Array List Ujam_linalg Vec

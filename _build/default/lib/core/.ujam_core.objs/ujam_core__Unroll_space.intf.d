@@ -1,0 +1,1 @@
+lib/core/unroll_space.mli: Ujam_linalg Vec

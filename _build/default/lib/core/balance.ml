@@ -1,0 +1,90 @@
+open Ujam_linalg
+open Ujam_reuse
+open Ujam_machine
+
+type ugs_tables = {
+  ugs : Ugs.t;
+  stream : Locality.stream;
+  gts : Unroll_space.Table.t;  (* totals per cell *)
+  gss : Unroll_space.Table.t;
+}
+
+type t = {
+  space : Unroll_space.t;
+  machine : Machine.t;
+  flops_body : int;
+  mem_table : Unroll_space.Table.t;
+  reg_table : Unroll_space.Table.t;
+  groups : ugs_tables list;
+}
+
+let prepare ~machine space nest =
+  let d = Ujam_ir.Nest.depth nest in
+  let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let groups =
+    List.map
+      (fun (g : Ugs.t) ->
+        let stream =
+          (Locality.ugs_cost ~line:machine.Machine.cache_line ~localized g).Locality.stream
+        in
+        { ugs = g;
+          stream;
+          gts = Tables.gts_exact_table space ~localized g;
+          gss = Tables.gss_exact_table space ~localized g })
+      (Ugs.of_nest nest)
+  in
+  { space;
+    machine;
+    flops_body = Ujam_ir.Nest.flops_per_iteration nest;
+    mem_table = Rrs.memory_table space ~localized nest;
+    reg_table = Rrs.register_table space ~localized nest;
+    groups }
+
+let space t = t.space
+let machine t = t.machine
+
+let copies u = Vec.fold (fun acc x -> acc * (x + 1)) 1 u
+
+let flops t u = t.flops_body * copies u
+let memory_ops t u = Unroll_space.Table.get t.mem_table u
+let registers t u = Unroll_space.Table.get t.reg_table u
+
+let misses t u =
+  let l = float_of_int t.machine.Machine.cache_line in
+  List.fold_left
+    (fun acc g ->
+      let g_t = Unroll_space.Table.get g.gts u in
+      let g_s = Unroll_space.Table.get g.gss u in
+      let groups = float_of_int g_s +. (float_of_int (g_t - g_s) /. l) in
+      let base =
+        match g.stream with
+        | Locality.Invariant -> 0.0
+        | Locality.Unit_stride -> 1.0 /. l
+        | Locality.No_reuse -> 1.0
+      in
+      acc +. (groups *. base))
+    0.0 t.groups
+
+let cycles t u =
+  let m = t.machine in
+  Float.max
+    (float_of_int (memory_ops t u) /. float_of_int m.Machine.mem_issue)
+    (float_of_int (flops t u) /. float_of_int m.Machine.fp_issue)
+
+let loop_balance t ~cache u =
+  let v_m = float_of_int (memory_ops t u) in
+  let v_f = float_of_int (flops t u) in
+  if v_f = 0.0 then infinity
+  else if not cache then v_m /. v_f
+  else begin
+    let m = misses t u in
+    let serviced = t.machine.Machine.prefetch_bandwidth *. cycles t u in
+    let unserviced = Float.max 0.0 (m -. serviced) in
+    (v_m +. (unserviced *. Machine.miss_ratio_cost t.machine)) /. v_f
+  end
+
+let group_counts t u =
+  List.map
+    (fun g ->
+      (g.ugs.Ugs.base, Unroll_space.Table.get g.gts u, Unroll_space.Table.get g.gss u))
+    t.groups

@@ -1,0 +1,45 @@
+(** Loop balance as a function of the unroll vector (Sec. 3.2–3.3).
+
+    [prepare] builds every table once from the UGS structure; evaluating
+    a candidate unroll vector afterwards is a table lookup — this is the
+    paper's replacement for re-analysing an unrolled body per candidate.
+
+    With [cache:true] (the paper's model), unserviced cache misses are
+    charged at [C_m / C_s] memory-operation equivalents; prefetch
+    bandwidth hides [pi * cycles] of them per iteration.  With
+    [cache:false] the model of [Carr–Kennedy TOPLAS'94] is used instead:
+    every access is assumed to hit. *)
+
+open Ujam_linalg
+
+type t
+
+val prepare :
+  machine:Ujam_machine.Machine.t ->
+  Unroll_space.t ->
+  Ujam_ir.Nest.t ->
+  t
+
+val space : t -> Unroll_space.t
+val machine : t -> Ujam_machine.Machine.t
+
+val flops : t -> Vec.t -> int
+(** [V_F(u)]: floating-point operations per unrolled iteration. *)
+
+val memory_ops : t -> Vec.t -> int
+(** [V_M(u)]: memory operations per unrolled iteration after scalar
+    replacement. *)
+
+val registers : t -> Vec.t -> int
+(** [R(u)]: floating-point registers scalar replacement needs. *)
+
+val misses : t -> Vec.t -> float
+(** Cache misses per unrolled iteration (Equation 1 over all UGSs). *)
+
+val cycles : t -> Vec.t -> float
+(** Steady-state issue-bound cycles per unrolled iteration. *)
+
+val loop_balance : t -> cache:bool -> Vec.t -> float
+
+val group_counts : t -> Vec.t -> (string * int * int) list
+(** Per UGS: base name, [g_T(u)], [g_S(u)] — exposed for reporting. *)

@@ -1,0 +1,73 @@
+open Ujam_linalg
+open Ujam_ir
+open Ujam_reuse
+open Ujam_machine
+
+type metrics = {
+  streams : int;
+  memory_ops : int;
+  registers : int;
+  flops : int;
+  misses : float;
+  balance_cache : float;
+  balance_nocache : float;
+}
+
+let metrics ~machine nest u =
+  let unrolled = Unroll.unroll_and_jam nest u in
+  let d = Nest.depth unrolled in
+  let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let summary = Streams.summarize (Streams.of_body ~localized unrolled) in
+  let flops = Nest.flops_per_iteration unrolled in
+  let misses =
+    Locality.nest_accesses ~line:machine.Machine.cache_line ~localized unrolled
+  in
+  let v_m = float_of_int summary.Streams.memory_ops in
+  let v_f = float_of_int flops in
+  let balance_nocache = if v_f = 0.0 then infinity else v_m /. v_f in
+  let balance_cache =
+    if v_f = 0.0 then infinity
+    else begin
+      let cycles =
+        Float.max
+          (v_m /. float_of_int machine.Machine.mem_issue)
+          (v_f /. float_of_int machine.Machine.fp_issue)
+      in
+      let serviced = machine.Machine.prefetch_bandwidth *. cycles in
+      let unserviced = Float.max 0.0 (misses -. serviced) in
+      (v_m +. (unserviced *. Machine.miss_ratio_cost machine)) /. v_f
+    end
+  in
+  { streams = summary.Streams.streams;
+    memory_ops = summary.Streams.memory_ops;
+    registers = summary.Streams.registers;
+    flops;
+    misses;
+    balance_cache;
+    balance_nocache }
+
+let copies u = Vec.fold (fun acc x -> acc * (x + 1)) 1 u
+
+let best ~cache ~machine space nest =
+  let beta_m = Machine.balance machine in
+  let objective m = Float.abs ((if cache then m.balance_cache else m.balance_nocache) -. beta_m) in
+  let best = ref None in
+  Unroll_space.iter space (fun u ->
+      let m = metrics ~machine nest u in
+      if m.registers <= machine.Machine.fp_registers then
+        match !best with
+        | None -> best := Some (u, m)
+        | Some (bu, bm) ->
+            let c = Float.compare (objective m) (objective bm) in
+            let wins =
+              if c <> 0 then c < 0
+              else
+                let c = compare (copies u) (copies bu) in
+                if c <> 0 then c < 0 else Vec.compare u bu < 0
+            in
+            if wins then best := Some (u, m));
+  match !best with
+  | Some r -> r
+  | None ->
+      let u0 = Vec.zero (Unroll_space.depth space) in
+      (u0, metrics ~machine nest u0)

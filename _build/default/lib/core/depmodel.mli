@@ -1,0 +1,30 @@
+(** The dependence-based reuse model — the prior art of [Carr PACT'96]
+    that the paper's UGS model replaces.
+
+    All reuse information is derived from the dependence graph *including
+    input dependences*: group-temporal structure from edges whose
+    distance is zero outside the innermost loop, group-spatial structure
+    from the same test on line-truncated references, innermost invariance
+    from self input dependences.  To evaluate a candidate unroll vector,
+    the unrolled body is materialised and its graph rebuilt — the cost
+    (and the input-dependence storage) the paper's tables eliminate.
+
+    On separable-SIV nests the dependence distances solve exactly the
+    linear systems the UGS model solves, so both models compute the same
+    streams; the test suite and the [ablation-model] bench check this. *)
+
+open Ujam_linalg
+
+val metrics : machine:Ujam_machine.Machine.t -> Ujam_ir.Nest.t -> Vec.t -> Bruteforce.metrics
+
+val best :
+  cache:bool ->
+  machine:Ujam_machine.Machine.t ->
+  Unroll_space.t ->
+  Ujam_ir.Nest.t ->
+  Vec.t * Bruteforce.metrics
+
+val graph_cost : Ujam_ir.Nest.t -> Vec.t -> int * int
+(** [(with_input, without_input)]: dependence-edge counts for the body
+    unrolled by [u] — the storage comparison of Table 1 at the loop
+    level. *)

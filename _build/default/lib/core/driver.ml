@@ -1,0 +1,86 @@
+open Ujam_linalg
+open Ujam_ir
+open Ujam_machine
+
+type report = {
+  nest : Nest.t;
+  machine : Machine.t;
+  cache_model : bool;
+  safety : int array;
+  ranked : (int * float) list;
+  unroll_levels : int list;
+  space : Unroll_space.t;
+  choice : Search.choice;
+  original : Search.choice;
+  transformed : Nest.t;
+  plan : Scalar_replace.plan;
+}
+
+let optimize ?(bound = 10) ?(cache = true) ?(max_loops = 2) ~machine nest =
+  let d = Nest.depth nest in
+  (* Safety needs only true/anti/output dependences: the graph is built
+     without input edges. *)
+  let graph = Ujam_depend.Graph.build ~include_input:false nest in
+  let safety = Ujam_depend.Safety.max_safe_unroll graph in
+  let ranked = Ujam_reuse.Locality.rank_outer_loops ~line:machine.Machine.cache_line nest in
+  let unroll_levels =
+    ranked
+    |> List.filter (fun (level, _) -> safety.(level) > 0)
+    |> List.filteri (fun i _ -> i < max_loops)
+    |> List.map fst
+  in
+  let bounds = Array.make d 0 in
+  List.iter
+    (fun level -> bounds.(level) <- min bound safety.(level))
+    unroll_levels;
+  let space = Unroll_space.make ~bounds in
+  let balance = Balance.prepare ~machine space nest in
+  let choice = Search.best ~cache balance in
+  let original = Search.evaluate ~cache balance (Vec.zero d) in
+  let transformed = Unroll.unroll_and_jam nest choice.Search.u in
+  let plan = Scalar_replace.plan transformed in
+  { nest; machine; cache_model = cache; safety; ranked; unroll_levels;
+    space; choice; original; transformed; plan }
+
+(* Modelled cycles per *original* iteration: issue-bound cycles of the
+   unrolled body plus unhidden miss stalls, normalised by the number of
+   body copies. *)
+let cycles_per_orig_iteration (machine : Machine.t) (c : Search.choice) misses =
+  let copies = Vec.fold (fun acc x -> acc * (x + 1)) 1 c.Search.u in
+  let issue =
+    Float.max
+      (float_of_int c.Search.memory_ops /. float_of_int machine.Machine.mem_issue)
+      (float_of_int c.Search.flops /. float_of_int machine.Machine.fp_issue)
+  in
+  let stall = misses *. float_of_int machine.Machine.miss_penalty in
+  (issue +. stall) /. float_of_int copies
+
+let speedup_estimate r =
+  let balance = Balance.prepare ~machine:r.machine r.space r.nest in
+  let m_before = Balance.misses balance r.original.Search.u in
+  let m_after = Balance.misses balance r.choice.Search.u in
+  let before = cycles_per_orig_iteration r.machine r.original m_before in
+  let after = cycles_per_orig_iteration r.machine r.choice m_after in
+  if after = 0.0 then 1.0 else before /. after
+
+let pp ppf r =
+  let beta_m = Machine.balance r.machine in
+  Format.fprintf ppf
+    "@[<v>%s on %s (%s model)@,\
+     beta_M = %.3f; original beta_L = %.3f; chosen u = %a; final beta_L = %.3f@,\
+     registers %d/%d, V_M %d, V_F %d@,\
+     safety bounds: %s; locality ranking: %s@,%a@]"
+    (Nest.name r.nest) r.machine.Machine.name
+    (if r.cache_model then "cache" else "no-cache")
+    beta_m r.original.Search.balance Vec.pp r.choice.Search.u
+    r.choice.Search.balance r.choice.Search.registers
+    r.machine.Machine.fp_registers r.choice.Search.memory_ops
+    r.choice.Search.flops
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun b -> if b = max_int then "inf" else string_of_int b)
+             r.safety)))
+    (String.concat ","
+       (List.map (fun (l, c) -> Printf.sprintf "L%d:%.2f" l c) r.ranked))
+    Scalar_replace.pp_report r.plan

@@ -1,0 +1,40 @@
+(** End-to-end unroll-and-jam driver (Sec. 4.5).
+
+    Pipeline: true-dependence safety bounds, locality ranking of the
+    outer loops (at most the best two are unrolled), table construction
+    over the bounded unroll space, balance search, transformation, scalar
+    replacement. *)
+
+type report = {
+  nest : Ujam_ir.Nest.t;
+  machine : Ujam_machine.Machine.t;
+  cache_model : bool;
+  safety : int array;              (** per-level legal extra copies *)
+  ranked : (int * float) list;     (** locality ranking of outer levels *)
+  unroll_levels : int list;        (** levels chosen for unrolling *)
+  space : Unroll_space.t;
+  choice : Search.choice;
+  original : Search.choice;        (** evaluation at the zero vector *)
+  transformed : Ujam_ir.Nest.t;
+  plan : Scalar_replace.plan;      (** scalar replacement on the result *)
+}
+
+val optimize :
+  ?bound:int ->
+  ?cache:bool ->
+  ?max_loops:int ->
+  machine:Ujam_machine.Machine.t ->
+  Ujam_ir.Nest.t ->
+  report
+(** [bound] (default 10, the paper caps the unroll space per dimension)
+    limits extra copies per unrolled loop before the safety bounds are
+    applied.  [cache] (default [true]) selects the cache-aware balance
+    model; [false] reproduces the all-hits model of [Carr–Kennedy].
+    [max_loops] (default 2, "in practice we limit unroll-and-jam to at
+    most 2 loops", Sec. 4.5) caps how many outer loops join the unroll
+    space. *)
+
+val speedup_estimate : report -> float
+(** Ratio of modelled cycles per original iteration, before vs after. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,191 @@
+open Ujam_linalg
+open Ujam_ir
+
+type plan = {
+  streams : Streams.stream list;
+  kept : Site.t list;
+  eliminated : Site.t list;
+  registers : int;
+}
+
+let generator (s : Streams.stream) = List.hd s.Streams.members
+
+let plan nest =
+  let d = Nest.depth nest in
+  let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let streams = Streams.of_body ~localized nest in
+  let kept = ref [] and eliminated = ref [] in
+  List.iter
+    (fun (s : Streams.stream) ->
+      if s.Streams.invariant then
+        List.iter
+          (fun (m : Streams.member) -> eliminated := m.Streams.site :: !eliminated)
+          s.Streams.members
+      else begin
+        let g = generator s in
+        kept := g.Streams.site :: !kept;
+        List.iter
+          (fun (m : Streams.member) ->
+            if m.Streams.site.Site.id <> g.Streams.site.Site.id then
+              eliminated := m.Streams.site :: !eliminated)
+          s.Streams.members
+      end)
+    streams;
+  { streams;
+    kept = List.rev !kept;
+    eliminated = List.rev !eliminated;
+    registers = (Streams.summarize streams).Streams.registers }
+
+let issues_memory p (s : Site.t) =
+  List.exists (fun (k : Site.t) -> k.Site.id = s.Site.id) p.kept
+
+(* Temporary names: one rotating chain per stream. *)
+let temp_name ~stream_idx ~base k = Printf.sprintf "%s_%d_%d" base stream_idx k
+
+let apply nest p =
+  (* (stmt, site id) -> replacement scalar name, for reads;
+     defs keep their store but also fill the chain head. *)
+  let read_subst : (int * int, string) Hashtbl.t = Hashtbl.create 32 in
+  let def_heads : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  (* site id -> stmt idx *)
+  let preloads = ref [] in
+  let shifts = ref [] in
+  List.iteri
+    (fun si (s : Streams.stream) ->
+      if not s.Streams.invariant then begin
+        let g = generator s in
+        let gdelta = g.Streams.delta in
+        let chain k = temp_name ~stream_idx:si ~base:s.Streams.base k in
+        let needs_chain =
+          List.length s.Streams.members > 1
+          || List.exists (fun (m : Streams.member) -> m.Streams.delta <> gdelta)
+               s.Streams.members
+        in
+        if needs_chain then begin
+          let span =
+            List.fold_left
+              (fun acc (m : Streams.member) -> max acc (gdelta - m.Streams.delta))
+              0 s.Streams.members
+          in
+          List.iter
+            (fun (m : Streams.member) ->
+              let k = gdelta - m.Streams.delta in
+              if m.Streams.site.Site.id = g.Streams.site.Site.id then begin
+                if g.Streams.is_def then
+                  Hashtbl.replace def_heads m.Streams.site.Site.stmt (chain 0)
+                else begin
+                  preloads :=
+                    Stmt.set_scalar (chain 0) (Expr.Read g.Streams.site.Site.ref_)
+                    :: !preloads;
+                  Hashtbl.replace read_subst
+                    (m.Streams.site.Site.stmt, m.Streams.site.Site.id)
+                    (chain 0)
+                end
+              end
+              else if not m.Streams.is_def then
+                Hashtbl.replace read_subst
+                  (m.Streams.site.Site.stmt, m.Streams.site.Site.id)
+                  (chain k))
+            s.Streams.members;
+          for k = span downto 1 do
+            shifts := Stmt.set_scalar (chain k) (Expr.Scalar (chain (k - 1))) :: !shifts
+          done
+        end
+      end
+      else begin
+        (* Invariant stream: one scalar, loaded in the preheader; a
+           definition updates the scalar and stores it (the reduction
+           pattern A(J) = A_inv + ...; A(J) keeps its final store). *)
+        let name = Printf.sprintf "%s_inv_%d" s.Streams.base si in
+        List.iter
+          (fun (m : Streams.member) ->
+            if m.Streams.is_def then
+              Hashtbl.replace def_heads m.Streams.site.Site.stmt name
+            else
+              Hashtbl.replace read_subst
+                (m.Streams.site.Site.stmt, m.Streams.site.Site.id)
+                name)
+          s.Streams.members
+      end)
+    p.streams;
+  (* Rewrite statements.  Reads are re-enumerated with the same site-id
+     discipline as Site.of_nest so substitution keys line up. *)
+  let next_id = ref 0 in
+  let body =
+    List.mapi
+      (fun si (st : Stmt.t) ->
+        let reads = Stmt.reads st in
+        let ids = List.map (fun _ -> let i = !next_id in incr next_id; i) reads in
+        let remaining = ref (List.combine reads ids) in
+        let rhs =
+          Expr.substitute
+            (fun r ->
+              match !remaining with
+              | (r', id) :: rest when Aref.equal r r' ->
+                  remaining := rest;
+                  Option.map
+                    (fun name -> Expr.Scalar name)
+                    (Hashtbl.find_opt read_subst (si, id))
+              | _ -> None)
+            st.Stmt.rhs
+        in
+        (* account for the write site's id *)
+        (match st.Stmt.lhs with
+        | Stmt.Array_elt _ -> incr next_id
+        | Stmt.Scalar_var _ -> ());
+        match (st.Stmt.lhs, Hashtbl.find_opt def_heads si) with
+        | Stmt.Array_elt r, Some head ->
+            [ Stmt.set_scalar head rhs; Stmt.store r (Expr.Scalar head) ]
+        | (Stmt.Array_elt _ | Stmt.Scalar_var _), _ -> [ { st with Stmt.rhs } ])
+      (Nest.body nest)
+    |> List.concat
+  in
+  Nest.with_body nest (List.rev !preloads @ body @ List.rev !shifts)
+
+(* Mirrors [apply]'s naming: stream si's rotating chain is
+   [base_si_k]; invariant streams use [base_inv_si]. *)
+let preheader nest p =
+  let d = Nest.depth nest in
+  let inner_step = (Nest.loops nest).(d - 1).Loop.step in
+  let shift_inner (r : Aref.t) k =
+    let o = Array.make d 0 in
+    o.(d - 1) <- -k * inner_step;
+    Aref.shift r o
+  in
+  List.concat
+    (List.mapi
+       (fun si (s : Streams.stream) ->
+         if s.Streams.invariant then begin
+           match
+             List.find_opt
+               (fun (m : Streams.member) -> not m.Streams.is_def)
+               s.Streams.members
+           with
+           | Some m ->
+               [ Stmt.set_scalar
+                   (Printf.sprintf "%s_inv_%d" s.Streams.base si)
+                   (Expr.Read m.Streams.site.Site.ref_) ]
+           | None -> []
+         end
+         else begin
+           let g = generator s in
+           let gdelta = g.Streams.delta in
+           let span =
+             List.fold_left
+               (fun acc (m : Streams.member) -> max acc (gdelta - m.Streams.delta))
+               0 s.Streams.members
+           in
+           List.init span (fun k ->
+               let k = k + 1 in
+               Stmt.set_scalar
+                 (temp_name ~stream_idx:si ~base:s.Streams.base k)
+                 (Expr.Read (shift_inner g.Streams.site.Site.ref_ k)))
+         end)
+       p.streams)
+
+let pp_report ppf p =
+  Format.fprintf ppf
+    "scalar replacement: %d streams, %d memory ops kept, %d references \
+     register-resident, %d FP registers"
+    (List.length p.streams) (List.length p.kept) (List.length p.eliminated)
+    p.registers

@@ -1,0 +1,37 @@
+(** Scalar replacement (Callahan–Carr–Kennedy) on the innermost loop.
+
+    Each value stream is carried in a rotating chain of compiler
+    temporaries: the stream generator (the member that touches a location
+    first — a store, or the leading load) fills the chain head and the
+    remaining members read temporaries instead of memory.  [plan] decides
+    the rewrite and [apply] performs a display-oriented source-to-source
+    transformation (the chain-priming preheader loads are outside our
+    perfect-nest IR and are reported, not emitted; counts are unaffected
+    because priming is amortised over the loop).
+
+    The simulator consumes {!issues_memory}: a site reaches the memory
+    system only if it generates its stream. *)
+
+type plan = {
+  streams : Streams.stream list;
+  kept : Ujam_ir.Site.t list;        (** sites that still issue memory ops *)
+  eliminated : Ujam_ir.Site.t list;  (** register-resident references *)
+  registers : int;
+}
+
+val plan : Ujam_ir.Nest.t -> plan
+
+val issues_memory : plan -> Ujam_ir.Site.t -> bool
+
+val apply : Ujam_ir.Nest.t -> plan -> Ujam_ir.Nest.t
+
+val preheader : Ujam_ir.Nest.t -> plan -> Ujam_ir.Stmt.t list
+(** Chain-priming statements to execute before every entry of the
+    innermost loop (with the innermost index at its lower bound): loads
+    that fill the rotating temporaries [t_1..t_span] with the values
+    generated 1..span iterations "ago", and the loads of innermost-
+    invariant scalars.  Together with {!apply} this is a complete
+    lowering: interpreting the transformed nest with this preheader
+    (see {!Ujam_sim.Interp.run}) reproduces the original semantics. *)
+
+val pp_report : Format.formatter -> plan -> unit

@@ -1,0 +1,43 @@
+open Ujam_linalg
+
+type choice = {
+  u : Vec.t;
+  balance : float;
+  objective : float;
+  registers : int;
+  memory_ops : int;
+  flops : int;
+}
+
+let evaluate ~cache b u =
+  let beta_m = Ujam_machine.Machine.balance (Balance.machine b) in
+  let balance = Balance.loop_balance b ~cache u in
+  { u;
+    balance;
+    objective = Float.abs (balance -. beta_m);
+    registers = Balance.registers b u;
+    memory_ops = Balance.memory_ops b u;
+    flops = Balance.flops b u }
+
+let copies u = Vec.fold (fun acc x -> acc * (x + 1)) 1 u
+
+let better a b =
+  (* Smaller objective wins; ties prefer fewer copies, then lex order. *)
+  let c = Float.compare a.objective b.objective in
+  if c <> 0 then c < 0
+  else
+    let c = compare (copies a.u) (copies b.u) in
+    if c <> 0 then c < 0 else Vec.compare a.u b.u < 0
+
+let best ~cache b =
+  let max_regs = (Balance.machine b).Ujam_machine.Machine.fp_registers in
+  let best = ref None in
+  Unroll_space.iter (Balance.space b) (fun u ->
+      let c = evaluate ~cache b u in
+      if c.registers <= max_regs then
+        match !best with
+        | None -> best := Some c
+        | Some cur -> if better c cur then best := Some c);
+  match !best with
+  | Some c -> c
+  | None -> evaluate ~cache b (Vec.zero (Unroll_space.depth (Balance.space b)))

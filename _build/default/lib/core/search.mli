@@ -1,0 +1,24 @@
+(** The integer optimisation of Sec. 3.3: choose the unroll vector that
+    brings loop balance closest to machine balance without exceeding the
+    register file.
+
+    {v min |beta_L(u) - beta_M|  s.t.  R(u) <= machine registers v}
+
+    Ties prefer fewer body copies (less code growth), then lexicographic
+    order.  If no vector satisfies the register constraint the zero
+    vector is returned (the original loop). *)
+
+open Ujam_linalg
+
+type choice = {
+  u : Vec.t;
+  balance : float;
+  objective : float;  (** |beta_L - beta_M| *)
+  registers : int;
+  memory_ops : int;
+  flops : int;
+}
+
+val best : cache:bool -> Balance.t -> choice
+
+val evaluate : cache:bool -> Balance.t -> Vec.t -> choice

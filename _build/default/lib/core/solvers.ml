@@ -1,0 +1,67 @@
+open Ujam_linalg
+open Ujam_reuse
+
+type key = { m : Vec.t; delta : int }
+
+type t = c_from:Vec.t -> c_to:Vec.t -> key option
+
+let solver ~h ~localized ~unroll_levels ~truncate =
+  let depth = Mat.cols h in
+  let joined = Subspace.join localized (Subspace.span_dims ~dim:depth unroll_levels) in
+  let innermost = depth - 1 in
+  fun ~c_from ~c_to ->
+    let diff = Vec.sub c_to c_from in
+    let diff = if truncate && Vec.dim diff > 0 then Vec.set diff 0 0 else diff in
+    match Subspace.solution_in h diff joined with
+    | None -> None
+    | Some x ->
+        let m =
+          Vec.init depth (fun k ->
+              if List.mem k unroll_levels then Vec.get x k else 0)
+        in
+        Some { m; delta = Vec.get x innermost }
+
+let temporal ~h ~localized ~unroll_levels =
+  solver ~h ~localized ~unroll_levels ~truncate:false
+
+let spatial ~h ~localized ~unroll_levels =
+  solver ~h:(Selfreuse.spatial_matrix h) ~localized ~unroll_levels ~truncate:true
+
+type point_equiv = Vec.t -> Vec.t -> int option
+
+let point_equiv ~h_apply ~h_solve ~localized ~truncate =
+  let memo : (Vec.t, int option) Hashtbl.t = Hashtbl.create 64 in
+  let innermost = Mat.cols h_apply - 1 in
+  fun p r ->
+    let diff = Vec.sub p r in
+    match Hashtbl.find_opt memo diff with
+    | Some res -> res
+    | None ->
+        let rhs = Mat.apply h_apply diff in
+        let rhs = if truncate && Vec.dim rhs > 0 then Vec.set rhs 0 0 else rhs in
+        let res =
+          Option.map
+            (fun x -> Vec.get x innermost)
+            (Subspace.solution_in h_solve rhs localized)
+        in
+        Hashtbl.add memo diff res;
+        res
+
+let kernel_moves ~h ~localized ~unroll_levels =
+  let depth = Mat.cols h in
+  let joined = Subspace.join localized (Subspace.span_dims ~dim:depth unroll_levels) in
+  let kernel = Subspace.of_basis ~dim:depth (Mat.kernel h) in
+  Subspace.basis (Subspace.intersect kernel joined)
+  |> List.filter_map (fun v ->
+         let projected =
+           Vec.init depth (fun k ->
+               if List.mem k unroll_levels then Vec.get v k else 0)
+         in
+         if Vec.is_zero projected then None else Some projected)
+
+let temporal_point_equiv ~h ~localized =
+  point_equiv ~h_apply:h ~h_solve:h ~localized ~truncate:false
+
+let spatial_point_equiv ~h ~localized =
+  point_equiv ~h_apply:h ~h_solve:(Selfreuse.spatial_matrix h) ~localized
+    ~truncate:true

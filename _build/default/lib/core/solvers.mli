@@ -1,0 +1,45 @@
+(** Merge-key solvers.
+
+    The table computations all reduce to one question: given two
+    references of a UGS with constants [c_from] and [c_to], at which
+    unroll offset does a copy of one coincide (temporally or spatially,
+    within the localized space) with a copy of the other?  The answer is
+    the *merge key*: the unroll-dimension component [m] of an integral
+    solution of [H (m + x) = c_to - c_from] with [x] in the localized
+    space, together with the innermost component [delta] that positions
+    the two value streams relative to each other in time. *)
+
+open Ujam_linalg
+
+type key = {
+  m : Vec.t;    (** support on the unroll levels; may be negative *)
+  delta : int;  (** innermost-loop offset of the solution *)
+}
+
+type t = c_from:Vec.t -> c_to:Vec.t -> key option
+
+val temporal :
+  h:Mat.t -> localized:Subspace.t -> unroll_levels:int list -> t
+(** Solver for group-temporal coincidence ([H] as is). *)
+
+val spatial :
+  h:Mat.t -> localized:Subspace.t -> unroll_levels:int list -> t
+(** Solver for group-spatial coincidence: [H] with the contiguous row
+    zeroed and the difference's contiguous component dropped. *)
+
+type point_equiv = Vec.t -> Vec.t -> int option
+(** Equivalence of unroll-offset points.  Copies of one reference at
+    offsets [p] and [r] denote the same group whenever some [x] in the
+    localized space satisfies [H x = H (p - r)]; the witness's innermost
+    component is the time shift between the two copies' value streams.
+    Both testers memoise on the difference vector. *)
+
+val temporal_point_equiv : h:Mat.t -> localized:Subspace.t -> point_equiv
+val spatial_point_equiv : h:Mat.t -> localized:Subspace.t -> point_equiv
+
+val kernel_moves :
+  h:Mat.t -> localized:Subspace.t -> unroll_levels:int list -> Vec.t list
+(** Generators of the self-merge lattice: directions in the unroll
+    dimensions along which copies of a single reference coincide
+    (projections of [ker H ∩ (L ⊕ U)] onto the unroll levels).  Pass
+    [H_s] for the spatial variant. *)

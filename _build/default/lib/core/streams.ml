@@ -1,0 +1,217 @@
+open Ujam_linalg
+open Ujam_ir
+open Ujam_reuse
+
+type member = { site : Site.t; delta : int; is_def : bool; copy : int }
+
+type stream = { base : string; h : Mat.t; invariant : bool; members : member list }
+
+let span members =
+  match members with
+  | [] -> 0
+  | m :: rest ->
+      let mn, mx =
+        List.fold_left
+          (fun (mn, mx) m -> (min mn m.delta, max mx m.delta))
+          (m.delta, m.delta) rest
+      in
+      mx - mn
+
+let registers s = if s.invariant then 1 else span s.members + 1
+let memory_ops s = if s.invariant then 0 else 1
+
+(* Time order: larger delta touches a fixed location earlier; within one
+   iteration, body-copy order then statement order, and a statement's
+   reads execute before its write. *)
+let time_sort members =
+  let rank m =
+    (m.copy, m.site.Site.stmt, (if m.is_def then 1 else 0), m.site.Site.id)
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = compare b.delta a.delta in
+      if c <> 0 then c else compare (rank a) (rank b))
+    members
+
+(* A definition regenerates the value, so it begins a new stream. *)
+let split_at_defs ~base ~h ~invariant members =
+  if invariant then
+    match members with [] -> [] | ms -> [ { base; h; invariant; members = ms } ]
+  else begin
+    let finished = ref [] in
+    let current = ref [] in
+    let flush () =
+      if !current <> [] then begin
+        finished := { base; h; invariant; members = List.rev !current } :: !finished;
+        current := []
+      end
+    in
+    List.iter
+      (fun m ->
+        if m.is_def then flush ();
+        current := m :: !current)
+      members;
+    flush ();
+    List.rev !finished
+  end
+
+let build ~base ~h ~invariant members = split_at_defs ~base ~h ~invariant (time_sort members)
+
+let class_streams ~h ~localized ~base (sites : Site.t list) =
+  match sites with
+  | [] -> []
+  | leader :: _ ->
+      let invariant = Selfreuse.has_self_temporal ~localized h in
+      let c0 = Aref.c_vector leader.Site.ref_ in
+      let members =
+        List.map
+          (fun (s : Site.t) ->
+            let delta =
+              match
+                Subspace.solution_in h (Vec.sub (Aref.c_vector s.Site.ref_) c0) localized
+              with
+              | Some x -> Vec.get x (Vec.dim x - 1)
+              | None -> 0 (* unreachable: sites come from one GTS class *)
+            in
+            { site = s; delta; is_def = Site.is_write s; copy = 0 })
+          sites
+      in
+      split_at_defs ~base ~h ~invariant (time_sort members)
+
+let of_body ~localized nest =
+  List.concat_map
+    (fun (u : Ugs.t) ->
+      let part = Groups.group_temporal ~localized u in
+      List.concat_map
+        (fun cls -> class_streams ~h:u.Ugs.h ~localized ~base:u.Ugs.base cls)
+        part.Groups.classes)
+    (Ugs.of_nest nest)
+
+let iter_box u f =
+  let d = Vec.dim u in
+  let o = Array.make d 0 in
+  let rec go k =
+    if k = d then f (Vec.make o)
+    else
+      for x = 0 to Vec.get u k do
+        o.(k) <- x;
+        go (k + 1)
+      done
+  in
+  go 0
+
+(* Streams of the unrolled loop, from the original UGS alone.  Each GTS
+   class of the original body gets a merge key (m over the unroll levels,
+   delta on the innermost loop) relative to its component root; after
+   unrolling by [u] the classes of the unrolled body are the points of
+   the union of the key-shifted boxes, and each covering class deposits
+   its members there, time-shifted by its key delta.  The component
+   decomposition and per-member offsets depend only on the UGS, so
+   [unrolled_fn] computes them once and returns a per-[u] closure. *)
+let unrolled_fn space ~localized (ugs : Ugs.t) =
+  let h = ugs.Ugs.h in
+  let solver =
+    Solvers.temporal ~h ~localized ~unroll_levels:(Unroll_space.unroll_levels space)
+  in
+  let classes = (Groups.group_temporal ~localized ugs).Groups.classes in
+  (* Pre-resolve each member's time offset relative to its class leader. *)
+  let resolved_classes =
+    List.map
+      (fun cls ->
+        let c0 = Aref.c_vector (List.hd cls).Site.ref_ in
+        ( c0,
+          List.map
+            (fun (s : Site.t) ->
+              let d_rel =
+                match
+                  Subspace.solution_in h (Vec.sub (Aref.c_vector s.Site.ref_) c0)
+                    localized
+                with
+                | Some x -> Vec.get x (Vec.dim x - 1)
+                | None -> 0
+              in
+              (s, d_rel, Site.is_write s))
+            cls ))
+      classes
+  in
+  (* Component decomposition with keys relative to component roots. *)
+  let comps :
+      (Vec.t * ((Site.t * int * bool) list * Solvers.key) list ref) list ref =
+    ref []
+  in
+  List.iter
+    (fun (c0, members) ->
+      let rec place = function
+        | [] ->
+            let key = { Solvers.m = Vec.zero (Unroll_space.depth space); delta = 0 } in
+            comps := !comps @ [ (c0, ref [ (members, key) ]) ]
+        | (root, cell) :: rest -> (
+            match solver ~c_from:root ~c_to:c0 with
+            | Some key -> cell := !cell @ [ (members, key) ]
+            | None -> place rest)
+      in
+      place !comps)
+    resolved_classes;
+  let invariant = Selfreuse.has_self_temporal ~localized h in
+  let equiv = Solvers.temporal_point_equiv ~h ~localized in
+  fun u ->
+    if not (Unroll_space.mem space u) then
+      invalid_arg "Streams.of_ugs_unrolled: unroll vector out of space";
+    List.concat_map
+      (fun (_, cell) ->
+        (* Points of the union of shifted boxes, modulo the unroll-space
+           kernel directions; copies at equivalent points pool into the
+           representative's member set, time-shifted by the witness. *)
+        let reps : (Vec.t * member list ref) list ref = ref [] in
+        List.iter
+          (fun (members, { Solvers.m; delta }) ->
+            (* iter_box enumerates offsets lexicographically: the running
+               index is the textual rank of the body copy. *)
+            let copy_rank = ref (-1) in
+            iter_box u (fun o ->
+                incr copy_rank;
+                let p = Vec.add m o in
+                let rec find = function
+                  | [] ->
+                      let cell = ref [] in
+                      reps := !reps @ [ (p, cell) ];
+                      (cell, 0)
+                  | (r, cell) :: rest -> (
+                      match equiv p r with
+                      | Some shift -> (cell, shift)
+                      | None -> find rest)
+                in
+                let cell, shift = find !reps in
+                List.iter
+                  (fun (s, d_rel, is_def) ->
+                    cell :=
+                      { site = s;
+                        delta = delta + d_rel + shift;
+                        is_def;
+                        copy = !copy_rank }
+                      :: !cell)
+                  members))
+          !cell;
+        List.concat_map
+          (fun (_, cell) ->
+            split_at_defs ~base:ugs.Ugs.base ~h ~invariant (time_sort (List.rev !cell)))
+          !reps)
+      !comps
+
+let of_ugs_unrolled space ~localized ugs u = unrolled_fn space ~localized ugs u
+
+let of_nest_unrolled space ~localized nest u =
+  List.concat_map
+    (fun g -> of_ugs_unrolled space ~localized g u)
+    (Ugs.of_nest nest)
+
+type summary = { streams : int; memory_ops : int; registers : int }
+
+let summarize ss =
+  List.fold_left
+    (fun acc s ->
+      { streams = acc.streams + 1;
+        memory_ops = acc.memory_ops + memory_ops s;
+        registers = acc.registers + registers s })
+    { streams = 0; memory_ops = 0; registers = 0 }
+    ss

@@ -1,0 +1,66 @@
+(** Value streams: register-reuse sets (Figure 4) generalised to unrolled
+    bodies.
+
+    A stream is a maximal run of references to the same moving location
+    that can share one register chain in the innermost loop: the members
+    of a group-temporal set ordered by the time they touch a location
+    (larger constants touch a fixed location earlier), split at every
+    definition because a store regenerates the value (Sec. 4.3).
+
+    Two equivalent constructions are provided: [of_body] materialises a
+    (possibly unrolled) body and partitions its sites — the ground truth
+    — while [of_ugs_unrolled] derives the streams of the unrolled loop
+    from the original UGS structure and an unroll vector alone, which is
+    the paper's point: no unrolled data structure is ever built. *)
+
+open Ujam_linalg
+open Ujam_reuse
+
+type member = {
+  site : Ujam_ir.Site.t;
+  delta : int;  (** innermost-loop time offset within the stream *)
+  is_def : bool;
+  copy : int;
+      (** textual rank of the body copy the member comes from (0 in an
+          already-materialised body, whose statement indices encode it) *)
+}
+
+type stream = {
+  base : string;
+  h : Ujam_linalg.Mat.t;
+  invariant : bool;
+  members : member list;
+}
+
+val registers : stream -> int
+(** Registers needed by scalar replacement: delta span + 1; 1 for an
+    invariant stream. *)
+
+val memory_ops : stream -> int
+(** Memory operations per innermost iteration after scalar replacement:
+    one per stream (the generating load or store); 0 when invariant. *)
+
+val build :
+  base:string -> h:Ujam_linalg.Mat.t -> invariant:bool -> member list -> stream list
+(** Time-sort the members and split at definitions; building block for
+    alternative analyses (e.g. the dependence-based model) that derive
+    the member sets by other means. *)
+
+val of_body : localized:Subspace.t -> Ujam_ir.Nest.t -> stream list
+
+val of_ugs_unrolled :
+  Unroll_space.t -> localized:Subspace.t -> Ugs.t -> Vec.t -> stream list
+
+val unrolled_fn :
+  Unroll_space.t -> localized:Subspace.t -> Ugs.t -> Vec.t -> stream list
+(** Partial application of {!of_ugs_unrolled}: the class decomposition,
+    merge keys and member offsets are resolved once; the returned closure
+    only enumerates the offset boxes for each queried vector.  Use when
+    filling whole tables. *)
+
+val of_nest_unrolled :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_ir.Nest.t -> Vec.t -> stream list
+
+type summary = { streams : int; memory_ops : int; registers : int }
+
+val summarize : stream list -> summary

@@ -1,0 +1,210 @@
+open Ujam_linalg
+open Ujam_reuse
+
+let total = Unroll_space.Table.prefix_sum
+
+(* Partition leaders into merge components: two leaders are in the same
+   component when the solver connects them; keys are offsets relative to
+   the component root.  Solvability differences add, so scanning against
+   roots is enough. *)
+let components ~dim ~solver leaders =
+  let comps : (Vec.t * (Vec.t * Vec.t) list ref) list ref = ref [] in
+  List.iter
+    (fun c ->
+      let rec place = function
+        | [] -> comps := !comps @ [ (c, ref [ (c, Vec.zero dim) ]) ]
+        | (root, members) :: rest -> (
+            match solver ~c_from:root ~c_to:c with
+            | Some { Solvers.m; _ } -> members := !members @ [ (c, m) ]
+            | None -> place rest)
+      in
+      place !comps)
+    leaders;
+  List.map (fun (_, members) -> !members) !comps
+
+(* Per-copy group table.  T[u'] counts the leaders whose copy at offset
+   u' starts a new group: leader j's copy at u' duplicates an earlier
+   copy exactly when u' >= d for some merge point d of j — the offset
+   difference to a leader with a pointwise-larger key, or a self-merge
+   along a kernel direction of the unroll space, possibly shifted by the
+   kernel lattice.  Summing T over u' <= u (the paper's Sum) yields the
+   group count after unrolling by u. *)
+let compute_table space ~solver ~kernel_gens leaders =
+  let dim = Unroll_space.depth space in
+  let n = List.length leaders in
+  let t = Unroll_space.Table.create space n in
+  let max_bound = Array.fold_left max 0 (Unroll_space.bounds space) in
+  (* Lattice shifts of a base difference: base + sum a_i * g_i for small
+     coefficients, keeping non-negative in-space non-zero points. *)
+  let variants base =
+    let rec expand acc = function
+      | [] -> acc
+      | g :: rest ->
+          let shifted =
+            List.concat_map
+              (fun v ->
+                List.init
+                  ((2 * (max_bound + 1)) + 1)
+                  (fun a -> Vec.add v (Vec.scale (a - max_bound - 1) g)))
+              acc
+          in
+          expand shifted rest
+    in
+    expand [ base ] kernel_gens
+    |> List.filter (fun v ->
+           (not (Vec.is_zero v)) && Unroll_space.mem space v)
+  in
+  List.iter
+    (fun members ->
+      let keys = List.map snd members in
+      List.iter
+        (fun kj ->
+          let merge_points =
+            List.concat_map (fun ki -> variants (Vec.sub ki kj)) keys
+          in
+          if merge_points <> [] then
+            Unroll_space.iter space (fun u ->
+                if List.exists (fun d -> Vec.leq_pointwise d u) merge_points
+                then Unroll_space.Table.add t u (-1)))
+        keys)
+    (components ~dim ~solver leaders);
+  t
+
+let iter_box u f =
+  let d = Vec.dim u in
+  let o = Array.make d 0 in
+  let rec go k =
+    if k = d then f (Vec.make o)
+    else
+      for x = 0 to Vec.get u k do
+        o.(k) <- x;
+        go (k + 1)
+      done
+  in
+  go 0
+
+let exact_count space ~solver ~equiv leaders u =
+  if not (Unroll_space.mem space u) then
+    invalid_arg "Tables.exact_count: unroll vector out of space";
+  let count = ref 0 in
+  List.iter
+    (fun members ->
+      (* Distinct points modulo the kernel directions of the unroll
+         space: two offsets are one group when [equiv] relates them. *)
+      let reps : Vec.t list ref = ref [] in
+      List.iter
+        (fun (_, m) ->
+          iter_box u (fun o ->
+              let p = Vec.add m o in
+              if not (List.exists (fun r -> Option.is_some (equiv p r)) !reps)
+              then begin
+                reps := p :: !reps;
+                incr count
+              end))
+        members)
+    (components ~dim:(Unroll_space.depth space) ~solver leaders);
+  !count
+
+let orientable v =
+  Vec.for_all (fun x -> x >= 0) v || Vec.for_all (fun x -> x <= 0) v
+
+let applicable space ~solver ~kernel_gens leaders =
+  List.for_all orientable kernel_gens
+  && List.for_all
+       (fun members ->
+         let keys = List.map snd members in
+         List.for_all
+           (fun ki ->
+             List.for_all (fun kj -> orientable (Vec.sub ki kj)) keys)
+           keys)
+       (components ~dim:(Unroll_space.depth space) ~solver leaders)
+
+let gts_leaders ~localized (ugs : Ugs.t) =
+  List.map
+    (fun (s : Ujam_ir.Site.t) -> Ujam_ir.Aref.c_vector s.Ujam_ir.Site.ref_)
+    (Groups.leaders (Groups.group_temporal ~localized ugs))
+
+let gss_leaders ~localized (ugs : Ugs.t) =
+  List.map
+    (fun (s : Ujam_ir.Site.t) -> Ujam_ir.Aref.c_vector s.Ujam_ir.Site.ref_)
+    (Groups.leaders (Groups.group_spatial ~localized ugs))
+
+let temporal_solver space ~localized (ugs : Ugs.t) =
+  Solvers.temporal ~h:ugs.Ugs.h ~localized
+    ~unroll_levels:(Unroll_space.unroll_levels space)
+
+let spatial_solver space ~localized (ugs : Ugs.t) =
+  Solvers.spatial ~h:ugs.Ugs.h ~localized
+    ~unroll_levels:(Unroll_space.unroll_levels space)
+
+let gts_table space ~localized ugs =
+  compute_table space
+    ~solver:(temporal_solver space ~localized ugs)
+    ~kernel_gens:
+      (Solvers.kernel_moves ~h:ugs.Ugs.h ~localized
+         ~unroll_levels:(Unroll_space.unroll_levels space))
+    (gts_leaders ~localized ugs)
+
+let gss_table space ~localized ugs =
+  compute_table space
+    ~solver:(spatial_solver space ~localized ugs)
+    ~kernel_gens:
+      (Solvers.kernel_moves
+         ~h:(Ujam_reuse.Selfreuse.spatial_matrix ugs.Ugs.h)
+         ~localized
+         ~unroll_levels:(Unroll_space.unroll_levels space))
+    (gss_leaders ~localized ugs)
+
+let gts_applicable space ~localized ugs =
+  applicable space
+    ~solver:(temporal_solver space ~localized ugs)
+    ~kernel_gens:
+      (Solvers.kernel_moves ~h:ugs.Ugs.h ~localized
+         ~unroll_levels:(Unroll_space.unroll_levels space))
+    (gts_leaders ~localized ugs)
+
+let exact_totals_table space ~solver ~equiv leaders =
+  let comps = components ~dim:(Unroll_space.depth space) ~solver leaders in
+  let t = Unroll_space.Table.create space 0 in
+  Unroll_space.iter space (fun u ->
+      let count = ref 0 in
+      List.iter
+        (fun members ->
+          let reps : Vec.t list ref = ref [] in
+          List.iter
+            (fun (_, m) ->
+              iter_box u (fun o ->
+                  let p = Vec.add m o in
+                  if not (List.exists (fun r -> Option.is_some (equiv p r)) !reps)
+                  then begin
+                    reps := p :: !reps;
+                    incr count
+                  end))
+            members)
+        comps;
+      Unroll_space.Table.set t u !count);
+  t
+
+let gts_exact_table space ~localized ugs =
+  exact_totals_table space
+    ~solver:(temporal_solver space ~localized ugs)
+    ~equiv:(Solvers.temporal_point_equiv ~h:ugs.Ujam_reuse.Ugs.h ~localized)
+    (gts_leaders ~localized ugs)
+
+let gss_exact_table space ~localized ugs =
+  exact_totals_table space
+    ~solver:(spatial_solver space ~localized ugs)
+    ~equiv:(Solvers.spatial_point_equiv ~h:ugs.Ujam_reuse.Ugs.h ~localized)
+    (gss_leaders ~localized ugs)
+
+let gts_exact space ~localized ugs u =
+  exact_count space
+    ~solver:(temporal_solver space ~localized ugs)
+    ~equiv:(Solvers.temporal_point_equiv ~h:ugs.Ugs.h ~localized)
+    (gts_leaders ~localized ugs) u
+
+let gss_exact space ~localized ugs u =
+  exact_count space
+    ~solver:(spatial_solver space ~localized ugs)
+    ~equiv:(Solvers.spatial_point_equiv ~h:ugs.Ugs.h ~localized)
+    (gss_leaders ~localized ugs) u

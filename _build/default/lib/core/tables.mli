@@ -1,0 +1,74 @@
+(** The paper's table computations (Figures 2 and 3) and their exact
+    counterparts.
+
+    [compute_table] is the incremental [ComputeTable] of Figure 2: start
+    every cell at the number of leaders, then for each leader pair
+    subtract one over the region of unroll vectors at which the
+    lexicographically greater leader's copies merge into the smaller
+    (super)leader's group, stopping where an earlier superleader already
+    claimed the merge.  The total number of groups after unrolling by [u]
+    is the prefix sum over [u' <= u] — the paper's [Sum].
+
+    [exact_count] enumerates the union of merge-key-shifted unroll boxes
+    directly; it is the specification the incremental algorithm is tested
+    against (and agrees with on separable-SIV nests, the paper's stated
+    domain). *)
+
+open Ujam_linalg
+
+val compute_table :
+  Unroll_space.t ->
+  solver:Solvers.t ->
+  kernel_gens:Vec.t list ->
+  Vec.t list ->
+  Unroll_space.Table.t
+(** Leaders must be lexicographically sorted constant vectors;
+    [kernel_gens] are the self-merge directions from
+    {!Solvers.kernel_moves}. *)
+
+val total : Unroll_space.Table.t -> Vec.t -> int
+(** Number of groups after unrolling by [u] (the paper's [Sum]). *)
+
+val exact_count :
+  Unroll_space.t ->
+  solver:Solvers.t ->
+  equiv:Solvers.point_equiv ->
+  Vec.t list ->
+  Vec.t ->
+  int
+
+val gts_table :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Unroll_space.Table.t
+(** Figure 2, [ComputeGTSTable]: leaders are the GTS leaders of the UGS
+    within the localized space; solver is temporal. *)
+
+val gss_table :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Unroll_space.Table.t
+(** Figure 3, [ComputeGSSTable]: GSS leaders with the spatial solver. *)
+
+val applicable :
+  Unroll_space.t -> solver:Solvers.t -> kernel_gens:Vec.t list -> Vec.t list -> bool
+(** Domain of the incremental algorithm: every pairwise merge key (and
+    every self-merge direction) must be orientable — pointwise
+    non-negative after negating if needed.  A mixed-sign key means a
+    copy's duplicate sits at a lexicographically earlier but pointwise
+    incomparable offset, which the per-copy prefix-sum table cannot
+    express; the paper's implementation has the same restriction ("this
+    case did not appear in our testing", Sec. 5). *)
+
+val gts_applicable :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> bool
+
+val gts_exact :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Vec.t -> int
+
+val gss_exact :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Vec.t -> int
+
+val gts_exact_table :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Unroll_space.Table.t
+(** Whole-space totals table (cells read with [Unroll_space.Table.get]);
+    the component decomposition is done once. *)
+
+val gss_exact_table :
+  Unroll_space.t -> localized:Subspace.t -> Ujam_reuse.Ugs.t -> Unroll_space.Table.t

@@ -1,0 +1,115 @@
+open Ujam_linalg
+
+type t = { bounds : int array; strides : int array; card : int }
+
+let make ~bounds =
+  let d = Array.length bounds in
+  if d = 0 then invalid_arg "Unroll_space.make: empty";
+  if Array.exists (fun b -> b < 0) bounds then
+    invalid_arg "Unroll_space.make: negative bound";
+  if bounds.(d - 1) <> 0 then
+    invalid_arg "Unroll_space.make: innermost bound must be 0";
+  (* Mixed-radix strides for dense indexing; radix per level is b+1. *)
+  let strides = Array.make d 1 in
+  for k = d - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * (bounds.(k + 1) + 1)
+  done;
+  let card = strides.(0) * (bounds.(0) + 1) in
+  { bounds = Array.copy bounds; strides; card }
+
+let uniform ~depth ~bound ~unroll_levels =
+  let bounds = Array.make depth 0 in
+  List.iter
+    (fun k ->
+      if k < 0 || k >= depth - 1 then
+        invalid_arg "Unroll_space.uniform: level out of range";
+      bounds.(k) <- bound)
+    unroll_levels;
+  make ~bounds
+
+let depth t = Array.length t.bounds
+let bounds t = Array.copy t.bounds
+let card t = t.card
+
+let mem t v =
+  Vec.dim v = depth t
+  && Array.for_all2 (fun b x -> x >= 0 && x <= b) t.bounds (Vec.to_array v)
+
+let unroll_levels t =
+  let acc = ref [] in
+  Array.iteri (fun k b -> if b > 0 then acc := k :: !acc) t.bounds;
+  List.rev !acc
+
+let iter t f =
+  let d = depth t in
+  let v = Array.make d 0 in
+  let rec go k =
+    if k = d then f (Vec.make v)
+    else
+      for x = 0 to t.bounds.(k) do
+        v.(k) <- x;
+        go (k + 1)
+      done
+  in
+  go 0
+
+let vectors t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+let index t v =
+  let idx = ref 0 in
+  Array.iteri (fun k s -> idx := !idx + (s * Vec.get v k)) t.strides;
+  !idx
+
+module Table = struct
+  type space = t
+  type nonrec t = { space : space; cells : int array }
+
+  let create space init = { space; cells = Array.make space.card init }
+  let space t = t.space
+
+  let check t v =
+    if not (mem t.space v) then invalid_arg "Unroll_space.Table: out of space"
+
+  let get t v =
+    check t v;
+    t.cells.(index t.space v)
+
+  let set t v x =
+    check t v;
+    t.cells.(index t.space v) <- x
+
+  let add t v x =
+    check t v;
+    let i = index t.space v in
+    t.cells.(i) <- t.cells.(i) + x
+
+  let add_from t lo delta =
+    iter t.space (fun u ->
+        if Vec.leq_pointwise lo u then add t u delta)
+
+  let add_region t ~from_ ~excluding delta =
+    iter t.space (fun u ->
+        if Vec.leq_pointwise from_ u then
+          let excluded =
+            match excluding with
+            | Some e -> Vec.leq_pointwise e u
+            | None -> false
+          in
+          if not excluded then add t u delta)
+
+  let prefix_sum t v =
+    check t v;
+    let s = ref 0 in
+    iter t.space (fun u -> if Vec.leq_pointwise u v then s := !s + get t u);
+    !s
+
+  let merge_add a b =
+    if a.space.bounds <> b.space.bounds then
+      invalid_arg "Unroll_space.Table.merge_add: space mismatch";
+    { space = a.space; cells = Array.map2 ( + ) a.cells b.cells }
+
+  let to_alist t = List.map (fun u -> (u, get t u)) (vectors t.space)
+end

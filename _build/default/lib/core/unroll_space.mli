@@ -1,0 +1,57 @@
+(** The bounded unroll space [%U] and dense tables over it.
+
+    An unroll vector gives the number of *extra* body copies per loop
+    level; the innermost level is never unrolled, so its bound is 0.
+    The space is the pointwise box [0 <= u <= bounds].  Tables indexed by
+    unroll vectors are the paper's central data structure: they are
+    filled once from the UGS structure and then answer every candidate
+    [u] during the search. *)
+
+open Ujam_linalg
+
+type t
+
+val make : bounds:int array -> t
+(** @raise Invalid_argument if any bound is negative or the last bound is
+    non-zero. *)
+
+val uniform : depth:int -> bound:int -> unroll_levels:int list -> t
+(** Bound [bound] on each level in [unroll_levels], 0 elsewhere. *)
+
+val depth : t -> int
+val bounds : t -> int array
+val card : t -> int
+val mem : t -> Vec.t -> bool
+val unroll_levels : t -> int list
+(** Levels with a non-zero bound. *)
+
+val iter : t -> (Vec.t -> unit) -> unit
+(** Lexicographic enumeration of all vectors in the space. *)
+
+val vectors : t -> Vec.t list
+
+module Table : sig
+  type space = t
+  type t
+
+  val create : space -> int -> t
+  val space : t -> space
+  val get : t -> Vec.t -> int
+  val set : t -> Vec.t -> int -> unit
+  val add : t -> Vec.t -> int -> unit
+
+  val add_from : t -> Vec.t -> int -> unit
+  (** [add_from t lo delta] adds [delta] at every [u >= lo] pointwise. *)
+
+  val add_region : t -> from_:Vec.t -> excluding:Vec.t option -> int -> unit
+  (** Adds on [{u >= from_} \ {u >= excluding}]: the paper's "between the
+      newly computed merge point and the previous superleader's". *)
+
+  val prefix_sum : t -> Vec.t -> int
+  (** [sum over 0 <= u' <= u of t[u']] — the paper's [Sum] function. *)
+
+  val merge_add : t -> t -> t
+  (** Pointwise sum; spaces must agree. *)
+
+  val to_alist : t -> (Vec.t * int) list
+end

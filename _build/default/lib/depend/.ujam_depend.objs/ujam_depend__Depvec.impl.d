@@ -1,0 +1,1 @@
+lib/depend/depvec.ml: Array Format Ujam_linalg Vec

@@ -1,0 +1,1 @@
+lib/depend/depvec.mli: Format Ujam_linalg

@@ -1,0 +1,1 @@
+lib/depend/graph.ml: Affine Aref Array Buffer Depvec Format List Loop Nest Printf Site String Test_pair Ujam_ir

@@ -1,0 +1,1 @@
+lib/depend/graph.mli: Depvec Format Ujam_ir

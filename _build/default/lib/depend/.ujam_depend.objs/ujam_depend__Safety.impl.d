@@ -1,0 +1,1 @@
+lib/depend/safety.ml: Array Depvec Fun Graph List Ujam_ir Ujam_linalg Vec

@@ -1,0 +1,1 @@
+lib/depend/safety.mli: Graph Ujam_linalg

@@ -1,0 +1,1 @@
+lib/depend/stats.ml: Format Graph List

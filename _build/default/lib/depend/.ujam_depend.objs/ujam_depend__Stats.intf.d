@@ -1,0 +1,1 @@
+lib/depend/stats.mli: Format Graph

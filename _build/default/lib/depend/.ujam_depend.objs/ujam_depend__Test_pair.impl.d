@@ -1,0 +1,1 @@
+lib/depend/test_pair.ml: Aref Array Depvec Fun List Mat Option String Ujam_ir Ujam_linalg Vec

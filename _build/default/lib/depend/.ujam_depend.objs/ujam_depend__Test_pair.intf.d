@@ -1,0 +1,1 @@
+lib/depend/test_pair.mli: Depvec Ujam_ir

@@ -1,0 +1,51 @@
+open Ujam_linalg
+
+type elem = Exact of int | Star
+
+type t = elem array
+
+let all_star n = Array.make n Star
+let exact v = Array.map (fun x -> Exact x) (Vec.to_array v)
+let dim = Array.length
+
+let is_zero t = Array.for_all (function Exact 0 -> true | Exact _ | Star -> false) t
+
+let lex_sign t =
+  let rec go k =
+    if k = Array.length t then `Zero
+    else
+      match t.(k) with
+      | Exact 0 -> go (k + 1)
+      | Exact x when x > 0 -> `Pos
+      | Exact _ -> `Neg
+      | Star -> `Ambiguous
+  in
+  go 0
+
+let negate t = Array.map (function Exact x -> Exact (-x) | Star -> Star) t
+
+let carried_level t =
+  let rec go k =
+    if k = Array.length t then None
+    else match t.(k) with Exact 0 -> go (k + 1) | Exact _ | Star -> Some k
+  in
+  go 0
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Exact a, Exact b -> a = b
+         | Star, Star -> true
+         | (Exact _ | Star), _ -> false)
+       a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf -> function
+         | Exact x -> Format.pp_print_int ppf x
+         | Star -> Format.pp_print_string ppf "*"))
+    (Array.to_list t)

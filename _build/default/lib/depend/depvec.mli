@@ -1,0 +1,30 @@
+(** Dependence distance / direction vectors.
+
+    A component is either an exact iteration distance or [Star] when the
+    dependence is inconsistent along that loop (the distance varies from
+    instance to instance, as with coupled or non-uniformly generated
+    subscripts). *)
+
+type elem = Exact of int | Star
+
+type t = elem array
+
+val all_star : int -> t
+val exact : Ujam_linalg.Vec.t -> t
+val dim : t -> int
+
+val is_zero : t -> bool
+(** Every component exactly 0: a loop-independent dependence. *)
+
+val lex_sign : t -> [ `Pos | `Neg | `Zero | `Ambiguous ]
+(** Sign of the first non-zero component; [`Ambiguous] when a [Star] is
+    encountered before any non-zero exact component. *)
+
+val negate : t -> t
+
+val carried_level : t -> int option
+(** First level with a non-zero (or [Star]) component; [None] for a
+    loop-independent dependence. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

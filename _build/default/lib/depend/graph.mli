@@ -1,0 +1,31 @@
+(** Dependence graphs over the reference sites of a nest.
+
+    The graph can be built with or without input (read-read) dependences;
+    the size difference between the two is exactly the storage the
+    paper's UGS-based model saves (Table 1). *)
+
+type kind = Flow | Anti | Output | Input
+
+type edge = { src : Ujam_ir.Site.t; dst : Ujam_ir.Site.t; kind : kind; dvec : Depvec.t }
+
+type t = { nest : Ujam_ir.Nest.t; edges : edge list }
+
+val build : ?include_input:bool -> Ujam_ir.Nest.t -> t
+(** [include_input] defaults to [true].  Edges are normalised so the
+    distance vector is lexicographically non-negative: the source is the
+    earlier instance.  Loop-independent (all-zero) dependences run from
+    the textually earlier site to the later one; ambiguous (leading
+    [Star]) dependences keep the id order of the pair. *)
+
+val edges_on : t -> string -> edge list
+(** Edges whose endpoints reference the given array. *)
+
+val kind_of_sites : Ujam_ir.Site.t -> Ujam_ir.Site.t -> kind
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering: one node per reference site, one edge per
+    dependence, labelled with kind and distance vector (input edges
+    dashed — the storage the UGS model avoids). *)

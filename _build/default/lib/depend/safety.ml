@@ -1,0 +1,90 @@
+open Ujam_linalg
+
+(* Lexicographic sign of the suffix of a dependence vector strictly after
+   level [k]; `Neg and `Ambiguous both block fusion across the carried
+   distance. *)
+let suffix_blocks (dvec : Depvec.t) k =
+  let rec go m =
+    if m >= Depvec.dim dvec then false
+    else
+      match dvec.(m) with
+      | Depvec.Exact 0 -> go (m + 1)
+      | Depvec.Exact x -> x < 0
+      | Depvec.Star -> true
+  in
+  go (k + 1)
+
+let max_safe_unroll (g : Graph.t) =
+  let depth = Ujam_ir.Nest.depth g.Graph.nest in
+  let bound = Array.make depth max_int in
+  bound.(depth - 1) <- 0;
+  List.iter
+    (fun (e : Graph.edge) ->
+      for k = 0 to depth - 2 do
+        match e.Graph.dvec.(k) with
+        | Depvec.Exact x when x > 0 ->
+            if suffix_blocks e.Graph.dvec k then bound.(k) <- min bound.(k) (x - 1)
+        | Depvec.Star ->
+            (* The Star stands for the whole solution set along loop k;
+               its members with a negative k-component are the same
+               dependence in the other orientation, with the suffix's
+               sign flipped.  Any non-zero suffix therefore blocks. *)
+            let suffix_nonzero =
+              let rec go m =
+                m < Depvec.dim e.Graph.dvec
+                && (match e.Graph.dvec.(m) with
+                   | Depvec.Exact 0 -> go (m + 1)
+                   | Depvec.Exact _ | Depvec.Star -> true)
+              in
+              go (k + 1)
+            in
+            if suffix_nonzero then bound.(k) <- 0
+        | Depvec.Exact _ -> ()
+      done)
+    g.Graph.edges;
+  bound
+
+let is_safe g u =
+  let bound = max_safe_unroll g in
+  Vec.dim u = Array.length bound
+  && Array.for_all2 (fun b x -> x <= b) bound (Vec.to_array u)
+
+let legal_permutation (g : Graph.t) perm =
+  let permuted (dvec : Depvec.t) = Array.map (fun old -> dvec.(old)) perm in
+  (* position of original component k in the permuted order *)
+  let placement = Array.make (Array.length perm) 0 in
+  Array.iteri (fun newpos old -> placement.(old) <- newpos) perm;
+  List.for_all
+    (fun (e : Graph.edge) ->
+      let dvec = e.Graph.dvec in
+      let has_star =
+        Array.exists (function Depvec.Star -> true | Depvec.Exact _ -> false) dvec
+      in
+      if not has_star then
+        (* the distance is known exactly: the reordered vector must stay
+           lexicographically non-negative *)
+        match Depvec.lex_sign (permuted dvec) with
+        | `Pos | `Zero -> true
+        | `Neg | `Ambiguous -> false
+      else begin
+        (* A Star edge stands for a whole solution set (both orientations
+           may occur among its members).  Every member's lexicographic
+           sign is preserved when the permutation keeps the relative
+           order of all significant components — the Stars and the
+           non-zero Exacts — since each member's leading non-zero then
+           stays the same component. *)
+        let significant =
+          List.filter
+            (fun k ->
+              match dvec.(k) with
+              | Depvec.Star -> true
+              | Depvec.Exact x -> x <> 0)
+            (List.init (Array.length dvec) Fun.id)
+        in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> placement.(a) < placement.(b) && monotone rest
+          | [ _ ] | [] -> true
+        in
+        monotone significant
+      end)
+    g.Graph.edges

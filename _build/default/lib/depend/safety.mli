@@ -1,0 +1,29 @@
+(** Legality of unroll-and-jam.
+
+    Unroll-and-jam of loop [k] fuses [u_k + 1] consecutive iterations of
+    loop [k] into one pass of the inner loops.  That is illegal when a
+    dependence carried by loop [k] would be reversed by the fusion —
+    i.e. when its distance vector has [d_k > 0] followed by a
+    lexicographically negative (or unknown) inner suffix; such a
+    dependence caps the extra copies at [d_k - 1] (cf. Callahan–Cocke–
+    Kennedy, which this paper assumes as given).  The innermost loop is
+    never unrolled, so its bound is always 0. *)
+
+val max_safe_unroll : Graph.t -> int array
+(** Per-level inclusive upper bound on the number of extra copies;
+    [max_int] when unconstrained. *)
+
+val is_safe : Graph.t -> Ujam_linalg.Vec.t -> bool
+
+val legal_permutation : Graph.t -> int array -> bool
+(** A loop permutation is legal when every dependence keeps its
+    orientation.  For exact distance vectors that is the classical test:
+    the reordered vector stays lexicographically non-negative.  A vector
+    with [Star] components stands for a whole solution set whose members
+    may have either orientation, so the permutation must preserve the
+    relative order of all significant components (the [Star]s and the
+    non-zero exacts); then each member's leading non-zero survives the
+    reordering, and with it the member's sign.  A lone [Star] among
+    zeros (a reduction or invariant reference) therefore permutes
+    freely, while an unknown (all-[Star]) dependence pins the order.
+    Checked against an interpreter on random nests in the test suite. *)

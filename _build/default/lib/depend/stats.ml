@@ -1,0 +1,29 @@
+type t = { flow : int; anti : int; output : int; input : int }
+
+let zero = { flow = 0; anti = 0; output = 0; input = 0 }
+
+let of_graph (g : Graph.t) =
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      match e.Graph.kind with
+      | Graph.Flow -> { acc with flow = acc.flow + 1 }
+      | Graph.Anti -> { acc with anti = acc.anti + 1 }
+      | Graph.Output -> { acc with output = acc.output + 1 }
+      | Graph.Input -> { acc with input = acc.input + 1 })
+    zero g.Graph.edges
+
+let add a b =
+  { flow = a.flow + b.flow;
+    anti = a.anti + b.anti;
+    output = a.output + b.output;
+    input = a.input + b.input }
+
+let total t = t.flow + t.anti + t.output + t.input
+
+let input_fraction t =
+  let n = total t in
+  if n = 0 then None else Some (float_of_int t.input /. float_of_int n)
+
+let pp ppf t =
+  Format.fprintf ppf "flow=%d anti=%d output=%d input=%d (total %d)" t.flow
+    t.anti t.output t.input (total t)

@@ -1,0 +1,15 @@
+(** Dependence-graph statistics: the measurements behind Table 1. *)
+
+type t = { flow : int; anti : int; output : int; input : int }
+
+val zero : t
+val of_graph : Graph.t -> t
+val add : t -> t -> t
+val total : t -> int
+
+val input_fraction : t -> float option
+(** Fraction of all dependences that are input dependences; [None] when
+    the graph is empty (the paper likewise excludes routines without
+    dependences). *)
+
+val pp : Format.formatter -> t -> unit

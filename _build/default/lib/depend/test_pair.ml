@@ -1,0 +1,101 @@
+open Ujam_linalg
+open Ujam_ir
+
+type result = Independent | Dependent of Depvec.t
+
+(* Distance set of a uniformly generated pair: solutions of H d = c1 - c2.
+   The exact components are those untouched by ker H; kernel-spanned
+   components vary from instance to instance and become Star. *)
+let uniform_distances ~bounds h c1 c2 =
+  let rhs = Vec.sub c1 c2 in
+  match Mat.solve_int h rhs with
+  | None ->
+      if Option.is_some (Mat.solve_rat h rhs) && not (Mat.is_separable_siv h) then
+        (* A rational solution exists but our particular point is not
+           integral and the matrix is coupled: stay conservative. *)
+        Some (Depvec.all_star (Mat.cols h))
+      else None
+  | Some d0 ->
+      let kernel = Mat.kernel h in
+      let touched = Array.make (Mat.cols h) false in
+      List.iter
+        (fun k ->
+          Array.iteri (fun i x -> if x <> 0 then touched.(i) <- true) (Vec.to_array k))
+        kernel;
+      let dvec =
+        Array.init (Mat.cols h) (fun k ->
+            if touched.(k) then Depvec.Star else Depvec.Exact (Vec.get d0 k))
+      in
+      (* An exact component larger than the loop's iteration range rules
+         the whole dependence out. *)
+      let out_of_range =
+        match bounds with
+        | None -> false
+        | Some bs ->
+            Array.exists
+              (fun k ->
+                match dvec.(k) with
+                | Depvec.Exact x ->
+                    let lo, hi = bs.(k) in
+                    abs x > hi - lo
+                | Depvec.Star -> false)
+              (Array.init (Mat.cols h) Fun.id)
+      in
+      if out_of_range then None else Some dvec
+
+(* Per-dimension GCD + Banerjee tests for a non-uniform pair.  Variables
+   are the concatenation (i1, i2). *)
+let nonuniform_test ~bounds h1 c1 h2 c2 =
+  let dims = Mat.rows h1 in
+  let depth = Mat.cols h1 in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let independent = ref false in
+  for r = 0 to dims - 1 do
+    if not !independent then begin
+      let a1 = Array.init depth (fun k -> Mat.get h1 r k) in
+      let a2 = Array.init depth (fun k -> Mat.get h2 r k) in
+      let rhs = Vec.get c2 r - Vec.get c1 r in
+      (* f(i1,i2) = sum a1 i1 - sum a2 i2 = rhs must be solvable. *)
+      let g =
+        Array.fold_left (fun acc x -> gcd acc (abs x))
+          (Array.fold_left (fun acc x -> gcd acc (abs x)) 0 a1)
+          a2
+      in
+      if g > 0 && rhs mod g <> 0 then independent := true
+      else
+        match bounds with
+        | None -> ()
+        | Some bs ->
+            (* Banerjee: range of the linear form over the two boxes. *)
+            let lo = ref 0 and hi = ref 0 in
+            let addc coef (l, h) =
+              if coef >= 0 then begin
+                lo := !lo + (coef * l);
+                hi := !hi + (coef * h)
+              end
+              else begin
+                lo := !lo + (coef * h);
+                hi := !hi + (coef * l)
+              end
+            in
+            Array.iteri (fun k c -> addc c bs.(k)) a1;
+            Array.iteri (fun k c -> addc (-c) bs.(k)) a2;
+            if rhs < !lo || rhs > !hi then independent := true
+    end
+  done;
+  if !independent then Independent else Dependent (Depvec.all_star depth)
+
+let test ~bounds r1 r2 =
+  if not (String.equal (Aref.base r1) (Aref.base r2)) then Independent
+  else if Aref.rank r1 <> Aref.rank r2 then
+    (* Same array viewed at different ranks: treat conservatively. *)
+    Dependent (Depvec.all_star (Aref.depth r1))
+  else begin
+    let h1 = Aref.h_matrix r1 and h2 = Aref.h_matrix r2 in
+    let c1 = Aref.c_vector r1 and c2 = Aref.c_vector r2 in
+    if Mat.equal h1 h2 then
+      match uniform_distances ~bounds h1 c1 c2 with
+      | None -> Independent
+      | Some d -> Dependent d
+    else nonuniform_test ~bounds h1 c1 h2 c2
+  end

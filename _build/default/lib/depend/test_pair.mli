@@ -1,0 +1,20 @@
+(** Dependence testing between two array references of a common nest.
+
+    For uniformly generated pairs (same access matrix [H]) the distance
+    set [{ d | H d = c1 - c2 }] is computed exactly: a unique distance
+    when [ker H] is trivial, otherwise [Star] components on the loops the
+    kernel spans.  Non-uniform pairs fall back to per-dimension GCD and
+    Banerjee tests, yielding either independence or an all-[Star]
+    direction vector — the classical practical-dependence-testing
+    pipeline restricted to what the evaluation suite needs. *)
+
+type result =
+  | Independent
+  | Dependent of Depvec.t
+      (** Distance vector of [sink - source] for the pair [(r1, r2)];
+          the caller normalises direction from the lexicographic sign. *)
+
+val test : bounds:(int * int) array option -> Ujam_ir.Aref.t -> Ujam_ir.Aref.t -> result
+(** [bounds] are per-level inclusive index ranges when the nest has
+    constant bounds; they sharpen the tests (distance within the
+    iteration space, Banerjee limits). *)

@@ -1,0 +1,1 @@
+lib/ir/aref.ml: Affine Array Format Mat Stdlib String Ujam_linalg Vec

@@ -1,0 +1,1 @@
+lib/ir/aref.mli: Affine Format Ujam_linalg

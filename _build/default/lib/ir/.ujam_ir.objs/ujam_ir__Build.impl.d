@@ -1,0 +1,1 @@
+lib/ir/build.ml: Affine Aref Expr Loop Nest Stmt

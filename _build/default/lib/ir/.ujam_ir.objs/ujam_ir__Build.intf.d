@@ -1,0 +1,1 @@
+lib/ir/build.mli: Affine Aref Expr Loop Nest Stmt

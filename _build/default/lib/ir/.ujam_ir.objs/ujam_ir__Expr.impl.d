@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Aref Float Format List String

@@ -1,0 +1,1 @@
+lib/ir/interchange.ml: Affine Aref Array Fun List Loop Nest Stmt

@@ -1,0 +1,1 @@
+lib/ir/interchange.mli: Nest

@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Affine Format Printf

@@ -1,0 +1,1 @@
+lib/ir/nest.ml: Affine Aref Array Format List Loop Option Printf Stmt String

@@ -1,0 +1,1 @@
+lib/ir/nest.mli: Aref Format Loop Stmt

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Affine Aref Expr Format List Loop Nest Option Stmt String

@@ -1,0 +1,1 @@
+lib/ir/site.ml: Aref Format List Nest Stmt

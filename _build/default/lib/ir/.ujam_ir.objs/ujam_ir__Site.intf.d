@@ -1,0 +1,1 @@
+lib/ir/site.mli: Aref Format Nest

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Aref Expr Format String

@@ -1,0 +1,1 @@
+lib/ir/tile.ml: Affine Aref Array Fun Interchange List Loop Nest Stmt

@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Array Fun List Loop Nest Stmt Ujam_linalg Vec

@@ -1,0 +1,34 @@
+(** Affine functions of the loop-index vector.
+
+    Within a nest of depth [d], an affine expression is
+    [sum_k coefs.(k) * i_k + const] where [i_k] is the index of the loop
+    at level [k] (0 = outermost).  Array subscripts, and loop bounds that
+    depend on outer indices, are affine. *)
+
+type t = { coefs : int array; const : int }
+
+val make : coefs:int array -> const:int -> t
+val const : depth:int -> int -> t
+val var : depth:int -> int -> t
+(** [var ~depth k] is the index of loop level [k]. *)
+
+val depth : t -> int
+val eval : t -> int array -> int
+(** [eval t iv] for a full index vector [iv]. *)
+
+val add : t -> t -> t
+val add_const : t -> int -> t
+val scale : int -> t -> t
+
+val shift : t -> int array -> t
+(** [shift t o] substitutes [i_k + o.(k)] for every [i_k]: the result of
+    peeling the body copy at iteration offset [o] (coefficients are
+    unchanged, the constant absorbs [sum coefs.(k) * o.(k)]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val uses_level : t -> int -> bool
+val is_constant : t -> bool
+
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit

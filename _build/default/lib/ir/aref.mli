@@ -1,0 +1,36 @@
+(** Array references with affine subscripts.
+
+    A reference [A(f_1(i), ..., f_m(i))] is captured by its base name and
+    one affine subscript per array dimension.  Following the paper (and
+    Fortran column-major layout) subscript 0 is the memory-contiguous
+    dimension.  The access matrix [H] (rows = array dims, columns = loop
+    levels) and constant vector [c] of the Wolf–Lam model are derived
+    views of the subscripts: two references are *uniformly generated*
+    when their base names and [H] matrices coincide. *)
+
+type t = { base : string; subs : Affine.t array }
+
+val make : string -> Affine.t list -> t
+val base : t -> string
+val rank : t -> int
+(** Number of array dimensions. *)
+
+val depth : t -> int
+(** Loop-nest depth the subscripts are expressed over. *)
+
+val h_matrix : t -> Ujam_linalg.Mat.t
+val c_vector : t -> Ujam_linalg.Vec.t
+
+val shift : t -> int array -> t
+(** Reference produced for the body copy at iteration offset [o]
+    (constant vector becomes [c + H o]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val uses_level : t -> int -> bool
+val is_separable_siv : t -> bool
+(** Each subscript uses at most one induction variable and each induction
+    variable appears in at most one subscript (Sec. 3.5). *)
+
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit

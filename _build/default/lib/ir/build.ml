@@ -1,0 +1,27 @@
+let var depth level = Affine.var ~depth level
+let cst depth v = Affine.const ~depth v
+
+let ( +$ ) a c = Affine.add_const a c
+let ( -$ ) a c = Affine.add_const a (-c)
+let ( *$ ) k a = Affine.scale k a
+let ( ++$ ) = Affine.add
+
+let f x = Expr.Const x
+let s name = Expr.Scalar name
+let aref base subs = Aref.make base subs
+let rd base subs = Expr.Read (aref base subs)
+
+let ( +: ) a b = Expr.Bin (Expr.Add, a, b)
+let ( -: ) a b = Expr.Bin (Expr.Sub, a, b)
+let ( *: ) a b = Expr.Bin (Expr.Mul, a, b)
+let ( /: ) a b = Expr.Bin (Expr.Div, a, b)
+
+let ( <<- ) r e = Stmt.store r e
+let ( <<~ ) name e = Stmt.set_scalar name e
+
+let loop depth v ~level ~lo ~hi ?(step = 1) () =
+  Loop.make_const ~var:v ~level ~depth ~lo ~hi ~step ()
+
+let loop_aff v ~level ~lo ~hi ?(step = 1) () = Loop.make ~var:v ~level ~lo ~hi ~step
+
+let nest name loops body = Nest.make ~name ~loops ~body

@@ -1,0 +1,41 @@
+(** Combinators for writing kernels concisely.
+
+    Typical use (matrix multiply, JIK order):
+    {[
+      let open Ujam_ir.Build in
+      let d = 3 in
+      let j = var d 0 and i = var d 1 and k = var d 2 in
+      nest "mmjik"
+        [ loop d "J" ~level:0 ~lo:1 ~hi:n;
+          loop d "I" ~level:1 ~lo:1 ~hi:n;
+          loop d "K" ~level:2 ~lo:1 ~hi:n ]
+        [ aref "C" [ i; j ] <<- rd "C" [ i; j ] +: (rd "A" [ i; k ] *: rd "B" [ k; j ]) ]
+    ]} *)
+
+val var : int -> int -> Affine.t
+(** [var depth level] is the loop index at [level]. *)
+
+val cst : int -> int -> Affine.t
+(** [cst depth v] is the constant subscript [v]. *)
+
+val ( +$ ) : Affine.t -> int -> Affine.t
+val ( -$ ) : Affine.t -> int -> Affine.t
+val ( *$ ) : int -> Affine.t -> Affine.t
+val ( ++$ ) : Affine.t -> Affine.t -> Affine.t
+
+val f : float -> Expr.t
+val s : string -> Expr.t
+val rd : string -> Affine.t list -> Expr.t
+val aref : string -> Affine.t list -> Aref.t
+
+val ( +: ) : Expr.t -> Expr.t -> Expr.t
+val ( -: ) : Expr.t -> Expr.t -> Expr.t
+val ( *: ) : Expr.t -> Expr.t -> Expr.t
+val ( /: ) : Expr.t -> Expr.t -> Expr.t
+
+val ( <<- ) : Aref.t -> Expr.t -> Stmt.t
+val ( <<~ ) : string -> Expr.t -> Stmt.t
+
+val loop : int -> string -> level:int -> lo:int -> hi:int -> ?step:int -> unit -> Loop.t
+val loop_aff : string -> level:int -> lo:Affine.t -> hi:Affine.t -> ?step:int -> unit -> Loop.t
+val nest : string -> Loop.t list -> Stmt.t list -> Nest.t

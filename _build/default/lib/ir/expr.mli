@@ -1,0 +1,36 @@
+(** Right-hand-side expressions of loop-body statements.
+
+    Expressions are floating-point computations over array reads,
+    loop-invariant scalars and literals.  Each binary operation counts as
+    one floating-point operation for balance purposes; negation is folded
+    into instruction selection and is free. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of float
+  | Scalar of string
+  | Read of Aref.t
+  | Neg of t
+  | Bin of binop * t * t
+
+val flops : t -> int
+(** Number of floating-point operations (binary ops). *)
+
+val reads : t -> Aref.t list
+(** Array reads in left-to-right textual order, duplicates preserved. *)
+
+val scalars : t -> string list
+
+val map_refs : (Aref.t -> Aref.t) -> t -> t
+val substitute : (Aref.t -> t option) -> t -> t
+(** [substitute f e] replaces each read [r] with [v] when [f r = Some v]
+    (used by scalar replacement). *)
+
+val shift : t -> int array -> t
+(** Shift every array reference by the iteration offset. *)
+
+val equal : t -> t -> bool
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit
+
+val pp_binop : Format.formatter -> binop -> unit

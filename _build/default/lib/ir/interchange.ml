@@ -1,0 +1,54 @@
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      p >= 0 && p < n
+      &&
+      if seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+(* coefficient vectors are indexed by old levels; new level k holds old
+   level perm.(k), so new_coefs.(k) = old_coefs.(perm.(k)) *)
+let permute_affine perm (a : Affine.t) =
+  { a with Affine.coefs = Array.map (fun old -> a.Affine.coefs.(old)) perm }
+
+let apply nest perm =
+  let d = Nest.depth nest in
+  if Array.length perm <> d || not (is_permutation perm) then
+    invalid_arg "Interchange.apply: not a permutation of the nest levels";
+  let old_loops = Nest.loops nest in
+  let loops =
+    Array.to_list
+      (Array.mapi
+         (fun k old ->
+           let l = old_loops.(old) in
+           let lo = permute_affine perm l.Loop.lo in
+           let hi = permute_affine perm l.Loop.hi in
+           (* Loop.make re-checks that bounds only mention outer levels *)
+           try Loop.make ~var:l.Loop.var ~level:k ~lo ~hi ~step:l.Loop.step
+           with Invalid_argument _ ->
+             invalid_arg
+               "Interchange.apply: a loop bound would refer to an inner loop")
+         perm)
+  in
+  let permute_ref (r : Aref.t) =
+    { r with Aref.subs = Array.map (permute_affine perm) r.Aref.subs }
+  in
+  let body = List.map (Stmt.map_refs permute_ref) (Nest.body nest) in
+  Nest.make ~name:(Nest.name nest) ~loops ~body
+
+let permutations n =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert x) (perms rest)
+  in
+  List.map Array.of_list (perms (List.init n Fun.id))

@@ -1,0 +1,18 @@
+(** Loop interchange / permutation of a perfect nest.
+
+    [apply nest perm] reorders the loops so that new level [k] runs the
+    loop that was at level [perm.(k)]; subscripts and bounds are
+    rewritten accordingly.  The permutation must keep every loop bound's
+    dependence on outer loops intact (a triangular loop cannot move
+    above the loop its bound mentions).
+
+    Legality with respect to data dependences is a separate question —
+    see {!Ujam_depend.Safety.legal_permutation} — because the IR layer
+    does not know about dependences. *)
+
+val apply : Nest.t -> int array -> Nest.t
+(** @raise Invalid_argument if [perm] is not a permutation of the levels
+    or a bound would refer to an inner loop after reordering. *)
+
+val permutations : int -> int array list
+(** All permutations of [0..n-1], innermost-last convention. *)

@@ -1,0 +1,33 @@
+type t = { var : string; level : int; lo : Affine.t; hi : Affine.t; step : int }
+
+let make ~var ~level ~lo ~hi ~step =
+  if step <= 0 then invalid_arg "Loop.make: step must be positive";
+  (* Bounds may only mention outer loops. *)
+  let check b =
+    for k = level to Affine.depth b - 1 do
+      if Affine.uses_level b k then invalid_arg "Loop.make: bound uses inner index"
+    done
+  in
+  check lo;
+  check hi;
+  { var; level; lo; hi; step }
+
+let make_const ~var ~level ~depth ~lo ~hi ?(step = 1) () =
+  make ~var ~level ~lo:(Affine.const ~depth lo) ~hi:(Affine.const ~depth hi) ~step
+
+let trip_const t =
+  if Affine.is_constant t.lo && Affine.is_constant t.hi then begin
+    let lo = t.lo.Affine.const and hi = t.hi.Affine.const in
+    if hi < lo then Some 0 else Some (((hi - lo) / t.step) + 1)
+  end
+  else None
+
+let with_step t step =
+  if step <= 0 then invalid_arg "Loop.with_step: step must be positive";
+  { t with step }
+
+let pp ppf t =
+  let var_name _ = "?" in
+  Format.fprintf ppf "DO %s = %a, %a%s" t.var
+    (Affine.pp ~var_name) t.lo (Affine.pp ~var_name) t.hi
+    (if t.step = 1 then "" else Printf.sprintf ", %d" t.step)

@@ -1,0 +1,16 @@
+(** A single DO loop header.
+
+    Bounds are affine in the indices of *enclosing* loops, which covers
+    the triangular nests of the evaluation suite.  Steps are positive
+    constants. *)
+
+type t = { var : string; level : int; lo : Affine.t; hi : Affine.t; step : int }
+
+val make : var:string -> level:int -> lo:Affine.t -> hi:Affine.t -> step:int -> t
+val make_const : var:string -> level:int -> depth:int -> lo:int -> hi:int -> ?step:int -> unit -> t
+
+val trip_const : t -> int option
+(** Trip count when both bounds are constants. *)
+
+val with_step : t -> int -> t
+val pp : Format.formatter -> t -> unit

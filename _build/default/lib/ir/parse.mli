@@ -1,0 +1,28 @@
+(** Parser for the Fortran-style loop-nest syntax the pretty-printer
+    emits, so kernels can live in files and round-trip through tools:
+
+    {v
+    DO J = 1, N, 2
+      DO I = 1, 100
+        A(I,J) = A(I,J) + 0.25 * (B(I-1,J) + B(I+1,J))
+      ENDDO
+    ENDDO
+    v}
+
+    Accepted language: a single perfect nest of [DO var = lo, hi[, step]]
+    headers (bounds are integer literals or affine expressions in outer
+    loop variables), a body of assignments whose left side is an array
+    element and whose right side is an arithmetic expression over array
+    elements, scalar identifiers, and numeric literals with [+ - * /],
+    unary minus and parentheses.  Case-insensitive keywords; [!] starts a
+    comment.  Subscripts must be affine in the loop variables. *)
+
+type error = { line : int; message : string }
+
+val nest : ?name:string -> string -> (Nest.t, error) result
+(** Parse a complete nest from a string. *)
+
+val nest_exn : ?name:string -> string -> Nest.t
+(** @raise Invalid_argument with a located message on parse errors. *)
+
+val pp_error : Format.formatter -> error -> unit

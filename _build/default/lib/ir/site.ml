@@ -1,0 +1,26 @@
+type kind = Read | Write
+
+type t = { id : int; stmt : int; kind : kind; ref_ : Aref.t }
+
+let of_nest nest =
+  let next = ref 0 in
+  let fresh stmt kind ref_ =
+    let id = !next in
+    incr next;
+    { id; stmt; kind; ref_ }
+  in
+  List.concat
+    (List.mapi
+       (fun si s ->
+         (* Evaluation order matters: ids must follow list order. *)
+         let reads = List.map (fresh si Read) (Stmt.reads s) in
+         let writes = List.map (fresh si Write) (Stmt.writes s) in
+         reads @ writes)
+       (Nest.body nest))
+
+let is_write t = t.kind = Write
+
+let pp ~var_name ppf t =
+  Format.fprintf ppf "%s%a#%d"
+    (match t.kind with Read -> "r:" | Write -> "w:")
+    (Aref.pp ~var_name) t.ref_ t.stmt

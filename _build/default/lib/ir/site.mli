@@ -1,0 +1,17 @@
+(** Reference sites: array references paired with their textual position
+    in the nest body.
+
+    Dependence and reuse analysis both need to distinguish two textually
+    distinct occurrences of the same reference (e.g. the load and store
+    of [A(I) = A(I) + ...]), so sites carry a stable id: statement index,
+    then reads left-to-right, then the write. *)
+
+type kind = Read | Write
+
+type t = { id : int; stmt : int; kind : kind; ref_ : Aref.t }
+
+val of_nest : Nest.t -> t list
+(** All sites in textual order; ids are dense from 0. *)
+
+val is_write : t -> bool
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit

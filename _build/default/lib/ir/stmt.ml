@@ -1,0 +1,41 @@
+type lhs = Array_elt of Aref.t | Scalar_var of string
+
+type t = { lhs : lhs; rhs : Expr.t }
+
+let assign lhs rhs = { lhs; rhs }
+let store r e = { lhs = Array_elt r; rhs = e }
+let set_scalar s e = { lhs = Scalar_var s; rhs = e }
+
+let flops t = Expr.flops t.rhs
+let writes t = match t.lhs with Array_elt r -> [ r ] | Scalar_var _ -> []
+let reads t = Expr.reads t.rhs
+
+let shift t o =
+  let lhs =
+    match t.lhs with
+    | Array_elt r -> Array_elt (Aref.shift r o)
+    | Scalar_var _ as l -> l
+  in
+  { lhs; rhs = Expr.shift t.rhs o }
+
+let map_refs f t =
+  let lhs =
+    match t.lhs with
+    | Array_elt r -> Array_elt (f r)
+    | Scalar_var _ as l -> l
+  in
+  { lhs; rhs = Expr.map_refs f t.rhs }
+
+let equal a b =
+  Expr.equal a.rhs b.rhs
+  &&
+  match (a.lhs, b.lhs) with
+  | Array_elt x, Array_elt y -> Aref.equal x y
+  | Scalar_var x, Scalar_var y -> String.equal x y
+  | (Array_elt _ | Scalar_var _), _ -> false
+
+let pp ~var_name ppf t =
+  (match t.lhs with
+  | Array_elt r -> Aref.pp ~var_name ppf r
+  | Scalar_var s -> Format.pp_print_string ppf s);
+  Format.fprintf ppf " = %a" (Expr.pp ~var_name) t.rhs

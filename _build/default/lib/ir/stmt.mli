@@ -1,0 +1,24 @@
+(** Loop-body statements: assignments to array elements or scalars. *)
+
+type lhs = Array_elt of Aref.t | Scalar_var of string
+
+type t = { lhs : lhs; rhs : Expr.t }
+
+val assign : lhs -> Expr.t -> t
+val store : Aref.t -> Expr.t -> t
+val set_scalar : string -> Expr.t -> t
+
+val flops : t -> int
+
+val writes : t -> Aref.t list
+(** The array reference written, if any (singleton or empty list). *)
+
+val reads : t -> Aref.t list
+
+val shift : t -> int array -> t
+(** Body copy at iteration offset [o]: both sides shifted. *)
+
+val map_refs : (Aref.t -> Aref.t) -> t -> t
+
+val equal : t -> t -> bool
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+let controller_var v = v ^ "_T"
+
+(* Remap an affine form when a new dimension is inserted: old level
+   [level] becomes the element loop at [level + 1]; levels after shift
+   by one; the controller at [level] is fresh (coefficient via
+   [controller_coef]). *)
+let remap_affine ~level ~controller_coef (a : Affine.t) =
+  let d = Array.length a.Affine.coefs in
+  let coefs = Array.make (d + 1) 0 in
+  Array.iteri
+    (fun k c ->
+      if k < level then coefs.(k) <- c
+      else if k = level then coefs.(level + 1) <- c
+      else coefs.(k + 1) <- c)
+    a.Affine.coefs;
+  coefs.(level) <- controller_coef;
+  Affine.make ~coefs ~const:a.Affine.const
+
+let strip_mine nest ~level ~size =
+  let d = Nest.depth nest in
+  if size <= 0 then invalid_arg "Tile.strip_mine: size must be positive";
+  if level < 0 || level >= d then invalid_arg "Tile.strip_mine: level out of range";
+  let loops = Nest.loops nest in
+  let target = loops.(level) in
+  let remap a = remap_affine ~level ~controller_coef:0 a in
+  let new_loops =
+    List.concat
+      (List.mapi
+         (fun k (l : Loop.t) ->
+           if k < level then
+             [ Loop.make ~var:l.Loop.var ~level:k ~lo:(remap l.Loop.lo)
+                 ~hi:(remap l.Loop.hi) ~step:l.Loop.step ]
+           else if k = level then begin
+             let controller =
+               Loop.make
+                 ~var:(controller_var target.Loop.var)
+                 ~level ~lo:(remap target.Loop.lo) ~hi:(remap target.Loop.hi)
+                 ~step:(size * target.Loop.step)
+             in
+             let elt_lo =
+               remap_affine ~level ~controller_coef:1
+                 (Affine.const ~depth:d 0)
+             in
+             let elt_hi = Affine.add_const elt_lo ((size - 1) * target.Loop.step) in
+             let element =
+               Loop.make ~var:target.Loop.var ~level:(level + 1) ~lo:elt_lo
+                 ~hi:elt_hi ~step:target.Loop.step
+             in
+             [ controller; element ]
+           end
+           else
+             [ Loop.make ~var:l.Loop.var ~level:(k + 1) ~lo:(remap l.Loop.lo)
+                 ~hi:(remap l.Loop.hi) ~step:l.Loop.step ])
+         (Array.to_list loops))
+  in
+  let remap_ref (r : Aref.t) =
+    { r with Aref.subs = Array.map remap r.Aref.subs }
+  in
+  let body = List.map (Stmt.map_refs remap_ref) (Nest.body nest) in
+  Nest.make ~name:(Nest.name nest) ~loops:new_loops ~body
+
+let tile nest ~levels ~sizes =
+  if List.length levels <> List.length sizes then
+    invalid_arg "Tile.tile: levels and sizes must pair up";
+  if List.sort_uniq compare levels <> List.sort compare levels then
+    invalid_arg "Tile.tile: duplicate levels";
+  (* Strip-mine from the innermost listed level outward so earlier
+     indices stay valid; track where each controller lands. *)
+  let pairs =
+    List.sort (fun (a, _) (b, _) -> compare b a) (List.combine levels sizes)
+  in
+  let nest, controllers =
+    List.fold_left
+      (fun (n, ctrls) (level, size) ->
+        (* previous mines at deeper levels shifted nothing at <= level *)
+        let n = strip_mine n ~level ~size in
+        (* the new controller sits at [level]; controllers recorded
+           earlier sat deeper and moved one slot inward *)
+        (n, level :: List.map (fun c -> c + 1) ctrls))
+      (nest, []) pairs
+  in
+  (* controllers (in outermost-first order) to the front, everything
+     else in original order *)
+  let d = Nest.depth nest in
+  let ctrls = List.sort compare controllers in
+  let rest = List.filter (fun k -> not (List.mem k ctrls)) (List.init d Fun.id) in
+  Interchange.apply nest (Array.of_list (ctrls @ rest))

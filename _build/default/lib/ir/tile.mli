@@ -1,0 +1,31 @@
+(** Strip-mining and tiling.
+
+    [strip_mine nest level size] splits the loop at [level] into a
+    controller that advances in steps of [size] and an element loop that
+    walks one strip, leaving the nest perfect:
+
+    {v
+    DO I = 1, N            DO II = 1, N, 32
+      ...            =>      DO I = II, MIN-free: II+31
+    v}
+
+    (the element loop's upper bound is [II + size*step - step]; trip
+    counts are assumed divisible by the tile size, as everywhere in this
+    library).  [tile] strip-mines several loops and hoists all the
+    controllers outward in the given order — the classical tiling
+    transformation, legal exactly when that reordering is a legal
+    permutation ({!Ujam_depend.Safety.legal_permutation} on the
+    strip-mined nest). *)
+
+val strip_mine : Nest.t -> level:int -> size:int -> Nest.t
+(** @raise Invalid_argument for non-positive sizes, out-of-range levels,
+    or a loop whose bounds other loops depend on in a way the split
+    cannot express. *)
+
+val tile : Nest.t -> levels:int list -> sizes:int list -> Nest.t
+(** Strip-mine each listed level (outermost-first order) and move all
+    controller loops to the outside, preserving their relative order.
+    Returns the tiled nest; legality is the caller's concern. *)
+
+val controller_var : string -> string
+(** Name given to the controller of loop [v] (e.g. ["I"] -> ["I_T"]). *)

@@ -1,0 +1,46 @@
+open Ujam_linalg
+
+let offsets u =
+  let d = Vec.dim u in
+  let rec go k =
+    if k = d then [ [] ]
+    else
+      let rest = go (k + 1) in
+      List.concat_map
+        (fun o -> List.map (fun tl -> o :: tl) rest)
+        (List.init (Vec.get u k + 1) Fun.id)
+  in
+  List.map Vec.of_list (go 0)
+
+let validate nest u =
+  let d = Nest.depth nest in
+  if Vec.dim u <> d then invalid_arg "Unroll.unroll_and_jam: dimension";
+  if Vec.exists (fun x -> x < 0) u then
+    invalid_arg "Unroll.unroll_and_jam: negative unroll amount";
+  if Vec.get u (d - 1) <> 0 then
+    invalid_arg "Unroll.unroll_and_jam: innermost loop must not be unrolled"
+
+let unroll_and_jam nest u =
+  validate nest u;
+  if Vec.is_zero u then nest
+  else begin
+    let loops =
+      Array.map
+        (fun (l : Loop.t) ->
+          let f = Vec.get u l.Loop.level + 1 in
+          if f = 1 then l else Loop.with_step l (l.Loop.step * f))
+        (Nest.loops nest)
+    in
+    let body =
+      List.concat_map
+        (fun o ->
+          let shift_iters =
+            Array.mapi
+              (fun k ok -> ok * (Nest.loops nest).(k).Loop.step)
+              (Vec.to_array o)
+          in
+          List.map (fun s -> Stmt.shift s shift_iters) (Nest.body nest))
+        (offsets u)
+    in
+    Nest.with_loops (Nest.with_body nest body) loops
+  end

@@ -1,0 +1,1 @@
+lib/kernels/catalogue.ml: Format Kernels List String Ujam_ir

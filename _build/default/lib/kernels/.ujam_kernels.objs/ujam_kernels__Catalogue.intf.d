@@ -1,0 +1,1 @@
+lib/kernels/catalogue.mli: Format Ujam_ir

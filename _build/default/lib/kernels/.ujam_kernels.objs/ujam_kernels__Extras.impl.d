@@ -1,0 +1,1 @@
+lib/kernels/extras.ml: Ujam_ir

@@ -1,0 +1,1 @@
+lib/kernels/extras.mli: Nest Ujam_ir

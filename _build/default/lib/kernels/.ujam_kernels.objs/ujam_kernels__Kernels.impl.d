@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Ujam_ir

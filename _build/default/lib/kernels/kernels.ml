@@ -1,0 +1,226 @@
+open Ujam_ir.Build
+
+(* All kernels follow the Fortran convention: the first subscript is the
+   memory-contiguous one, so the stride-1 loop is innermost wherever the
+   original code had it. *)
+
+let jacobi ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "jacobi"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "A" [ i; j ]
+      <<- f 0.25
+          *: (rd "B" [ i -$ 1; j ] +: rd "B" [ i +$ 1; j ]
+             +: rd "B" [ i; j -$ 1 ] +: rd "B" [ i; j +$ 1 ]) ]
+
+let afold ?(n = 130) () =
+  let d = 2 in
+  let i = var d 0 and j = var d 1 in
+  nest "afold"
+    [ loop d "I" ~level:0 ~lo:1 ~hi:n (); loop d "J" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "A" [ i ] <<- rd "A" [ i ] +: (rd "B" [ j ] *: rd "C" [ i ++$ j -$ 1 ]) ]
+
+(* BTRIX excerpts: block-tridiagonal forward elimination.  The originals
+   are 4-deep over 4-D arrays; these keep the reference structure of the
+   J-K plane sweeps over 3-D arrays. *)
+
+let btrix1 ?(n = 40) () =
+  let d = 3 in
+  let j = var d 0 and k = var d 1 and i = var d 2 in
+  nest "btrix.1"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:n ();
+      loop d "K" ~level:1 ~lo:1 ~hi:n ();
+      loop d "I" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "S" [ i; j; k ]
+      <<- rd "S" [ i; j; k ] -: (rd "A" [ i; j; k ] *: rd "S" [ i; j -$ 1; k ]) ]
+
+let btrix2 ?(n = 40) () =
+  let d = 3 in
+  let j = var d 0 and k = var d 1 and i = var d 2 in
+  nest "btrix.2"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:n ();
+      loop d "K" ~level:1 ~lo:1 ~hi:n ();
+      loop d "I" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "B" [ i; j; k ]
+      <<- rd "B" [ i; j; k ]
+          -: (rd "A" [ i; j; k ] *: rd "C" [ i; j; k ])
+          -: (rd "A" [ i; j; k ] *: rd "C" [ i; j; k -$ 1 ]) ]
+
+let btrix7 ?(n = 40) () =
+  let d = 3 in
+  let k = var d 0 and j = var d 1 and i = var d 2 in
+  nest "btrix.7"
+    [ loop d "K" ~level:0 ~lo:2 ~hi:n ();
+      loop d "J" ~level:1 ~lo:1 ~hi:n ();
+      loop d "I" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "S" [ i; j; k ]
+      <<- rd "S" [ i; j; k ]
+          -: (rd "B" [ i; j; k ] *: rd "S" [ i; j; k -$ 1 ])
+          -: (rd "C" [ i; j; k ] *: rd "S" [ i; j; k -$ 2 ]) ]
+
+let collc2 ?(n = 62) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "collc.2"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:n (); loop d "I" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "W" [ i; j ]
+      <<- rd "W" [ i; j ]
+          +: (f 0.25
+             *: (rd "FW" [ 2 *$ i; 2 *$ j ]
+                +: rd "FW" [ (2 *$ i) -$ 1; 2 *$ j ]
+                +: rd "FW" [ 2 *$ i; (2 *$ j) -$ 1 ]
+                +: rd "FW" [ (2 *$ i) -$ 1; (2 *$ j) -$ 1 ])) ]
+
+let cond7 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "cond.7"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "TNEW" [ i; j ]
+      <<- rd "T" [ i; j ]
+          +: (rd "CN" [ i; j ] *: (rd "T" [ i; j +$ 1 ] -: rd "T" [ i; j ]))
+          +: (rd "CS" [ i; j ] *: (rd "T" [ i; j -$ 1 ] -: rd "T" [ i; j ]))
+          +: (rd "CE" [ i; j ] *: (rd "T" [ i +$ 1; j ] -: rd "T" [ i; j ]))
+          +: (rd "CW" [ i; j ] *: (rd "T" [ i -$ 1; j ] -: rd "T" [ i; j ])) ]
+
+let cond9 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "cond.9"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:1 ~hi:(n - 1) () ]
+    [ aref "CN" [ i; j ]
+      <<- rd "SIG" [ i; j ]
+          *: (rd "T" [ i; j +$ 1 ] +: rd "T" [ i; j ])
+          /: (rd "RHO" [ i; j +$ 1 ] +: rd "RHO" [ i; j ]);
+      aref "CE" [ i; j ]
+      <<- rd "SIG" [ i; j ]
+          *: (rd "T" [ i +$ 1; j ] +: rd "T" [ i; j ])
+          /: (rd "RHO" [ i +$ 1; j ] +: rd "RHO" [ i; j ]) ]
+
+let dflux16 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "dflux.16"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "FS" [ i; j ]
+      <<- rd "FW" [ i +$ 1; j ] -: rd "FW" [ i; j ];
+      aref "DW" [ i; j ]
+      <<- rd "DW" [ i; j ] +: (rd "FS" [ i; j ] -: rd "FS" [ i -$ 1; j ]) ]
+
+let dflux17 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "dflux.17"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "GS" [ i; j ]
+      <<- rd "FW" [ i; j +$ 1 ] -: rd "FW" [ i; j ];
+      aref "DW" [ i; j ]
+      <<- rd "DW" [ i; j ] +: (rd "GS" [ i; j ] -: rd "GS" [ i; j -$ 1 ]) ]
+
+let dflux20 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "dflux.20"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "DW" [ i; j ]
+      <<- rd "W" [ i +$ 1; j ] +: rd "W" [ i -$ 1; j ]
+          +: rd "W" [ i; j +$ 1 ] +: rd "W" [ i; j -$ 1 ]
+          -: (f 4.0 *: rd "W" [ i; j ])
+          +: rd "DW" [ i; j ] ]
+
+let dmxpy0 ?(n = 162) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "dmxpy0"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:n (); loop d "I" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "Y" [ i ] <<- rd "Y" [ i ] +: (rd "X" [ j ] *: rd "M" [ i; j ]) ]
+
+let dmxpy1 ?(n = 162) () =
+  let d = 2 in
+  let i = var d 0 and j = var d 1 in
+  nest "dmxpy1"
+    [ loop d "I" ~level:0 ~lo:1 ~hi:n (); loop d "J" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "Y" [ i ] <<- rd "Y" [ i ] +: (rd "X" [ j ] *: rd "M" [ i; j ]) ]
+
+(* The original updates RMATRX in place under triangular bounds that
+   guarantee the pivot row/column are disjoint from the updated block;
+   with rectangular bounds the factor accesses are split into L and U so
+   the same reference pattern stays provably safe (see DESIGN.md). *)
+let gmtry3 ?(n = 40) () =
+  let d = 3 in
+  let i = var d 0 and j = var d 1 and k = var d 2 in
+  nest "gmtry.3"
+    [ loop d "I" ~level:0 ~lo:1 ~hi:n ();
+      loop d "J" ~level:1 ~lo:1 ~hi:n ();
+      loop d "K" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "R" [ k; j ]
+      <<- rd "R" [ k; j ] -: (rd "L" [ k; i ] *: rd "U" [ i; j ]) ]
+
+let mmjik ?(n = 46) () =
+  let d = 3 in
+  let j = var d 0 and i = var d 1 and k = var d 2 in
+  nest "mmjik"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:n ();
+      loop d "I" ~level:1 ~lo:1 ~hi:n ();
+      loop d "K" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "C" [ i; j ] <<- rd "C" [ i; j ] +: (rd "A" [ i; k ] *: rd "B" [ k; j ]) ]
+
+let mmjki ?(n = 46) () =
+  let d = 3 in
+  let j = var d 0 and k = var d 1 and i = var d 2 in
+  nest "mmjki"
+    [ loop d "J" ~level:0 ~lo:1 ~hi:n ();
+      loop d "K" ~level:1 ~lo:1 ~hi:n ();
+      loop d "I" ~level:2 ~lo:1 ~hi:n () ]
+    [ aref "C" [ i; j ] <<- rd "C" [ i; j ] +: (rd "A" [ i; k ] *: rd "B" [ k; j ]) ]
+
+let vpenta7 ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "vpenta.7"
+    [ loop d "J" ~level:0 ~lo:3 ~hi:n (); loop d "I" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "F" [ i; j ]
+      <<- rd "F" [ i; j ]
+          -: (rd "A" [ i; j ] *: rd "F" [ i; j -$ 2 ])
+          -: (rd "B" [ i; j ] *: rd "F" [ i; j -$ 1 ]) ]
+
+let sor ?(n = 130) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "sor"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "A" [ i; j ]
+      <<- (s "OMEGA"
+          *: (f 0.25
+             *: (rd "A" [ i -$ 1; j ] +: rd "A" [ i +$ 1; j ]
+                +: rd "A" [ i; j -$ 1 ] +: rd "A" [ i; j +$ 1 ])))
+          +: (s "OMEGA1" *: rd "A" [ i; j ]) ]
+
+let shal ?(n = 98) () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  nest "shal"
+    [ loop d "J" ~level:0 ~lo:2 ~hi:(n - 1) ();
+      loop d "I" ~level:1 ~lo:2 ~hi:(n - 1) () ]
+    [ aref "UNEW" [ i; j ]
+      <<- rd "UOLD" [ i; j ]
+          +: (s "TDTS8"
+             *: (rd "Z" [ i +$ 1; j +$ 1 ] +: rd "Z" [ i +$ 1; j ])
+             *: (rd "CV" [ i +$ 1; j +$ 1 ] +: rd "CV" [ i; j +$ 1 ]
+                +: rd "CV" [ i; j ] +: rd "CV" [ i +$ 1; j ]))
+          -: (s "TDTSDX" *: (rd "H" [ i +$ 1; j ] -: rd "H" [ i; j ]));
+      aref "VNEW" [ i; j ]
+      <<- rd "VOLD" [ i; j ]
+          -: (s "TDTS8"
+             *: (rd "Z" [ i +$ 1; j +$ 1 ] +: rd "Z" [ i; j +$ 1 ])
+             *: (rd "CU" [ i +$ 1; j +$ 1 ] +: rd "CU" [ i; j +$ 1 ]
+                +: rd "CU" [ i; j ] +: rd "CU" [ i +$ 1; j ]))
+          -: (s "TDTSDY" *: (rd "H" [ i; j +$ 1 ] -: rd "H" [ i; j ])) ]

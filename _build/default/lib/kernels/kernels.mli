@@ -1,0 +1,53 @@
+(** The 19 evaluation loops of Table 2.
+
+    Each builder returns the loop as an IR nest; [?n] scales the problem
+    size (defaults chosen so the working set exceeds the smallest
+    modelled cache while whole-nest simulation stays fast).  The SPEC92 /
+    Perfect / NAS originals are not redistributable, so these are
+    faithful hand translations of the published kernels' loop and
+    reference structure (see DESIGN.md, substitutions). *)
+
+open Ujam_ir
+
+val jacobi : ?n:int -> unit -> Nest.t
+(** Jacobi 5-point relaxation of a matrix. *)
+
+val afold : ?n:int -> unit -> Nest.t
+(** Adjoint convolution: [A(I) += B(J) * C(I+J-1)]. *)
+
+val btrix1 : ?n:int -> unit -> Nest.t
+val btrix2 : ?n:int -> unit -> Nest.t
+val btrix7 : ?n:int -> unit -> Nest.t
+(** SPEC/NASA7/BTRIX forward-elimination excerpts (3-deep, 3-D arrays). *)
+
+val collc2 : ?n:int -> unit -> Nest.t
+(** Perfect/FLO52/COLLC coarse-grid collection (stride-2 subscripts). *)
+
+val cond7 : ?n:int -> unit -> Nest.t
+val cond9 : ?n:int -> unit -> Nest.t
+(** local/SIMPLE/CONDUCT heat-conduction stencils. *)
+
+val dflux16 : ?n:int -> unit -> Nest.t
+val dflux17 : ?n:int -> unit -> Nest.t
+val dflux20 : ?n:int -> unit -> Nest.t
+(** Perfect/FLO52/DFLUX dissipative-flux differences. *)
+
+val dmxpy0 : ?n:int -> unit -> Nest.t
+val dmxpy1 : ?n:int -> unit -> Nest.t
+(** Vector-matrix multiply, both loop orders. *)
+
+val gmtry3 : ?n:int -> unit -> Nest.t
+(** SPEC/NASA7/GMTRY Gaussian-elimination update. *)
+
+val mmjik : ?n:int -> unit -> Nest.t
+val mmjki : ?n:int -> unit -> Nest.t
+(** Matrix-matrix multiply, JIK and JKI orders. *)
+
+val vpenta7 : ?n:int -> unit -> Nest.t
+(** SPEC/NASA7/VPENTA pentadiagonal forward sweep. *)
+
+val sor : ?n:int -> unit -> Nest.t
+(** Successive over-relaxation sweep. *)
+
+val shal : ?n:int -> unit -> Nest.t
+(** Shallow-water kernel (SWIM-style velocity/pressure update). *)

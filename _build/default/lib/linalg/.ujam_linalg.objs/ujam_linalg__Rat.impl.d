@@ -1,0 +1,1 @@
+lib/linalg/rat.ml: Format Stdlib

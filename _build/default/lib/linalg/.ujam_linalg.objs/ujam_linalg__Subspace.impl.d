@@ -1,0 +1,1 @@
+lib/linalg/subspace.ml: Array Format List Mat Option Rat Vec

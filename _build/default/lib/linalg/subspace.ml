@@ -1,0 +1,95 @@
+type t = { ambient : int; basis : Vec.t list (* canonical RREF rows *) }
+
+let of_basis ~dim vs =
+  List.iter
+    (fun v -> if Vec.dim v <> dim then invalid_arg "Subspace.of_basis: dimension")
+    vs;
+  let nonzero = List.filter (fun v -> not (Vec.is_zero v)) vs in
+  let basis =
+    match nonzero with
+    | [] -> []
+    | vs -> Mat.row_space (Mat.of_rows (Array.of_list (List.map Vec.to_array vs)))
+  in
+  { ambient = dim; basis }
+
+let full n = of_basis ~dim:n (List.init n (Vec.unit n))
+let trivial n = { ambient = n; basis = [] }
+let span_dims ~dim ds = of_basis ~dim (List.map (Vec.unit dim) ds)
+
+let ambient_dim t = t.ambient
+let dim t = List.length t.basis
+let basis t = t.basis
+let is_trivial t = t.basis = []
+let is_full t = dim t = t.ambient
+
+let cols_matrix t = Mat.of_cols t.basis t.ambient
+
+let mem v t =
+  if Vec.dim v <> t.ambient then invalid_arg "Subspace.mem: dimension";
+  if Vec.is_zero v then true
+  else if is_trivial t then false
+  else Option.is_some (Mat.solve_rat (cols_matrix t) v)
+
+let equal a b = a.ambient = b.ambient && List.equal Vec.equal a.basis b.basis
+let subset a b = a.ambient = b.ambient && List.for_all (fun v -> mem v b) a.basis
+
+let join a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace.join: ambient dimension";
+  of_basis ~dim:a.ambient (a.basis @ b.basis)
+
+let intersect a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace.intersect: ambient dimension";
+  if is_trivial a || is_trivial b then trivial a.ambient
+  else begin
+    (* x in A ∩ B  iff  x = Ba y1 = Bb y2; solve [Ba | -Bb] (y1,y2) = 0. *)
+    let ba = cols_matrix a in
+    let bb = cols_matrix b in
+    let neg_bb =
+      Mat.init ~rows:Mat.(rows bb) ~cols:(Mat.cols bb) (fun i j -> -Mat.get bb i j)
+    in
+    let combined = Mat.hstack ba neg_bb in
+    let ka = dim a in
+    let vectors =
+      List.map
+        (fun k ->
+          let y1 = Vec.init ka (Vec.get k) in
+          Mat.apply ba y1)
+        (Mat.kernel combined)
+    in
+    of_basis ~dim:a.ambient vectors
+  end
+
+let solution_in h c l =
+  if Mat.cols h <> l.ambient then invalid_arg "Subspace.solution_in: dimension";
+  if Vec.is_zero c then Some (Vec.zero l.ambient)
+  else if is_trivial l then None
+  else begin
+    let b = cols_matrix l in
+    let hb = Mat.mul h b in
+    match Mat.solve_rat hb c with
+    | None -> None
+    | Some y ->
+        (* x = B y must be integral to be an iteration-space vector. *)
+        let x =
+          Array.init l.ambient (fun i ->
+              let s = ref Rat.zero in
+              List.iteri
+                (fun j bj -> s := Rat.add !s (Rat.mul y.(j) (Rat.of_int (Vec.get bj i))))
+                l.basis;
+              !s)
+        in
+        if Array.for_all Rat.is_integer x then
+          Some (Vec.make (Array.map Rat.to_int_exn x))
+        else None
+  end
+
+let solvable_in h c l = Option.is_some (solution_in h c l)
+
+let pp ppf t =
+  if is_trivial t then Format.fprintf ppf "{0}^%d" t.ambient
+  else
+    Format.fprintf ppf "span{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Vec.pp)
+      t.basis

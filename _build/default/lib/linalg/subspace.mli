@@ -1,0 +1,48 @@
+(** Rational vector subspaces of Q^n with primitive-integer canonical
+    bases.
+
+    Reuse analysis manipulates subspaces of the iteration space: the
+    localized vector space, self-temporal ([ker H]) and self-spatial
+    ([ker H_s]) reuse spaces, and their intersections.  A subspace is
+    stored as the reduced row echelon form of its spanning set, rescaled
+    to primitive integer rows, so structural equality coincides with
+    subspace equality. *)
+
+type t
+
+val of_basis : dim:int -> Vec.t list -> t
+(** Subspace spanned by the given vectors (not necessarily independent). *)
+
+val full : int -> t
+val trivial : int -> t
+
+val span_dims : dim:int -> int list -> t
+(** [span_dims ~dim ds] is the coordinate subspace spanned by the
+    standard basis vectors [e_d] for [d] in [ds]. *)
+
+val ambient_dim : t -> int
+val dim : t -> int
+val basis : t -> Vec.t list
+val is_trivial : t -> bool
+val is_full : t -> bool
+
+val mem : Vec.t -> t -> bool
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val intersect : t -> t -> t
+val join : t -> t -> t
+(** Smallest subspace containing both (span of the union of bases). *)
+
+val solvable_in : Mat.t -> Vec.t -> t -> bool
+(** [solvable_in h c l] decides whether some [x] in [l] satisfies
+    [h x = c] with [x] integral.  The witness search is exact for the
+    separable-SIV access matrices the paper's algorithms target
+    (Sec. 3.5); for general matrices it is sound but may miss non-integer
+    parameterisations. *)
+
+val solution_in : Mat.t -> Vec.t -> t -> Vec.t option
+(** Like {!solvable_in} but returns the witness [x]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Integer vectors.
+
+    Used for subscript constant vectors, dependence distances, unroll
+    vectors and reuse-space basis vectors.  All operations are pure; the
+    underlying array is never shared with the caller. *)
+
+type t
+
+val make : int array -> t
+(** [make a] copies [a]. *)
+
+val of_list : int list -> t
+val init : int -> (int -> int) -> t
+val zero : int -> t
+
+val unit : int -> int -> t
+(** [unit n i] is the [n]-dimensional standard basis vector [e_i]
+    (0-indexed). *)
+
+val dim : t -> int
+val get : t -> int -> int
+val to_array : t -> int array
+val to_list : t -> int list
+
+val set : t -> int -> int -> t
+(** Functional update. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic order from component 0 (outermost loop first), matching
+    the paper's ordering of set leaders. *)
+
+val compare_pointwise : t -> t -> int option
+(** Componentwise partial order: [Some 0] if equal, [Some (-1)] if
+    [a <= b] pointwise, [Some 1] if [a >= b] pointwise, [None] if
+    incomparable. *)
+
+val leq_pointwise : t -> t -> bool
+(** [leq_pointwise a b] is [a.(i) <= b.(i)] for every component. *)
+
+val map2 : (int -> int -> int) -> t -> t -> t
+val map : (int -> int) -> t -> t
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

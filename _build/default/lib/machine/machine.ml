@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  mem_issue : int;
+  fp_issue : int;
+  fp_latency : int;
+  fp_registers : int;
+  cache_size : int;
+  cache_line : int;
+  associativity : int;
+  cache_access : int;
+  miss_penalty : int;
+  prefetch_bandwidth : float;
+}
+
+let balance t = float_of_int t.mem_issue /. float_of_int t.fp_issue
+let miss_ratio_cost t = float_of_int t.miss_penalty /. float_of_int t.cache_access
+
+let make ~name ?(mem_issue = 1) ?(fp_issue = 1) ?(fp_latency = 3)
+    ?(fp_registers = 32) ?(cache_size = 1024) ?(cache_line = 4)
+    ?(associativity = 1) ?(cache_access = 1) ?(miss_penalty = 20)
+    ?(prefetch_bandwidth = 0.0) () =
+  if mem_issue <= 0 || fp_issue <= 0 then invalid_arg "Machine.make: issue rates";
+  if cache_line <= 0 || cache_size < cache_line then
+    invalid_arg "Machine.make: cache geometry";
+  if associativity <= 0 || cache_size mod (cache_line * associativity) <> 0 then
+    invalid_arg "Machine.make: associativity must divide the cache";
+  { name; mem_issue; fp_issue; fp_latency; fp_registers; cache_size;
+    cache_line; associativity; cache_access; miss_penalty; prefetch_bandwidth }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: beta_M=%.2f mem/cyc=%d fp/cyc=%d lat=%d regs=%d cache=%d/%d-elt \
+     %d-way hit=%dc miss=+%dc prefetch=%.2f/cyc"
+    t.name (balance t) t.mem_issue t.fp_issue t.fp_latency t.fp_registers
+    t.cache_size t.cache_line t.associativity t.cache_access t.miss_penalty
+    t.prefetch_bandwidth

@@ -1,0 +1,44 @@
+(** Target-machine descriptions.
+
+    The balance model needs issue rates, the register file size, and the
+    cache geometry; the simulator additionally uses latencies.  All cache
+    quantities are in array elements (double words), matching the paper's
+    convention that a word equals the floating-point precision. *)
+
+type t = {
+  name : string;
+  mem_issue : int;      (** memory operations issued per cycle *)
+  fp_issue : int;       (** floating-point operations issued per cycle *)
+  fp_latency : int;     (** cycles until an FP result is available *)
+  fp_registers : int;
+  cache_size : int;     (** elements *)
+  cache_line : int;     (** elements *)
+  associativity : int;  (** ways; [cache_size / (line * assoc)] sets *)
+  cache_access : int;   (** hit cost [C_s], cycles *)
+  miss_penalty : int;   (** additional miss cost [C_m], cycles *)
+  prefetch_bandwidth : float;  (** prefetch issues per cycle; 0 = none *)
+}
+
+val balance : t -> float
+(** Machine balance [beta_M = mem_issue / fp_issue]: words fetched per
+    flop at peak. *)
+
+val miss_ratio_cost : t -> float
+(** [C_m / C_s]: the unserviced-prefetch multiplier of Sec. 3.2. *)
+
+val make :
+  name:string ->
+  ?mem_issue:int ->
+  ?fp_issue:int ->
+  ?fp_latency:int ->
+  ?fp_registers:int ->
+  ?cache_size:int ->
+  ?cache_line:int ->
+  ?associativity:int ->
+  ?cache_access:int ->
+  ?miss_penalty:int ->
+  ?prefetch_bandwidth:float ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(* Cache quantities are in 8-byte elements: a 32-byte line is 4 elements.
+   The modelled cache is the board-level SRAM whose misses pay the DRAM
+   penalty (the 21064's 8 KB on-chip cache sits in front of a 128 KB+
+   board cache; the paper's balance model charges the expensive level). *)
+
+let alpha =
+  Machine.make ~name:"DEC-Alpha-21064" ~mem_issue:1 ~fp_issue:1 ~fp_latency:6
+    ~fp_registers:32 ~cache_size:16384 ~cache_line:4 ~associativity:1
+    ~cache_access:1 ~miss_penalty:24 ()
+
+let hppa =
+  Machine.make ~name:"HP-PA-RISC-7100" ~mem_issue:1 ~fp_issue:2 ~fp_latency:2
+    ~fp_registers:32 ~cache_size:32768 ~cache_line:4 ~associativity:1
+    ~cache_access:1 ~miss_penalty:12 ()
+
+let generic ?(fp_registers = 32) ?(miss_penalty = 20) ?(prefetch_bandwidth = 0.0) () =
+  Machine.make ~name:"generic" ~fp_registers ~miss_penalty ~prefetch_bandwidth
+    ~cache_size:4096 ~cache_line:4 ()
+
+let all = [ alpha; hppa; generic () ]

@@ -1,0 +1,20 @@
+(** Machine presets used by the evaluation.
+
+    [alpha] approximates the DEC Alpha 21064 of Figure 8: dual issue (one
+    memory, one FP operation per cycle), 8 KB direct-mapped data cache
+    with 32-byte lines, a long miss penalty, 32 FP registers.
+
+    [hppa] approximates the HP PA-RISC 7100 of Figure 9: same issue
+    shape but a fused multiply-add (twice the peak flop rate, so machine
+    balance 0.5), a large off-chip direct-mapped cache, shorter relative
+    miss penalty.
+
+    [generic ()] is a configurable machine for examples and sweeps. *)
+
+val alpha : Machine.t
+val hppa : Machine.t
+
+val generic :
+  ?fp_registers:int -> ?miss_penalty:int -> ?prefetch_bandwidth:float -> unit -> Machine.t
+
+val all : Machine.t list

@@ -1,0 +1,1 @@
+lib/reuse/groups.ml: Aref List Selfreuse Site Subspace Ugs Ujam_ir Ujam_linalg Vec

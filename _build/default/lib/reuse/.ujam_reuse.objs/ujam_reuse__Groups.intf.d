@@ -1,0 +1,1 @@
+lib/reuse/groups.mli: Subspace Ugs Ujam_ir Ujam_linalg Vec

@@ -1,0 +1,1 @@
+lib/reuse/locality.ml: Float Format Groups List Nest Selfreuse Subspace Ugs Ujam_ir Ujam_linalg

@@ -1,0 +1,1 @@
+lib/reuse/locality.mli: Format Subspace Ugs Ujam_ir Ujam_linalg

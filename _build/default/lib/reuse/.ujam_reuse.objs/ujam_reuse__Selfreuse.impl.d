@@ -1,0 +1,1 @@
+lib/reuse/selfreuse.ml: Mat Subspace Ujam_linalg

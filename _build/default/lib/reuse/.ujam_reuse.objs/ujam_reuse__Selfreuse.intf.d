@@ -1,0 +1,1 @@
+lib/reuse/selfreuse.mli: Mat Subspace Ujam_linalg

@@ -1,0 +1,1 @@
+lib/reuse/ugs.ml: Aref Format Hashtbl List Mat Site Ujam_ir Ujam_linalg Vec

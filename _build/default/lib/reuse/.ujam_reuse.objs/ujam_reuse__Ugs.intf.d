@@ -1,0 +1,1 @@
+lib/reuse/ugs.mli: Format Ujam_ir Ujam_linalg

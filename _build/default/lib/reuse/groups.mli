@@ -1,0 +1,32 @@
+(** Group-temporal and group-spatial partitions of a UGS.
+
+    Within localized space [L], two members with constants [c1], [c2]
+    have group-temporal reuse iff some integral [x] in [L] satisfies
+    [H x = c1 - c2]; group-spatial reuse iff [H_s x = t(c1 - c2)] where
+    both the matrix row and the difference component of the contiguous
+    dimension are zeroed (they then walk the same cache lines).  Both
+    relations are equivalences on a UGS, so they partition it. *)
+
+open Ujam_linalg
+
+type partition = {
+  classes : Ujam_ir.Site.t list list;
+      (** Each class sorted by lexicographic constant vector; classes
+          sorted by their leader. *)
+}
+
+val group_temporal : localized:Subspace.t -> Ugs.t -> partition
+val group_spatial : localized:Subspace.t -> Ugs.t -> partition
+
+val count : partition -> int
+val leaders : partition -> Ujam_ir.Site.t list
+
+val merges_temporal : localized:Subspace.t -> Ugs.t -> c1:Vec.t -> c2:Vec.t -> bool
+(** The pairwise group-temporal predicate on constant vectors. *)
+
+val merges_spatial : localized:Subspace.t -> Ugs.t -> c1:Vec.t -> c2:Vec.t -> bool
+
+val partition_constants :
+  merges:(c1:Vec.t -> c2:Vec.t -> bool) -> Vec.t list -> Vec.t list list
+(** Generic partition of constant vectors under a merge predicate;
+    exposed for the unrolled-copy (brute-force) computations. *)

@@ -1,0 +1,67 @@
+open Ujam_linalg
+open Ujam_ir
+
+type stream = Invariant | Unit_stride | No_reuse
+
+type ugs_cost = {
+  ugs : Ugs.t;
+  g_t : int;
+  g_s : int;
+  stream : stream;
+  accesses : float;
+}
+
+let ugs_cost ~line ~localized (u : Ugs.t) =
+  if line <= 0 then invalid_arg "Locality.ugs_cost: line size";
+  let g_t = Groups.count (Groups.group_temporal ~localized u) in
+  let g_s = Groups.count (Groups.group_spatial ~localized u) in
+  let stream =
+    if Selfreuse.has_self_temporal ~localized u.Ugs.h then Invariant
+    else if Selfreuse.has_self_spatial ~localized u.Ugs.h then Unit_stride
+    else No_reuse
+  in
+  let l = float_of_int line in
+  let groups = float_of_int g_s +. (float_of_int (g_t - g_s) /. l) in
+  let base =
+    match stream with Invariant -> 0.0 | Unit_stride -> 1.0 /. l | No_reuse -> 1.0
+  in
+  { ugs = u; g_t; g_s; stream; accesses = groups *. base }
+
+let nest_accesses ~line ~localized nest =
+  List.fold_left
+    (fun acc u -> acc +. (ugs_cost ~line ~localized u).accesses)
+    0.0 (Ugs.of_nest nest)
+
+let innermost_localized nest =
+  let d = Nest.depth nest in
+  Subspace.span_dims ~dim:d [ d - 1 ]
+
+let rank_outer_loops ~line nest =
+  let d = Nest.depth nest in
+  let costs =
+    List.init (d - 1) (fun level ->
+        let localized = Subspace.span_dims ~dim:d [ level; d - 1 ] in
+        (level, nest_accesses ~line ~localized nest))
+  in
+  List.stable_sort (fun (_, a) (_, b) -> Float.compare a b) costs
+
+let pp_stream ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Invariant -> "invariant"
+    | Unit_stride -> "unit-stride"
+    | No_reuse -> "no-reuse")
+
+let permutation_cost ~line nest perm =
+  let permuted = Ujam_ir.Interchange.apply nest perm in
+  let d = Nest.depth permuted in
+  nest_accesses ~line ~localized:(Subspace.span_dims ~dim:d [ d - 1 ]) permuted
+
+let rank_permutations ~line nest =
+  let d = Nest.depth nest in
+  Ujam_ir.Interchange.permutations d
+  |> List.filter_map (fun perm ->
+         match permutation_cost ~line nest perm with
+         | cost -> Some (perm, cost)
+         | exception Invalid_argument _ -> None)
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)

@@ -1,0 +1,16 @@
+open Ujam_linalg
+
+let spatial_matrix h = if Mat.rows h = 0 then h else Mat.zero_row h 0
+
+let kernel_space h = Subspace.of_basis ~dim:(Mat.cols h) (Mat.kernel h)
+
+let self_temporal h = kernel_space h
+let self_spatial h = kernel_space (spatial_matrix h)
+
+let has_self_temporal ~localized h =
+  not (Subspace.is_trivial (Subspace.intersect (self_temporal h) localized))
+
+let has_self_spatial ~localized h =
+  let st = Subspace.intersect (self_temporal h) localized in
+  let ss = Subspace.intersect (self_spatial h) localized in
+  Subspace.dim ss > Subspace.dim st

@@ -1,0 +1,47 @@
+open Ujam_linalg
+open Ujam_ir
+
+type t = { base : string; h : Mat.t; members : Site.t list }
+
+let partition sites =
+  let groups : (string * Mat.t, Site.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Site.t) ->
+      let key = (Aref.base s.Site.ref_, Aref.h_matrix s.Site.ref_) in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := s :: !cell
+      | None ->
+          Hashtbl.add groups key (ref [ s ]);
+          order := key :: !order)
+    sites;
+  List.rev_map
+    (fun ((base, h) as key) ->
+      { base; h; members = List.rev !(Hashtbl.find groups key) })
+    !order
+
+let of_nest nest = partition (Site.of_nest nest)
+
+let leaders t =
+  let cmp (a : Site.t) (b : Site.t) =
+    Vec.compare (Aref.c_vector a.Site.ref_) (Aref.c_vector b.Site.ref_)
+  in
+  let sorted = List.stable_sort cmp t.members in
+  let rec dedup = function
+    | a :: b :: rest when cmp a b = 0 -> dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let constant_vectors t = List.map (fun (s : Site.t) -> Aref.c_vector s.Site.ref_) (leaders t)
+
+let is_separable_siv t = Mat.is_separable_siv t.h
+
+let pp ~var_name ppf t =
+  Format.fprintf ppf "@[<v>UGS %s, |members|=%d@,H=@,%a@,members: %a@]" t.base
+    (List.length t.members) Mat.pp t.h
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (Site.pp ~var_name))
+    t.members

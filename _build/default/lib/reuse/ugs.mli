@@ -1,0 +1,27 @@
+(** Uniformly generated sets (Gannon–Jalby–Gallivan; Wolf–Lam).
+
+    Two references belong to the same UGS when they name the same array
+    and share the same access matrix [H]; they then differ only in their
+    constant vectors, and all reuse among them is decided by linear
+    algebra on [H] — no dependence edges required. *)
+
+type t = {
+  base : string;
+  h : Ujam_linalg.Mat.t;
+  members : Ujam_ir.Site.t list;  (** textual order *)
+}
+
+val partition : Ujam_ir.Site.t list -> t list
+(** Partition sites into UGSs, preserving first-appearance order. *)
+
+val of_nest : Ujam_ir.Nest.t -> t list
+
+val leaders : t -> Ujam_ir.Site.t list
+(** Members sorted by lexicographically increasing constant vector
+    (duplicate constant vectors collapse to their first occurrence). *)
+
+val constant_vectors : t -> Ujam_linalg.Vec.t list
+(** Distinct constant vectors, lexicographically sorted. *)
+
+val is_separable_siv : t -> bool
+val pp : var_name:(int -> string) -> Format.formatter -> t -> unit

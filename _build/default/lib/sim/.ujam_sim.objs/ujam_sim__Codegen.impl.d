@@ -1,0 +1,1 @@
+lib/sim/codegen.ml: Affine Aref Array Buffer Expr Format Hashtbl Layout List Loop Nest Printf Stmt String Ujam_ir

@@ -1,0 +1,1 @@
+lib/sim/codegen.mli: Ujam_ir

@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Depvec Expr Float Graph List Machine Nest Site Stmt Ujam_depend Ujam_ir Ujam_machine

@@ -1,0 +1,1 @@
+lib/sim/cpu.mli: Ujam_ir Ujam_machine

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Affine Aref Array Expr Float Hashtbl Int64 List Loop Nest Stmt Ujam_ir

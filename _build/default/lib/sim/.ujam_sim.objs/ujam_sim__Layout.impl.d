@@ -1,0 +1,1 @@
+lib/sim/layout.ml: Affine Aref Array Hashtbl List Loop Nest Ujam_ir

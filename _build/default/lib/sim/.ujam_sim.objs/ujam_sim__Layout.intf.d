@@ -1,0 +1,1 @@
+lib/sim/layout.mli: Ujam_ir

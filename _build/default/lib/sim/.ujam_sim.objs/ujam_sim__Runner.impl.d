@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cache Cpu Float Format Layout List Machine Nest Site Ujam_core Ujam_ir Ujam_machine

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Format Ujam_core Ujam_ir Ujam_machine

@@ -1,0 +1,67 @@
+type t = {
+  line : int;
+  sets : int;
+  assoc : int;
+  tags : int array;   (* sets * assoc; -1 = invalid *)
+  ages : int array;   (* LRU stamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~size ~line ~assoc =
+  if line <= 0 || assoc <= 0 || size <= 0 then invalid_arg "Cache.create";
+  if size mod (line * assoc) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of line * assoc";
+  let sets = size / (line * assoc) in
+  { line;
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    ages = Array.make (sets * assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0 }
+
+let of_machine (m : Ujam_machine.Machine.t) =
+  create ~size:m.Ujam_machine.Machine.cache_size ~line:m.Ujam_machine.Machine.cache_line
+    ~assoc:m.Ujam_machine.Machine.associativity
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let block = if addr >= 0 then addr / t.line else (addr - t.line + 1) / t.line in
+  let set = ((block mod t.sets) + t.sets) mod t.sets in
+  let base = set * t.assoc in
+  let hit = ref false in
+  (try
+     for w = base to base + t.assoc - 1 do
+       if t.tags.(w) = block then begin
+         t.ages.(w) <- t.clock;
+         hit := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if not !hit then begin
+    t.misses <- t.misses + 1;
+    (* Fill the LRU way. *)
+    let victim = ref base in
+    for w = base + 1 to base + t.assoc - 1 do
+      if t.ages.(w) < t.ages.(!victim) then victim := w
+    done;
+    t.tags.(!victim) <- block;
+    t.ages.(!victim) <- t.clock
+  end;
+  !hit
+
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

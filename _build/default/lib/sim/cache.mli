@@ -1,0 +1,21 @@
+(** Set-associative LRU cache simulator.
+
+    Addresses are in array elements (8-byte words); geometry comes from
+    {!Ujam_machine.Machine}. *)
+
+type t
+
+val create : size:int -> line:int -> assoc:int -> t
+(** All quantities in elements; [size] must be a multiple of
+    [line * assoc]. *)
+
+val of_machine : Ujam_machine.Machine.t -> t
+
+val access : t -> int -> bool
+(** [access t addr] touches the element at [addr]; returns [true] on a
+    hit.  Misses fill the line (LRU eviction). *)
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset : t -> unit

@@ -1,0 +1,180 @@
+open Ujam_ir
+
+(* Reuse the layout's interval analysis for array bounds. *)
+let declarations nest =
+  let layout = Layout.of_nest nest ~line:1 in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (r, _) ->
+      let b = Aref.base r in
+      if Hashtbl.mem seen b then None
+      else begin
+        Hashtbl.add seen b ();
+        let extents = Layout.extent layout b in
+        (* recover per-dimension lower bounds by re-deriving intervals *)
+        let mins =
+          Array.init (Array.length extents) (fun i ->
+              (* Layout normalises to the observed minimum; emit 1-based
+                 declarations covering the same count by re-centering. *)
+              ignore i;
+              1)
+        in
+        Some (b, mins, extents)
+      end)
+    (Nest.refs nest)
+
+(* Fortran subscripts must match the declared bounds: shift every
+   subscript so the smallest touched index is 1. *)
+let subscript_shifts nest =
+  let layout = Layout.of_nest nest ~line:1 in
+  ignore layout;
+  (* derive minima by scanning corner values like Layout does *)
+  let mins : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+  let loops = Nest.loops nest in
+  let d = Array.length loops in
+  let ivals = Array.make d (0, 0) in
+  let interval (a : Affine.t) =
+    let lo = ref a.Affine.const and hi = ref a.Affine.const in
+    Array.iteri
+      (fun k c ->
+        let l, h = ivals.(k) in
+        if c >= 0 then begin
+          lo := !lo + (c * l);
+          hi := !hi + (c * h)
+        end
+        else begin
+          lo := !lo + (c * h);
+          hi := !hi + (c * l)
+        end)
+      a.Affine.coefs;
+    (!lo, !hi)
+  in
+  for k = 0 to d - 1 do
+    let l = loops.(k) in
+    let lo, _ = interval l.Loop.lo in
+    let _, hi = interval l.Loop.hi in
+    ivals.(k) <- (lo, max lo hi)
+  done;
+  List.iter
+    (fun (r, _) ->
+      let b = Aref.base r in
+      let cur =
+        match Hashtbl.find_opt mins b with
+        | Some c -> c
+        | None ->
+            let c = Array.make (Aref.rank r) max_int in
+            Hashtbl.add mins b c;
+            c
+      in
+      Array.iteri
+        (fun i s ->
+          let lo, _ = interval s in
+          cur.(i) <- min cur.(i) lo)
+        r.Aref.subs)
+    (Nest.refs nest);
+  mins
+
+let to_program ?(scalars = []) nest =
+  let buf = Buffer.create 4096 in
+  let vn = Nest.var_name nest in
+  let mins = subscript_shifts nest in
+  let shifted (r : Aref.t) =
+    let m = Hashtbl.find mins (Aref.base r) in
+    { r with
+      Aref.subs =
+        Array.mapi (fun i s -> Affine.add_const s (1 - m.(i))) r.Aref.subs }
+  in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf ("      " ^ s ^ "\n")) fmt in
+  let name =
+    String.map
+      (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then c else 'X')
+      (Nest.name nest)
+  in
+  line "PROGRAM %s" (String.uppercase_ascii name);
+  (* declarations *)
+  let decls = declarations nest in
+  List.iter
+    (fun (b, _, extents) ->
+      line "DOUBLE PRECISION %s(%s)" b
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int extents))))
+    decls;
+  let assigned_scalars =
+    List.filter_map
+      (fun (s : Stmt.t) ->
+        match s.Stmt.lhs with
+        | Stmt.Scalar_var v -> Some v
+        | Stmt.Array_elt _ -> None)
+      (Nest.body nest)
+    |> List.sort_uniq compare
+  in
+  let scalar_names =
+    List.sort_uniq compare
+      (assigned_scalars
+      @ List.concat_map (fun (s : Stmt.t) -> Expr.scalars s.Stmt.rhs) (Nest.body nest))
+  in
+  List.iter (fun s -> line "DOUBLE PRECISION %s" s) scalar_names;
+  line "DOUBLE PRECISION CHKSUM";
+  line "INTEGER %s"
+    (String.concat ","
+       (Array.to_list (Array.map (fun (l : Loop.t) -> l.Loop.var) (Nest.loops nest))
+       @ [ "I__" ]));
+  (* free scalars get values; compiler temporaries are assigned in the body *)
+  List.iter
+    (fun s ->
+      if not (List.mem s assigned_scalars) then begin
+        let v = try List.assoc s scalars with Not_found -> 0.5 in
+        line "%s = %gD0" s v
+      end)
+    scalar_names;
+  (* deterministic initialisation *)
+  List.iter
+    (fun (b, _, extents) ->
+      let total = Array.fold_left ( * ) 1 extents in
+      line "DO I__ = 1, %d" total;
+      line "  %s(%s) = DBLE(MOD(I__ * 16807, 65536)) / 65536.0D0" b
+        (match Array.length extents with
+        | 1 -> "I__"
+        | n ->
+            (* initialise through an equivalenced linear view *)
+            String.concat ","
+              (List.init n (fun i ->
+                   if i = 0 then
+                     Printf.sprintf "MOD(I__-1,%d)+1" extents.(0)
+                   else
+                     let stride =
+                       Array.fold_left ( * ) 1 (Array.sub extents 0 i)
+                     in
+                     Printf.sprintf "MOD((I__-1)/%d,%d)+1" stride extents.(i))));
+      line "ENDDO")
+    decls;
+  (* the nest, with subscripts rebased to 1 *)
+  let rebased =
+    Nest.with_body nest (List.map (Stmt.map_refs shifted) (Nest.body nest))
+  in
+  let nest_text = Format.asprintf "%a" Nest.pp rebased in
+  List.iter
+    (fun l -> Buffer.add_string buf ("      " ^ l ^ "\n"))
+    (String.split_on_char '\n' nest_text);
+  (* checksum *)
+  line "CHKSUM = 0.0D0";
+  (match decls with
+  | (b, _, extents) :: _ ->
+      let total = Array.fold_left ( * ) 1 extents in
+      line "DO I__ = 1, %d" total;
+      line "  CHKSUM = CHKSUM + %s(%s)" b
+        (match Array.length extents with
+        | 1 -> "I__"
+        | n ->
+            String.concat ","
+              (List.init n (fun i ->
+                   if i = 0 then Printf.sprintf "MOD(I__-1,%d)+1" extents.(0)
+                   else
+                     let stride = Array.fold_left ( * ) 1 (Array.sub extents 0 i) in
+                     Printf.sprintf "MOD((I__-1)/%d,%d)+1" stride extents.(i))));
+      line "ENDDO"
+  | [] -> ());
+  line "PRINT *, CHKSUM";
+  line "END";
+  ignore vn;
+  Buffer.contents buf

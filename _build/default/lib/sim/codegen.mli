@@ -1,0 +1,12 @@
+(** Emit a runnable Fortran 77 program for a nest: array declarations
+    sized by interval analysis of the subscripts, deterministic
+    initialisation, the loop itself, and a checksum PRINT so two
+    variants of a kernel can be diffed for semantic equivalence on a real
+    compiler — the bridge from the simulator back to hardware. *)
+
+val declarations : Ujam_ir.Nest.t -> (string * int array * int array) list
+(** Per array: name, lower bounds, upper bounds of each dimension. *)
+
+val to_program : ?scalars:(string * float) list -> Ujam_ir.Nest.t -> string
+(** A complete [PROGRAM] unit.  [scalars] gives values for the free
+    scalar variables of the body (default 0.5 each). *)

@@ -1,0 +1,59 @@
+open Ujam_ir
+open Ujam_depend
+open Ujam_machine
+
+let rec expr_depth = function
+  | Expr.Const _ | Expr.Scalar _ | Expr.Read _ -> 0
+  | Expr.Neg e -> expr_depth e
+  | Expr.Bin (_, a, b) -> 1 + max (expr_depth a) (expr_depth b)
+
+let recurrence_ii (m : Machine.t) nest =
+  let depth = Nest.depth nest in
+  let body = Array.of_list (Nest.body nest) in
+  let graph = Graph.build ~include_input:false nest in
+  (* A same-statement read/write pair on one location stream chains the
+     statement's computation across iterations.  The graph records such a
+     pair once (a flow or anti edge); a Star inner component is an
+     update of the same location every iteration (distance 1). *)
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      match e.Graph.kind with
+      | (Graph.Flow | Graph.Anti) when e.Graph.src.Site.stmt = e.Graph.dst.Site.stmt
+        ->
+          let zero_outside =
+            let ok = ref true in
+            for k = 0 to depth - 2 do
+              match e.Graph.dvec.(k) with
+              | Depvec.Exact 0 | Depvec.Star -> ()
+              | Depvec.Exact _ -> ok := false
+            done;
+            !ok
+          in
+          if zero_outside then begin
+            let d =
+              match e.Graph.dvec.(depth - 1) with
+              | Depvec.Exact d when d >= 1 -> Some d
+              | Depvec.Star -> Some 1
+              | Depvec.Exact _ -> None
+            in
+            match d with
+            | Some d ->
+                let chain = expr_depth body.(e.Graph.src.Site.stmt).Stmt.rhs in
+                let ii =
+                  float_of_int (m.Machine.fp_latency * max 1 chain) /. float_of_int d
+                in
+                Float.max acc ii
+            | None -> acc
+          end
+          else acc
+      | Graph.Flow | Graph.Anti | Graph.Output | Graph.Input -> acc)
+    0.0 graph.Graph.edges
+
+let issue_cycles (m : Machine.t) ~mem_ops ~flops =
+  Float.max
+    (float_of_int mem_ops /. float_of_int m.Machine.mem_issue)
+    (float_of_int flops /. float_of_int m.Machine.fp_issue)
+
+let cycles_per_iteration m nest ~mem_ops =
+  let flops = Nest.flops_per_iteration nest in
+  Float.max (issue_cycles m ~mem_ops ~flops) (recurrence_ii m nest)

@@ -1,0 +1,23 @@
+(** Steady-state CPU cycle model.
+
+    Cycles per iteration are bounded below by the issue width of each
+    unit and by recurrences: a floating-point chain that feeds itself
+    across [d] innermost iterations forces at least
+    [latency * depth / d] cycles per iteration (software pipelining is
+    assumed, so independent chains overlap — exactly why unroll-and-jam
+    of a reduction helps even without cache effects). *)
+
+val expr_depth : Ujam_ir.Expr.t -> int
+(** Longest operator chain in an expression. *)
+
+val recurrence_ii : Ujam_machine.Machine.t -> Ujam_ir.Nest.t -> float
+(** Minimum initiation interval forced by innermost-carried flow
+    recurrences (0 when none). *)
+
+val issue_cycles :
+  Ujam_machine.Machine.t -> mem_ops:int -> flops:int -> float
+
+val cycles_per_iteration :
+  Ujam_machine.Machine.t -> Ujam_ir.Nest.t -> mem_ops:int -> float
+(** Issue- and recurrence-bound cycles per innermost iteration of the
+    given body ([mem_ops] already reflects scalar replacement). *)

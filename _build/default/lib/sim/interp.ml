@@ -1,0 +1,106 @@
+open Ujam_ir
+
+type store = {
+  arrays : (string * int list, float) Hashtbl.t;  (* written locations *)
+  scalars : (string, float) Hashtbl.t;
+}
+
+let initial_element key =
+  float_of_int (Hashtbl.hash key land 0xFFFF) /. 65536.0
+
+let initial_scalar name =
+  float_of_int (Hashtbl.hash ("scalar", name) land 0xFF) /. 256.0
+
+let key (r : Aref.t) iv =
+  (Aref.base r, Array.to_list (Array.map (fun s -> Affine.eval s iv) r.Aref.subs))
+
+let run ?preheader nest =
+  let store = { arrays = Hashtbl.create 4096; scalars = Hashtbl.create 16 } in
+  let read_array r iv =
+    let k = key r iv in
+    match Hashtbl.find_opt store.arrays k with
+    | Some x -> x
+    | None -> initial_element k
+  in
+  let read_scalar name =
+    match Hashtbl.find_opt store.scalars name with
+    | Some x -> x
+    | None -> initial_scalar name
+  in
+  let rec eval iv = function
+    | Expr.Const f -> f
+    | Expr.Scalar s -> read_scalar s
+    | Expr.Read r -> read_array r iv
+    | Expr.Neg e -> -.eval iv e
+    | Expr.Bin (op, a, b) -> (
+        let x = eval iv a and y = eval iv b in
+        match op with
+        | Expr.Add -> x +. y
+        | Expr.Sub -> x -. y
+        | Expr.Mul -> x *. y
+        | Expr.Div -> x /. (y +. 1.0) (* keep divisions finite *))
+  in
+  let exec iv (st : Stmt.t) =
+    let value = eval iv st.Stmt.rhs in
+    match st.Stmt.lhs with
+    | Stmt.Array_elt r -> Hashtbl.replace store.arrays (key r iv) value
+    | Stmt.Scalar_var s -> Hashtbl.replace store.scalars s value
+  in
+  let loops = Nest.loops nest in
+  let d = Array.length loops in
+  let body = Nest.body nest in
+  let iv = Array.make d 0 in
+  let rec go k =
+    let l = loops.(k) in
+    let lo = Affine.eval l.Loop.lo iv and hi = Affine.eval l.Loop.hi iv in
+    if k = d - 1 then begin
+      (match preheader with
+      | Some f ->
+          iv.(k) <- lo;
+          List.iter (exec iv) (f iv)
+      | None -> ());
+      let i = ref lo in
+      while !i <= hi do
+        iv.(k) <- !i;
+        List.iter (exec iv) body;
+        i := !i + l.Loop.step
+      done
+    end
+    else begin
+      let i = ref lo in
+      while !i <= hi do
+        iv.(k) <- !i;
+        go (k + 1);
+        i := !i + l.Loop.step
+      done
+    end
+  in
+  go 0;
+  store
+
+let checksum store =
+  Hashtbl.fold
+    (fun (base, subs) v acc ->
+      let h = float_of_int (Hashtbl.hash (base, subs) land 0xFFFF) /. 65536.0 in
+      acc +. (v *. (1.0 +. h)))
+    store.arrays 0.0
+
+let value_equal eps v v' =
+  (* identical computations produce identical bits, including NaN and
+     infinities; the epsilon only covers reassociation-free float noise *)
+  Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v')
+  || Float.abs (v -. v') <= eps *. Float.max 1.0 (Float.abs v)
+
+let equal ?(eps = 1e-9) a b =
+  Hashtbl.length a.arrays = Hashtbl.length b.arrays
+  && Hashtbl.fold
+       (fun k v acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.arrays k with
+         | Some v' -> value_equal eps v v'
+         | None -> false)
+       a.arrays true
+
+let read store base subs = Hashtbl.find_opt store.arrays (base, subs)
+let written store = Hashtbl.length store.arrays

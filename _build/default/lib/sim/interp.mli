@@ -1,0 +1,29 @@
+(** Reference interpreter: execute a nest over a floating-point store.
+
+    Array contents are initialised deterministically from a hash of the
+    element's identity, free scalars from a hash of their name, so two
+    semantically equivalent loops produce identical stores — the oracle
+    behind `ujc verify` and the transformation tests.  Compiler
+    temporaries (scalar assignments in the body) live in a mutable
+    environment that persists across iterations, which is exactly what a
+    rotating register chain needs. *)
+
+type store
+
+val run : ?preheader:(int array -> Ujam_ir.Stmt.t list) -> Ujam_ir.Nest.t -> store
+(** Execute the nest.  When [preheader] is given, its statements run
+    before each entry of the innermost loop (receiving the index vector
+    with the innermost component at its lower bound) — the chain-priming
+    hook used by {!Ujam_core.Scalar_replace} lowering. *)
+
+val checksum : store -> float
+(** Order-insensitive digest of the final array contents. *)
+
+val equal : ?eps:float -> store -> store -> bool
+(** Same locations written and values equal within [eps] (relative). *)
+
+val read : store -> string -> int list -> float option
+(** Final value of one element, if it was written. *)
+
+val written : store -> int
+(** Number of distinct locations written. *)

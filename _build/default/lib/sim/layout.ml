@@ -1,0 +1,105 @@
+open Ujam_ir
+
+type array_info = {
+  base : int;
+  mins : int array;
+  strides : int array;
+  extents : int array;
+}
+
+type t = { arrays : (string, array_info) Hashtbl.t; footprint : int }
+
+(* Interval of an affine form given per-level index intervals. *)
+let affine_interval (a : Affine.t) (ivals : (int * int) array) =
+  let lo = ref a.Affine.const and hi = ref a.Affine.const in
+  Array.iteri
+    (fun k c ->
+      let l, h = ivals.(k) in
+      if c >= 0 then begin
+        lo := !lo + (c * l);
+        hi := !hi + (c * h)
+      end
+      else begin
+        lo := !lo + (c * h);
+        hi := !hi + (c * l)
+      end)
+    a.Affine.coefs;
+  (!lo, !hi)
+
+(* Per-level index intervals, propagating affine bounds outside-in. *)
+let index_intervals nest =
+  let loops = Nest.loops nest in
+  let d = Array.length loops in
+  let ivals = Array.make d (0, 0) in
+  for k = 0 to d - 1 do
+    let l = loops.(k) in
+    let lo, _ = affine_interval l.Loop.lo ivals in
+    let _, hi = affine_interval l.Loop.hi ivals in
+    ivals.(k) <- (lo, max lo hi)
+  done;
+  ivals
+
+let of_nest nest ~line =
+  if line <= 0 then invalid_arg "Layout.of_nest: line";
+  let ivals = index_intervals nest in
+  (* Gather min/max subscript values per array dimension. *)
+  let ranges : (string, (int * int) array) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r, _) ->
+      let b = Aref.base r in
+      let dims = Aref.rank r in
+      let cur =
+        match Hashtbl.find_opt ranges b with
+        | Some cur -> cur
+        | None ->
+            let cur = Array.make dims (max_int, min_int) in
+            Hashtbl.add ranges b cur;
+            order := b :: !order;
+            cur
+      in
+      Array.iteri
+        (fun i s ->
+          let lo, hi = affine_interval s ivals in
+          let clo, chi = cur.(i) in
+          cur.(i) <- (min clo lo, max chi hi))
+        r.Aref.subs)
+    (Nest.refs nest);
+  let arrays = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.iter
+    (fun b ->
+      let rng = Hashtbl.find ranges b in
+      let dims = Array.length rng in
+      let mins = Array.map fst rng in
+      let extents = Array.map (fun (lo, hi) -> hi - lo + 1) rng in
+      let strides = Array.make dims 1 in
+      for i = 1 to dims - 1 do
+        strides.(i) <- strides.(i - 1) * extents.(i - 1)
+      done;
+      let size = if dims = 0 then 1 else strides.(dims - 1) * extents.(dims - 1) in
+      let base = !next in
+      (* Line-align and stagger consecutive arrays by a few lines so
+         power-of-two extents do not alias pathologically in low-
+         associativity caches (the usual inter-array padding). *)
+      next := base + (((size + line - 1) / line) * line) + (7 * line);
+      Hashtbl.add arrays b { base; mins; strides; extents })
+    (List.rev !order);
+  { arrays; footprint = !next }
+
+let address t (r : Aref.t) iv =
+  match Hashtbl.find_opt t.arrays (Aref.base r) with
+  | None -> invalid_arg "Layout.address: unknown array"
+  | Some info ->
+      let addr = ref info.base in
+      Array.iteri
+        (fun i s -> addr := !addr + ((Affine.eval s iv - info.mins.(i)) * info.strides.(i)))
+        r.Aref.subs;
+      !addr
+
+let footprint t = t.footprint
+
+let extent t base =
+  match Hashtbl.find_opt t.arrays base with
+  | Some info -> Array.copy info.extents
+  | None -> raise Not_found

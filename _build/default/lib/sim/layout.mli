@@ -1,0 +1,20 @@
+(** Column-major memory layout for the arrays of a nest.
+
+    Array extents are derived from the subscript ranges over the
+    iteration space (interval analysis of the affine bounds), arrays are
+    laid out contiguously in order of first appearance, line-aligned —
+    the Fortran picture the paper assumes. *)
+
+type t
+
+val of_nest : Ujam_ir.Nest.t -> line:int -> t
+
+val address : t -> Ujam_ir.Aref.t -> int array -> int
+(** Element address of the reference at the given index vector. *)
+
+val footprint : t -> int
+(** Total elements allocated. *)
+
+val extent : t -> string -> int array
+(** Per-dimension extents of an array.
+    @raise Not_found for unknown arrays. *)

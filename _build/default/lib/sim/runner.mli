@@ -1,0 +1,30 @@
+(** Whole-loop simulation: interpret the nest's address trace through the
+    cache and combine with the CPU cycle model.
+
+    The [plan] argument restricts the trace to the memory operations left
+    by scalar replacement — register-resident references never reach the
+    memory system.  Misses overlappable by prefetching (when the machine
+    has prefetch bandwidth) are subtracted before stall accounting. *)
+
+type result = {
+  iterations : int;
+  mem_ops_per_iteration : int;
+  accesses : int;
+  misses : int;
+  issue_cycles : float;
+  stall_cycles : float;
+  cycles : float;
+  cycles_per_iteration : float;  (** total cycles / iterations *)
+}
+
+val run :
+  machine:Ujam_machine.Machine.t ->
+  ?plan:Ujam_core.Scalar_replace.plan ->
+  Ujam_ir.Nest.t ->
+  result
+
+val normalized : baseline:result -> result -> float
+(** Execution time relative to [baseline], correcting for the number of
+    original iterations each body covers (cycles-per-element ratio). *)
+
+val pp : Format.formatter -> result -> unit

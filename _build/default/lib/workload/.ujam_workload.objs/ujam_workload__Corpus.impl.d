@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Format Generator Graph List Option Stats Ujam_depend

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Affine Aref Array Expr Fun List Loop Nest Printf Random Stmt Ujam_ir

@@ -1,0 +1,88 @@
+open Ujam_depend
+
+type routine_stats = { name : string; stats : Stats.t }
+
+type report = {
+  routines : int;
+  with_deps : int;
+  total_deps : int;
+  total_input : int;
+  mean_input_fraction : float;
+  stddev_input_fraction : float;
+  mean_input_count : float;
+  buckets : (string * int) list;
+}
+
+let analyze_routine (r : Generator.routine) =
+  let stats =
+    List.fold_left
+      (fun acc nest -> Stats.add acc (Stats.of_graph (Graph.build ~include_input:true nest)))
+      Stats.zero r.Generator.nests
+  in
+  { name = r.Generator.name; stats }
+
+let table1_buckets =
+  [ ("0%", fun p -> p = 0.0);
+    ("1%-32%", fun p -> p > 0.0 && p < 1.0 /. 3.0);
+    ("33%-39%", fun p -> p >= 1.0 /. 3.0 && p < 0.40);
+    ("40%-49%", fun p -> p >= 0.40 && p < 0.50);
+    ("50%-59%", fun p -> p >= 0.50 && p < 0.60);
+    ("60%-69%", fun p -> p >= 0.60 && p < 0.70);
+    ("70%-79%", fun p -> p >= 0.70 && p < 0.80);
+    ("80%-89%", fun p -> p >= 0.80 && p < 0.90);
+    ("90%-100%", fun p -> p >= 0.90) ]
+
+let measure routines =
+  let all = List.map analyze_routine routines in
+  let with_deps = List.filter (fun r -> Stats.total r.stats > 0) all in
+  let fractions =
+    List.map (fun r -> Option.get (Stats.input_fraction r.stats)) with_deps
+  in
+  let n = List.length with_deps in
+  let mean xs =
+    if xs = [] then 0.0
+    else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let mean_frac = mean fractions in
+  let stddev =
+    if n <= 1 then 0.0
+    else
+      sqrt
+        (List.fold_left (fun acc x -> acc +. ((x -. mean_frac) ** 2.0)) 0.0 fractions
+        /. float_of_int n)
+  in
+  let total_deps = List.fold_left (fun acc r -> acc + Stats.total r.stats) 0 with_deps in
+  let total_input =
+    List.fold_left (fun acc r -> acc + r.stats.Stats.input) 0 with_deps
+  in
+  let buckets =
+    List.map
+      (fun (label, pred) ->
+        (label, List.length (List.filter pred fractions)))
+      table1_buckets
+  in
+  { routines = List.length all;
+    with_deps = n;
+    total_deps;
+    total_input;
+    mean_input_fraction = mean_frac;
+    stddev_input_fraction = stddev;
+    mean_input_count =
+      mean (List.map (fun r -> float_of_int r.stats.Stats.input) with_deps);
+    buckets }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>corpus: %d routines, %d with dependences@,\
+     dependences: %d total, %d input (%.1f%% of all)@,\
+     per-routine input share: mean %.1f%% (stddev %.1f), mean count %.1f@,\
+     %-10s %s@,"
+    r.routines r.with_deps r.total_deps r.total_input
+    (100.0 *. float_of_int r.total_input /. float_of_int (max 1 r.total_deps))
+    (100.0 *. r.mean_input_fraction)
+    (100.0 *. r.stddev_input_fraction)
+    r.mean_input_count "Range" "Number of Routines";
+  List.iter
+    (fun (label, count) -> Format.fprintf ppf "%-10s %d@," label count)
+    r.buckets;
+  Format.fprintf ppf "@]"

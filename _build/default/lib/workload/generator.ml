@@ -1,0 +1,260 @@
+open Ujam_ir
+
+type routine = { name : string; nests : Nest.t list }
+
+let array_names = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "W" |]
+let loop_names = [| "I"; "J"; "K"; "L" |]
+
+let pick st a = a.(Random.State.int st (Array.length a))
+
+(* Weighted choice: [(weight, value); ...]. *)
+let weighted st choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let r = Random.State.int st total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, v) :: rest -> if r < acc + w then v else go (acc + w) rest
+  in
+  go 0 choices
+
+(* A subscript for one array dimension: usually a loop index plus a small
+   stencil offset, sometimes doubled (multigrid), sometimes constant. *)
+let subscript st ~depth ~level ~stencil =
+  let base = Affine.var ~depth level in
+  let base =
+    if Random.State.int st 100 < 6 then Affine.scale 2 base else base
+  in
+  let offset =
+    if stencil then weighted st [ (3, 0); (2, 1); (2, -1); (1, 2); (1, -2) ]
+    else 0
+  in
+  Affine.add_const base offset
+
+let constant_subscript st ~depth = Affine.const ~depth (1 + Random.State.int st 4)
+
+(* One reference to [arr] of rank [rank] in a depth-[d] nest.  [levels]
+   maps array dimensions to loop levels (injective). *)
+let reference st ~depth ~levels ~stencil arr rank =
+  let subs =
+    List.init rank (fun dim ->
+        match levels.(dim) with
+        | Some level -> subscript st ~depth ~level ~stencil
+        | None -> constant_subscript st ~depth)
+  in
+  Aref.make arr subs
+
+let gen_nest st ~idx ~depth ~reuse_heavy =
+  let bound = 8 + Random.State.int st 56 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:1 ~hi:bound ())
+  in
+  let n_arrays = 1 + Random.State.int st 4 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        let name = array_names.((idx + i) mod Array.length array_names) in
+        let rank = 1 + Random.State.int st (min depth 3) in
+        (* Injective map from array dims to loop levels; missing dims are
+           constants, unused levels make the reference loop-invariant in
+           those loops (reduction shape). *)
+        let perm = Array.init depth Fun.id in
+        for k = depth - 1 downto 1 do
+          let j = Random.State.int st (k + 1) in
+          let t = perm.(k) in
+          perm.(k) <- perm.(j);
+          perm.(j) <- t
+        done;
+        let levels =
+          Array.init rank (fun dim ->
+              if dim < depth && Random.State.int st 100 < 92 then Some perm.(dim)
+              else None)
+        in
+        (name, rank, levels))
+    |> List.sort_uniq compare
+  in
+  let arrays = Array.of_list arrays in
+  let n_stmts = 1 + Random.State.int st 3 in
+  let body =
+    List.init n_stmts (fun _ ->
+        let lhs_name, lhs_rank, lhs_levels = pick st arrays in
+        let lhs = reference st ~depth ~levels:lhs_levels ~stencil:false lhs_name lhs_rank in
+        let n_reads = 1 + Random.State.int st 4 in
+        let reads =
+          List.init n_reads (fun _ ->
+              let name, rank, levels = pick st arrays in
+              let stencil = reuse_heavy && Random.State.int st 100 < 70 in
+              Expr.Read (reference st ~depth ~levels ~stencil name rank))
+        in
+        let reads =
+          (* Reductions read their own target. *)
+          if reuse_heavy && Random.State.int st 100 < 40 then
+            Expr.Read lhs :: reads
+          else reads
+        in
+        let rhs =
+          List.fold_left
+            (fun acc r ->
+              let op = weighted st [ (5, Expr.Add); (2, Expr.Sub); (4, Expr.Mul) ] in
+              Expr.Bin (op, acc, r))
+            (List.hd reads) (List.tl reads)
+        in
+        Stmt.store lhs rhs)
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops ~body
+
+(* Routine archetypes, mixed to follow the paper's corpus shape:
+   roughly 45% of routines have no array dependences at all (they are
+   excluded from the per-routine statistics, as in the paper); a sizeable
+   group of stencil-style routines is dominated by input dependences
+   (the 90-100% bucket); recurrence-style routines have dependences but
+   no input ones (the 0% bucket); the rest mix reductions and reuse. *)
+
+let distinct_arrays st ~count ~offset =
+  let n = Array.length array_names in
+  let start = Random.State.int st n in
+  List.init count (fun i -> array_names.((start + offset + i) mod n))
+
+(* Every array referenced exactly once: no dependences. *)
+let streaming_nest st ~idx ~depth =
+  let bound = 8 + Random.State.int st 56 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:1 ~hi:bound ())
+  in
+  let n_reads = 1 + Random.State.int st 3 in
+  let names = distinct_arrays st ~count:(n_reads + 1) ~offset:idx in
+  let lhs_name = List.hd names and read_names = List.tl names in
+  let ident name =
+    Aref.make name (List.init depth (fun k -> Affine.var ~depth k))
+  in
+  let reads = List.map (fun nm -> Expr.Read (ident nm)) read_names in
+  let rhs =
+    List.fold_left (fun acc r -> Expr.Bin (Expr.Add, acc, r)) (List.hd reads)
+      (List.tl reads)
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops
+    ~body:[ Stmt.store (ident lhs_name) rhs ]
+
+(* One array updated from a shifted copy of itself: flow/anti/output
+   dependences but no input dependences. *)
+let recurrence_nest st ~idx ~depth =
+  let bound = 8 + Random.State.int st 56 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:3 ~hi:bound ())
+  in
+  let name = List.hd (distinct_arrays st ~count:1 ~offset:idx) in
+  let lhs = Aref.make name (List.init depth (fun k -> Affine.var ~depth k)) in
+  let shift = 1 + Random.State.int st 2 in
+  let level = Random.State.int st depth in
+  let shifted =
+    Aref.make name
+      (List.init depth (fun k ->
+           let v = Affine.var ~depth k in
+           if k = level then Affine.add_const v (-shift) else v))
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops
+    ~body:[ Stmt.store lhs (Expr.Bin (Expr.Mul, Expr.Read shifted, Expr.Scalar "S")) ]
+
+(* Recurrence plus one repeated read pair: a few flow/anti/output edges
+   and a single input edge — the low-input-share buckets. *)
+let light_reuse_nest st ~idx ~depth =
+  let bound = 8 + Random.State.int st 56 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:3 ~hi:bound ())
+  in
+  let names = distinct_arrays st ~count:2 ~offset:idx in
+  let a, b = (List.nth names 0, List.nth names 1) in
+  let point offsets name =
+    Aref.make name
+      (List.init depth (fun k ->
+           Affine.add_const (Affine.var ~depth k) offsets.(k)))
+  in
+  let z = Array.make depth 0 in
+  let back = Array.make depth 0 in
+  back.(Random.State.int st depth) <- -1 - Random.State.int st 2;
+  let b_read () = Expr.Read (point z b) in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops
+    ~body:
+      [ Stmt.store (point z a)
+          (Expr.Bin (Expr.Add, Expr.Read (point back a), b_read ()));
+        Stmt.store (point back b) (Expr.Bin (Expr.Mul, b_read (), Expr.Scalar "S")) ]
+
+(* Many stencil reads of one or two arrays: input dependences dominate
+   (every pair of reads of the same array is an input edge).  With
+   [self_update] the target array is also read and carried, adding
+   flow/anti/output edges that pull the share below 90%. *)
+let stencil_nest st ~self_update ~idx ~depth =
+  let bound = 8 + Random.State.int st 56 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:3 ~hi:bound ())
+  in
+  let names = distinct_arrays st ~count:3 ~offset:idx in
+  let lhs_name, read_names =
+    match names with
+    | lhs :: rest -> (lhs, rest)
+    | [] -> assert false
+  in
+  let point offsets name =
+    Aref.make name
+      (List.init depth (fun k ->
+           Affine.add_const (Affine.var ~depth k) offsets.(k)))
+  in
+  let n_stmts = 1 + Random.State.int st 3 in
+  let body =
+    List.init n_stmts (fun si ->
+        let n_reads = 4 + Random.State.int st 6 in
+        let reads =
+          List.init n_reads (fun _ ->
+              let name =
+                List.nth read_names (Random.State.int st (List.length read_names))
+              in
+              let offsets =
+                Array.init depth (fun _ ->
+                    weighted st [ (3, 0); (2, 1); (2, -1); (1, 2); (1, -2) ])
+          in
+              Expr.Read (point offsets name))
+        in
+        let lhs = point (Array.make depth (-si)) lhs_name in
+        let reads =
+          if self_update then
+            let back = Array.init depth (fun _ -> -1 - Random.State.int st 1) in
+            Expr.Read lhs :: Expr.Read (point back lhs_name) :: reads
+          else reads
+        in
+        let rhs =
+          List.fold_left
+            (fun acc r -> Expr.Bin (Expr.Add, acc, r))
+            (List.hd reads) (List.tl reads)
+        in
+        Stmt.store lhs rhs)
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops ~body
+
+let routine st idx =
+  let depth = weighted st [ (20, 1); (52, 2); (28, 3) ] in
+  let kind =
+    weighted st
+      [ (44, `Streaming); (5, `Recurrence); (9, `Light); (15, `Stencil);
+        (10, `Stencil_update); (17, `Mixed) ]
+  in
+  let n_nests = 1 + Random.State.int st 2 in
+  let nests =
+    List.init n_nests (fun k ->
+        let idx = (idx * 3) + k in
+        match kind with
+        | `Streaming -> streaming_nest st ~idx ~depth
+        | `Recurrence -> recurrence_nest st ~idx ~depth:(max 1 depth)
+        | `Light -> light_reuse_nest st ~idx ~depth:(max 1 depth)
+        | `Stencil -> stencil_nest st ~self_update:false ~idx ~depth:(max 2 depth)
+        | `Stencil_update ->
+            stencil_nest st ~self_update:true ~idx ~depth:(max 2 depth)
+        | `Mixed -> gen_nest st ~idx ~depth ~reuse_heavy:true)
+  in
+  { name = Printf.sprintf "routine%04d" idx; nests }
+
+let corpus ?(seed = 1997) ~count () =
+  let st = Random.State.make [| seed |] in
+  List.init count (fun idx -> routine st idx)

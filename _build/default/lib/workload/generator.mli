@@ -1,0 +1,19 @@
+(** Seeded synthetic routine generator for the Table 1 corpus.
+
+    The paper measured 1187 SPEC92 / Perfect / NAS / local routines; the
+    originals are not redistributable, so this generator emits loop nests
+    whose reference-pattern mix follows array-heavy scientific Fortran:
+    stencils with small constant offsets, reductions over lower-dimension
+    arrays, dense linear-algebra accesses (transposed and coefficient-2
+    subscripts included), loop-invariant references, and a share of
+    routines with no array reuse at all (the paper, too, found 538 of its
+    1187 routines dependence-free).  Everything is driven by a seed, so
+    the corpus is reproducible. *)
+
+type routine = { name : string; nests : Ujam_ir.Nest.t list }
+
+val routine : Random.State.t -> int -> routine
+(** [routine st idx] generates one routine. *)
+
+val corpus : ?seed:int -> count:int -> unit -> routine list
+(** [count] routines from the given [seed] (default 1997). *)

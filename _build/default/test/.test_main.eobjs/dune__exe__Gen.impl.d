@@ -1,0 +1,1 @@
+test/gen.ml: Affine Aref Array Expr Fun List Loop Nest QCheck2 QCheck_alcotest Stmt String Ujam_core Ujam_ir Ujam_linalg

@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Array Balance Bruteforce Gen List Machine Option Presets Printf QCheck2 Search Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Unroll_space Vec

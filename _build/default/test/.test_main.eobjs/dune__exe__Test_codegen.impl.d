@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Driver List Printf Scalar_replace String Ujam_core Ujam_ir Ujam_kernels Ujam_machine Ujam_sim

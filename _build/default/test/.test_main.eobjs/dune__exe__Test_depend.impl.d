@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Array Depvec Format Gen Graph List QCheck2 Safety Site Stats String Test_pair Test_unroll Ujam_depend Ujam_ir Ujam_kernels Ujam_linalg Unroll Vec

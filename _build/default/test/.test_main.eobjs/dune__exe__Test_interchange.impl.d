@@ -1,0 +1,1 @@
+test/test_interchange.ml: Affine Alcotest Aref Array Driver Gen Interchange List Nest Permute QCheck2 Test_unroll Ujam_core Ujam_depend Ujam_ir Ujam_kernels Ujam_machine Ujam_reuse

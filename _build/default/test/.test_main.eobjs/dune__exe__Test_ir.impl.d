@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Alcotest Aref Array Expr Gen List Loop Mat Nest Option QCheck2 Site Stmt String Ujam_ir Ujam_kernels Ujam_linalg Vec

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Affine Alcotest Aref Array Catalogue Extras Format Interchange Kernels List Nest Option String Ujam_core Ujam_ir Ujam_kernels Ujam_machine

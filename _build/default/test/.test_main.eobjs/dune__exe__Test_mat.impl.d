@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Gen List Mat Option QCheck2 Rat Ujam_linalg Vec

@@ -1,0 +1,1 @@
+test/test_parse.ml: Affine Alcotest Aref Array Driver Expr Gen List Loop Nest Parse Printf QCheck2 Scalar_replace Stmt String Ujam_core Ujam_ir Ujam_kernels Ujam_machine

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Driver Float Gen Interp List Nest Option Printf QCheck2 Scalar_replace Search String Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Ujam_sim Unroll Vec

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Gen QCheck2 Rat Ujam_linalg

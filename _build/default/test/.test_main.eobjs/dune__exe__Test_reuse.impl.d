@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Aref Gen Groups List Locality Mat Nest QCheck2 Selfreuse Site String Subspace Ugs Ujam_ir Ujam_kernels Ujam_linalg Ujam_reuse Vec

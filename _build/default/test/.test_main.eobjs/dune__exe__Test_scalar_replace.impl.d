@@ -1,0 +1,1 @@
+test/test_scalar_replace.ml: Alcotest Gen List Nest Printf QCheck2 Scalar_replace Site Streams String Subspace Ujam_core Ujam_ir Ujam_kernels Ujam_linalg

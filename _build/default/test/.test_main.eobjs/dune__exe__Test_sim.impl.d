@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cache Cpu Expr Layout List Machine Nest Option Presets Printf Runner Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Ujam_sim

@@ -1,0 +1,1 @@
+test/test_subspace.ml: Alcotest Gen Mat QCheck2 Subspace Ujam_linalg Vec

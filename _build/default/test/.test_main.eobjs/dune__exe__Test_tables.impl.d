@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Array Gen Groups List Nest Printf QCheck2 Rrs Streams String Subspace Tables Ugs Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_reuse Unroll Unroll_space Vec

@@ -1,0 +1,1 @@
+test/test_tile.ml: Alcotest Array Gen List Loop Nest Printf QCheck2 Scalar_replace Tile Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Ujam_machine Ujam_sim Unroll

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Affine Alcotest Aref Array Expr Float Gen Hashtbl List Loop Nest Printf QCheck2 Stmt String Ujam_core Ujam_ir Ujam_kernels Ujam_linalg Unroll Vec

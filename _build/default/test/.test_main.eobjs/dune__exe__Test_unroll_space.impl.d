@@ -1,0 +1,1 @@
+test/test_unroll_space.ml: Alcotest List Ujam_core Ujam_linalg Unroll_space Vec

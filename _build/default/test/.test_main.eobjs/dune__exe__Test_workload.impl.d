@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Corpus Generator List Printf String Ujam_ir Ujam_workload

@@ -1,0 +1,15 @@
+  $ ujc list | head -6
+  $ ujc show dmxpy0 -n 6
+  $ ujc tables dmxpy0 -n 6 -b 2
+  $ ujc optimize dmxpy0 -n 16 -b 3 --no-cache | head -4
+  $ ujc verify dmxpy0 -n 16 -b 3 | tail -1
+  $ ujc graph dmxpy0 -n 6
+  $ ujc graph dmxpy0 -n 6 --no-input
+  $ cat > my.loop <<'LOOP'
+  > DO I = 1, 32
+  >   DO J = 1, 32
+  >     Y(I) = Y(I) + X(J) * M(I,J)
+  >   ENDDO
+  > ENDDO
+  > LOOP
+  $ ujc compile my.loop --permute -b 1 | head -2

@@ -1,0 +1,66 @@
+The kernel catalogue is Table 2 of the paper plus the extra kernels:
+
+  $ ujc list | head -6
+  Num  Loop       Description
+  1    jacobi     Compute Jacobian of a Matrix
+  2    afold      Adjoint Convolution
+  3    btrix.1    SPEC/NASA7/BTRIX
+  4    btrix.2    SPEC/NASA7/BTRIX
+  5    btrix.7    SPEC/NASA7/BTRIX
+
+Kernels print as Fortran-style source:
+
+  $ ujc show dmxpy0 -n 6
+  DO J = 1, 6
+    DO I = 1, 6
+      Y(I) = Y(I) + X(J) * M(I,J)
+    ENDDO
+  ENDDO
+
+The unroll tables come straight from the UGS structure:
+
+  $ ujc tables dmxpy0 -n 6 -b 2
+  u          V_M  R    g_T  g_S
+  (0,0)      3    4    3    3   
+  (1,0)      5    7    5    4   
+  (2,0)      7    10   7    5   
+
+Optimization picks unroll amounts, transforms, and scalar-replaces:
+
+  $ ujc optimize dmxpy0 -n 16 -b 3 --no-cache | head -4
+  dmxpy0 on DEC-Alpha-21064 (no-cache model)
+  beta_M = 1.000; original beta_L = 1.500; chosen u = (3,0); final beta_L = 1.125
+  registers 13/32, V_M 9, V_F 8
+  safety bounds: inf,0; locality ranking: L0:0.25
+
+The interpreter verifies the full pipeline end to end:
+
+  $ ujc verify dmxpy0 -n 16 -b 3 | tail -1
+  semantics PRESERVED
+
+The dependence graph shows the input edges the UGS model never stores:
+
+  $ ujc graph dmxpy0 -n 6
+  input: r:Y(I)#0 -> r:Y(I)#0 (*,0)
+  anti: r:Y(I)#0 -> w:Y(I)#0 (*,0)
+  input: r:X(J)#0 -> r:X(J)#0 (0,*)
+  output: w:Y(I)#0 -> w:Y(I)#0 (*,0)
+  flow=0 anti=1 output=1 input=2 (total 4)
+
+  $ ujc graph dmxpy0 -n 6 --no-input
+  anti: r:Y(I)#0 -> w:Y(I)#0 (*,0)
+  output: w:Y(I)#0 -> w:Y(I)#0 (*,0)
+  flow=0 anti=1 output=1 input=0 (total 2)
+
+A loop nest can be compiled from a file:
+
+  $ cat > my.loop <<'LOOP'
+  > DO I = 1, 32
+  >   DO J = 1, 32
+  >     Y(I) = Y(I) + X(J) * M(I,J)
+  >   ENDDO
+  > ENDDO
+  > LOOP
+  $ ujc compile my.loop --permute -b 1 | head -2
+  permutation [1;0], Eq.1 cost 1.250 -> 0.500
+  my on DEC-Alpha-21064 (cache model)

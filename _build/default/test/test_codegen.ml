@@ -1,0 +1,86 @@
+(* Fortran emission: structural checks (no Fortran compiler is available
+   in the sealed test environment, so we validate shape and the
+   1-rebasing of subscripts). *)
+
+open Ujam_sim
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else if String.sub s i n = sub then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_declarations () =
+  let nest = Ujam_kernels.Kernels.jacobi ~n:20 () in
+  let decls = Codegen.declarations nest in
+  Alcotest.(check int) "two arrays" 2 (List.length decls);
+  let _, _, a_ext = List.find (fun (b, _, _) -> b = "A") decls in
+  let _, _, b_ext = List.find (fun (b, _, _) -> b = "B") decls in
+  (* A touched on 2..19 each dim; B on 1..20 *)
+  Alcotest.(check (array int)) "A extents" [| 18; 18 |] a_ext;
+  Alcotest.(check (array int)) "B extents" [| 20; 20 |] b_ext
+
+let test_program_shape () =
+  let nest = Ujam_kernels.Kernels.sor ~n:16 () in
+  let src = Codegen.to_program ~scalars:[ ("OMEGA", 0.9) ] nest in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains src needle))
+    [ "PROGRAM SOR";
+      "DOUBLE PRECISION A(";
+      "DOUBLE PRECISION OMEGA";
+      "OMEGA = 0.9D0";
+      "DO J =";
+      "DO I =";
+      "ENDDO";
+      "CHKSUM";
+      "PRINT *, CHKSUM";
+      "END" ]
+
+let test_subscript_rebase () =
+  (* A(I-1) with I from 1: the smallest touched index is 0, so emitted
+     subscripts must be shifted up by one. *)
+  let open Ujam_ir.Build in
+  let d = 1 in
+  let i = var d 0 in
+  let nest =
+    nest "shiftme"
+      [ loop d "I" ~level:0 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i ] <<- rd "A" [ i -$ 1 ] +: f 1.0 ]
+  in
+  let src = Codegen.to_program nest in
+  Alcotest.(check bool) "write shifted to A(I+1)" true (contains src "A(I+1) =");
+  Alcotest.(check bool) "read shifted to A(I)" true (contains src "A(I) + 1.0");
+  Alcotest.(check bool) "declared with full range" true
+    (contains src "DOUBLE PRECISION A(10)")
+
+let test_all_kernels_emit () =
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build ~n:10 () in
+      let src = Codegen.to_program nest in
+      Alcotest.(check bool)
+        (e.Ujam_kernels.Catalogue.name ^ " emits a program")
+        true
+        (contains src "PROGRAM" && contains src "END"))
+    Ujam_kernels.Catalogue.all
+
+let test_transformed_emits () =
+  let open Ujam_core in
+  let nest = Ujam_kernels.Kernels.mmjki ~n:12 () in
+  let r = Driver.optimize ~bound:3 ~machine:Ujam_machine.Presets.alpha nest in
+  let out = Scalar_replace.apply r.Driver.transformed r.Driver.plan in
+  let src = Codegen.to_program out in
+  Alcotest.(check bool) "temporaries declared or assigned" true (contains src "C_");
+  Alcotest.(check bool) "unrolled step" true (contains src "DO J = 1, 12,")
+
+let suite =
+  [ Alcotest.test_case "declarations" `Quick test_declarations;
+    Alcotest.test_case "program shape" `Quick test_program_shape;
+    Alcotest.test_case "subscript rebase" `Quick test_subscript_rebase;
+    Alcotest.test_case "all kernels emit" `Quick test_all_kernels_emit;
+    Alcotest.test_case "transformed code emits" `Quick test_transformed_emits ]

@@ -1,0 +1,268 @@
+(* Dependence analysis: distance vectors, pair tests, graph construction,
+   statistics and unroll-and-jam safety. *)
+
+open Ujam_linalg
+open Ujam_ir
+open Ujam_ir.Build
+open Ujam_depend
+
+let v = Vec.of_list
+let dvec = Alcotest.testable Depvec.pp Depvec.equal
+
+let test_depvec () =
+  Alcotest.(check bool) "zero" true (Depvec.is_zero (Depvec.exact (v [ 0; 0 ])));
+  Alcotest.(check bool) "star not zero" false (Depvec.is_zero (Depvec.all_star 2));
+  let check_sign name expect d =
+    Alcotest.(check string) name expect
+      (match Depvec.lex_sign d with
+      | `Pos -> "pos"
+      | `Neg -> "neg"
+      | `Zero -> "zero"
+      | `Ambiguous -> "ambiguous")
+  in
+  check_sign "pos" "pos" (Depvec.exact (v [ 0; 2; -1 ]));
+  check_sign "neg" "neg" (Depvec.exact (v [ 0; -1; 5 ]));
+  check_sign "zero" "zero" (Depvec.exact (v [ 0; 0 ]));
+  check_sign "ambiguous" "ambiguous" [| Depvec.Exact 0; Depvec.Star; Depvec.Exact 1 |];
+  Alcotest.check dvec "negate"
+    [| Depvec.Exact (-1); Depvec.Star |]
+    (Depvec.negate [| Depvec.Exact 1; Depvec.Star |]);
+  Alcotest.(check (option int)) "carried level" (Some 1)
+    (Depvec.carried_level (Depvec.exact (v [ 0; 3; 0 ])));
+  Alcotest.(check (option int)) "loop independent" None
+    (Depvec.carried_level (Depvec.exact (v [ 0; 0 ])))
+
+let bounds2 = Some [| (1, 10); (1, 10) |]
+
+let test_pair_uniform () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  (* A(I,J) vs A(I-1,J-2): unique distance (2,1) *)
+  let r1 = aref "A" [ i; j ] and r2 = aref "A" [ i -$ 1; j -$ 2 ] in
+  (match Test_pair.test ~bounds:bounds2 r1 r2 with
+  | Test_pair.Dependent dv ->
+      Alcotest.check dvec "strong SIV distance" (Depvec.exact (v [ 2; 1 ])) dv
+  | Test_pair.Independent -> Alcotest.fail "expected dependence");
+  (* distance exceeding the iteration space *)
+  (match Test_pair.test ~bounds:bounds2 r1 (aref "A" [ i -$ 1; j -$ 20 ]) with
+  | Test_pair.Independent -> ()
+  | Test_pair.Dependent _ -> Alcotest.fail "distance 20 > trip 9");
+  (* without bounds the same pair is conservatively dependent *)
+  (match Test_pair.test ~bounds:None r1 (aref "A" [ i -$ 1; j -$ 20 ]) with
+  | Test_pair.Dependent _ -> ()
+  | Test_pair.Independent -> Alcotest.fail "no bounds: cannot disprove")
+
+let test_pair_kernel () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  (* A(J) only uses the outer loop: self distance set spans the inner *)
+  let r = aref "A" [ j ] in
+  (match Test_pair.test ~bounds:bounds2 r r with
+  | Test_pair.Dependent dv ->
+      Alcotest.check dvec "invariant self dependence"
+        [| Depvec.Exact 0; Depvec.Star |] dv
+  | Test_pair.Independent -> Alcotest.fail "expected self dependence");
+  (* stride-2 subscripts: A(2J) vs A(2J+1) never overlap *)
+  (match Test_pair.test ~bounds:bounds2 (aref "A" [ 2 *$ j ]) (aref "A" [ (2 *$ j) +$ 1 ]) with
+  | Test_pair.Independent -> ()
+  | Test_pair.Dependent _ -> Alcotest.fail "gcd test should disprove");
+  ignore i
+
+let test_pair_nonuniform () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  (* A(I) vs A(J): different H, overlapping ranges -> all-star *)
+  (match Test_pair.test ~bounds:bounds2 (aref "A" [ i ]) (aref "A" [ j ]) with
+  | Test_pair.Dependent dv -> Alcotest.check dvec "all star" (Depvec.all_star 2) dv
+  | Test_pair.Independent -> Alcotest.fail "expected dependence");
+  (* Banerjee: disjoint value ranges *)
+  (match
+     Test_pair.test ~bounds:bounds2 (aref "A" [ i ]) (aref "A" [ j +$ 100 ])
+   with
+  | Test_pair.Independent -> ()
+  | Test_pair.Dependent _ -> Alcotest.fail "Banerjee should disprove");
+  (* different arrays never depend *)
+  (match Test_pair.test ~bounds:bounds2 (aref "A" [ i ]) (aref "B" [ i ]) with
+  | Test_pair.Independent -> ()
+  | Test_pair.Dependent _ -> Alcotest.fail "different arrays")
+
+let edge_kinds g =
+  List.map
+    (fun (e : Graph.edge) -> Format.asprintf "%a" Graph.pp_kind e.Graph.kind)
+    g.Graph.edges
+  |> List.sort compare
+
+let test_graph_reduction () =
+  (* A(J) = A(J) + B(I): flow/anti/output on A are within one location;
+     B has a self input dependence. *)
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let nest =
+    nest "reduction"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:8 (); loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "A" [ j ] <<- rd "A" [ j ] +: rd "B" [ i ] ]
+  in
+  let g = Graph.build ~include_input:true nest in
+  (* one edge per reference pair: the read/write pair of A carries both
+     the flow and anti relation and is recorded once with its star
+     distance; each invariant reference has a self input edge *)
+  Alcotest.(check (list string)) "edge kinds"
+    [ "anti"; "input"; "input"; "output" ]
+    (edge_kinds g);
+  let no_input = Graph.build ~include_input:false nest in
+  Alcotest.(check int) "input excluded" 2 (List.length no_input.Graph.edges);
+  let anti =
+    List.find (fun (e : Graph.edge) -> e.Graph.kind = Graph.Anti) g.Graph.edges
+  in
+  Alcotest.check dvec "A pair distance set" [| Depvec.Exact 0; Depvec.Star |]
+    anti.Graph.dvec
+
+let test_graph_direction_normalisation () =
+  (* write A(I,J); read A(I,J-1): the source must be the write (value
+     flows forward one J iteration). *)
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let fwd_nest =
+    nest "fwd"
+      [ loop d "J" ~level:0 ~lo:2 ~hi:9 (); loop d "I" ~level:1 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i; j -$ 1 ] +: f 1.0 ]
+  in
+  let g = Graph.build ~include_input:true fwd_nest in
+  let flow =
+    List.find (fun (e : Graph.edge) -> e.Graph.kind = Graph.Flow) g.Graph.edges
+  in
+  Alcotest.(check bool) "src is the write" true (Site.is_write flow.Graph.src);
+  Alcotest.check dvec "distance (1,0)" (Depvec.exact (v [ 1; 0 ])) flow.Graph.dvec;
+  (* loop-independent: read and write of the same element in one stmt *)
+  let nest2 =
+    nest "li"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:9 (); loop d "I" ~level:1 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i; j ] +: f 1.0 ]
+  in
+  let g2 = Graph.build ~include_input:true nest2 in
+  let anti =
+    List.find (fun (e : Graph.edge) -> e.Graph.kind = Graph.Anti) g2.Graph.edges
+  in
+  Alcotest.(check bool) "loop-independent anti from the read" true
+    (Depvec.is_zero anti.Graph.dvec && not (Site.is_write anti.Graph.src))
+
+let test_stats () =
+  let nest = Ujam_kernels.Kernels.jacobi ~n:16 () in
+  let s = Stats.of_graph (Graph.build ~include_input:true nest) in
+  (* 4 reads of B: C(4,2) = 6 input pairs *)
+  Alcotest.(check int) "jacobi input edges" 6 s.Stats.input;
+  Alcotest.(check int) "jacobi flow" 0 s.Stats.flow;
+  (match Stats.input_fraction s with
+  | Some f -> Alcotest.(check bool) "input dominates" true (f > 0.9)
+  | None -> Alcotest.fail "expected stats");
+  Alcotest.(check (option (float 0.001))) "empty graph fraction" None
+    (Stats.input_fraction Stats.zero);
+  let z = Stats.add Stats.zero s in
+  Alcotest.(check int) "add" (Stats.total s) (Stats.total z)
+
+let test_safety () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  (* forward-only dependence: any amount is safe *)
+  let fwd =
+    nest "fwd"
+      [ loop d "J" ~level:0 ~lo:2 ~hi:9 (); loop d "I" ~level:1 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i; j -$ 1 ] +: f 1.0 ]
+  in
+  let b = Safety.max_safe_unroll (Graph.build ~include_input:false fwd) in
+  Alcotest.(check int) "outer unconstrained" max_int b.(0);
+  Alcotest.(check int) "innermost never unrolled" 0 b.(1);
+  (* (1,-1) dependence: unroll-and-jam of J would reverse it; the carried
+     distance 1 caps extra copies at 0. *)
+  let skew =
+    nest "skew"
+      [ loop d "J" ~level:0 ~lo:2 ~hi:9 (); loop d "I" ~level:1 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i +$ 1; j -$ 1 ] +: f 1.0 ]
+  in
+  let b = Safety.max_safe_unroll (Graph.build ~include_input:false skew) in
+  Alcotest.(check int) "blocking dependence caps J" 0 b.(0);
+  (* distance (2,-1): one extra copy is legal, two are not *)
+  let skew2 =
+    nest "skew2"
+      [ loop d "J" ~level:0 ~lo:3 ~hi:10 (); loop d "I" ~level:1 ~lo:1 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i +$ 1; j -$ 2 ] +: f 1.0 ]
+  in
+  let b = Safety.max_safe_unroll (Graph.build ~include_input:false skew2) in
+  Alcotest.(check int) "distance 2 allows one extra copy" 1 b.(0);
+  Alcotest.(check bool) "is_safe accepts" true
+    (Safety.is_safe (Graph.build ~include_input:false skew2) (v [ 1; 0 ]));
+  Alcotest.(check bool) "is_safe rejects" false
+    (Safety.is_safe (Graph.build ~include_input:false skew2) (v [ 2; 0 ]))
+
+(* Semantic validation of the safety rule: if max_safe_unroll allows u,
+   the transformed loop must compute the same values. *)
+let test_safety_semantics () =
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let skew2 =
+    nest "skew2"
+      [ loop d "J" ~level:0 ~lo:3 ~hi:10 (); loop d "I" ~level:1 ~lo:2 ~hi:9 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i +$ 1; j -$ 2 ] +: f 1.0 ]
+  in
+  let same u =
+    Test_unroll.stores_equal
+      (Test_unroll.interpret skew2)
+      (Test_unroll.interpret (Unroll.unroll_and_jam skew2 (v u)))
+  in
+  Alcotest.(check bool) "safe amount preserves semantics" true (same [ 1; 0 ]);
+  Alcotest.(check bool) "unsafe amount breaks semantics" false (same [ 3; 0 ])
+
+let prop_edges_have_valid_distance =
+  QCheck2.Test.make ~name:"depend: normalised edges lex-nonneg" ~count:150
+    (Gen.nest_gen ()) (fun nest ->
+      let g = Graph.build ~include_input:true nest in
+      List.for_all
+        (fun (e : Graph.edge) ->
+          match Depvec.lex_sign e.Graph.dvec with
+          | `Pos | `Zero | `Ambiguous -> true
+          | `Neg -> false)
+        g.Graph.edges)
+
+let prop_input_subset =
+  QCheck2.Test.make ~name:"depend: include_input only adds input edges" ~count:150
+    (Gen.nest_gen ()) (fun nest ->
+      let all = Graph.build ~include_input:true nest in
+      let no = Graph.build ~include_input:false nest in
+      let non_input =
+        List.filter (fun (e : Graph.edge) -> e.Graph.kind <> Graph.Input) all.Graph.edges
+      in
+      List.length non_input = List.length no.Graph.edges
+      && List.for_all
+           (fun (e : Graph.edge) -> e.Graph.kind <> Graph.Input)
+           no.Graph.edges)
+
+let test_dot_export () =
+  let nest = Ujam_kernels.Kernels.dmxpy0 ~n:8 () in
+  let dot = Graph.to_dot (Graph.build ~include_input:true nest) in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length dot then false
+      else if String.sub dot i n = sub then true
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "write node boxed" true (contains "shape=box");
+  Alcotest.(check bool) "input edges dashed" true (contains "style=dashed");
+  Alcotest.(check bool) "distance labels" true (contains "(0,*)")
+
+let suite =
+  [ Alcotest.test_case "depvec" `Quick test_depvec;
+    Alcotest.test_case "uniform pairs" `Quick test_pair_uniform;
+    Alcotest.test_case "kernel distances" `Quick test_pair_kernel;
+    Alcotest.test_case "non-uniform pairs" `Quick test_pair_nonuniform;
+    Alcotest.test_case "reduction graph" `Quick test_graph_reduction;
+    Alcotest.test_case "direction normalisation" `Quick test_graph_direction_normalisation;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "safety bounds" `Quick test_safety;
+    Alcotest.test_case "safety semantics" `Quick test_safety_semantics;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Gen.to_alcotest prop_edges_have_valid_distance;
+    Gen.to_alcotest prop_input_subset ]

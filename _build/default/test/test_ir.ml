@@ -1,0 +1,202 @@
+(* IR building blocks: affine subscripts, references, expressions,
+   statements, nests, sites. *)
+
+open Ujam_linalg
+open Ujam_ir
+open Ujam_ir.Build
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+let mat = Alcotest.testable Mat.pp Mat.equal
+
+let test_affine_eval () =
+  let d = 3 in
+  let a = (2 *$ var d 1) +$ 5 in
+  Alcotest.(check int) "eval" 11 (Affine.eval a [| 9; 3; 7 |]);
+  Alcotest.(check int) "constant eval" 4 (Affine.eval (cst d 4) [| 1; 2; 3 |]);
+  Alcotest.(check bool) "uses_level" true (Affine.uses_level a 1);
+  Alcotest.(check bool) "not uses_level" false (Affine.uses_level a 0);
+  Alcotest.(check bool) "is_constant" true (Affine.is_constant (cst d 7))
+
+let test_affine_shift () =
+  let d = 2 in
+  let a = (3 *$ var d 0) ++$ var d 1 in
+  let shifted = Affine.shift a [| 2; -1 |] in
+  (* coefficients unchanged, constant absorbs 3*2 + 1*(-1) = 5 *)
+  Alcotest.(check int) "shifted constant" 5 shifted.Affine.const;
+  Alcotest.(check bool) "coefs unchanged" true
+    (Array.for_all2 ( = ) a.Affine.coefs shifted.Affine.coefs);
+  Alcotest.(check int) "shift = eval difference"
+    (Affine.eval a [| 7 + 2; 4 - 1 |])
+    (Affine.eval shifted [| 7; 4 |])
+
+let test_aref_hc () =
+  let d = 2 in
+  let i = var d 1 and j = var d 0 in
+  (* A(I+1, J-3) in a (J,I) nest: H rows are array dims *)
+  let r = aref "A" [ i +$ 1; j -$ 3 ] in
+  Alcotest.check mat "H" (Mat.of_rows_list [ [ 0; 1 ]; [ 1; 0 ] ]) (Aref.h_matrix r);
+  Alcotest.check vec "c" (Vec.of_list [ 1; -3 ]) (Aref.c_vector r);
+  Alcotest.(check bool) "separable" true (Aref.is_separable_siv r);
+  Alcotest.(check bool) "coupled not separable" false
+    (Aref.is_separable_siv (aref "C" [ i ++$ j ]))
+
+let test_aref_shift () =
+  let d = 2 in
+  let r = aref "A" [ var d 1; var d 0 +$ 2 ] in
+  let r' = Aref.shift r [| 3; 1 |] in
+  Alcotest.check vec "c + H o" (Vec.of_list [ 1; 5 ]) (Aref.c_vector r');
+  Alcotest.check mat "H unchanged" (Aref.h_matrix r) (Aref.h_matrix r')
+
+let test_expr_flops_reads () =
+  let d = 1 in
+  let e = (rd "A" [ var d 0 ] +: rd "B" [ var d 0 ]) *: (f 2.0 -: s "X") in
+  Alcotest.(check int) "flops counts binops" 3 (Expr.flops e);
+  Alcotest.(check int) "reads" 2 (List.length (Expr.reads e));
+  Alcotest.(check (list string)) "scalars" [ "X" ] (Expr.scalars e);
+  Alcotest.(check (list string)) "reads in textual order" [ "A"; "B" ]
+    (List.map Aref.base (Expr.reads e));
+  Alcotest.(check int) "neg free" 0 (Expr.flops (Expr.Neg (f 1.0)))
+
+let test_expr_substitute_order () =
+  let d = 1 in
+  let e = rd "A" [ var d 0 ] +: (rd "B" [ var d 0 ] *: rd "A" [ var d 0 ]) in
+  (* substitution function must see reads left-to-right *)
+  let seen = ref [] in
+  let _ =
+    Expr.substitute
+      (fun r ->
+        seen := Aref.base r :: !seen;
+        None)
+      e
+  in
+  Alcotest.(check (list string)) "traversal order" [ "A"; "B"; "A" ] (List.rev !seen)
+
+let test_stmt () =
+  let d = 1 in
+  let st = aref "A" [ var d 0 ] <<- rd "A" [ var d 0 -$ 1 ] +: s "C" in
+  Alcotest.(check int) "stmt flops" 1 (Stmt.flops st);
+  Alcotest.(check int) "writes" 1 (List.length (Stmt.writes st));
+  Alcotest.(check int) "reads" 1 (List.length (Stmt.reads st));
+  let st' = Stmt.shift st [| 2 |] in
+  Alcotest.check vec "lhs shifted" (Vec.of_list [ 2 ])
+    (Aref.c_vector (List.hd (Stmt.writes st')));
+  Alcotest.check vec "rhs shifted" (Vec.of_list [ 1 ])
+    (Aref.c_vector (List.hd (Stmt.reads st')));
+  let sc = "t0" <<~ s "x" in
+  Alcotest.(check int) "scalar lhs no writes" 0 (List.length (Stmt.writes sc))
+
+let test_nest_validation () =
+  let d = 2 in
+  Alcotest.check_raises "levels out of order"
+    (Invalid_argument "Nest.make: loop levels out of order") (fun () ->
+      ignore
+        (nest "bad"
+           [ loop d "I" ~level:1 ~lo:1 ~hi:5 (); loop d "J" ~level:0 ~lo:1 ~hi:5 () ]
+           []));
+  Alcotest.check_raises "subscript depth mismatch"
+    (Invalid_argument "Nest.make: subscript depth mismatch") (fun () ->
+      ignore
+        (nest "bad"
+           [ loop d "I" ~level:0 ~lo:1 ~hi:5 (); loop d "J" ~level:1 ~lo:1 ~hi:5 () ]
+           [ aref "A" [ var 3 0 ] <<- f 1.0 ]));
+  Alcotest.check_raises "bound uses inner index"
+    (Invalid_argument "Loop.make: bound uses inner index") (fun () ->
+      ignore (loop_aff "I" ~level:0 ~lo:(var d 1) ~hi:(cst d 5) ()))
+
+let test_nest_queries () =
+  let n = Ujam_kernels.Kernels.mmjki ~n:10 () in
+  Alcotest.(check int) "depth" 3 (Nest.depth n);
+  Alcotest.(check int) "flops" 2 (Nest.flops_per_iteration n);
+  Alcotest.(check (list string)) "arrays" [ "C"; "A"; "B" ] (Nest.arrays n);
+  Alcotest.(check int) "refs" 4 (List.length (Nest.refs n));
+  Alcotest.(check (option int)) "iterations" (Some 1000) (Nest.iterations n);
+  Alcotest.(check string) "var_name" "K" (Nest.var_name n 1)
+
+let test_nest_iteration () =
+  (* triangular bounds: DO I = 1,3; DO J = I,3 *)
+  let d = 2 in
+  let n =
+    nest "tri"
+      [ loop d "I" ~level:0 ~lo:1 ~hi:3 ();
+        loop_aff "J" ~level:1 ~lo:(var d 0) ~hi:(cst d 3) () ]
+      [ aref "A" [ var d 1 ] <<- f 0.0 ]
+  in
+  let count = ref 0 and log = ref [] in
+  Nest.iter_index_vectors n (fun iv ->
+      incr count;
+      log := (iv.(0), iv.(1)) :: !log);
+  Alcotest.(check int) "triangular count" 6 !count;
+  Alcotest.(check bool) "lower bound respected" true
+    (List.for_all (fun (i, j) -> j >= i) !log);
+  Alcotest.(check (option int)) "no constant trips" None
+    (Option.map Array.length (Nest.trip_counts n))
+
+let test_nest_step_iteration () =
+  let d = 1 in
+  let n =
+    nest "step"
+      [ Loop.make_const ~var:"I" ~level:0 ~depth:d ~lo:1 ~hi:10 ~step:3 () ]
+      [ aref "A" [ var d 0 ] <<- f 0.0 ]
+  in
+  let ivs = ref [] in
+  Nest.iter_index_vectors n (fun iv -> ivs := iv.(0) :: !ivs);
+  Alcotest.(check (list int)) "stepped indices" [ 1; 4; 7; 10 ] (List.rev !ivs)
+
+let test_pretty () =
+  let str = Nest.to_string (Ujam_kernels.Kernels.dmxpy0 ~n:5 ()) in
+  Alcotest.(check bool) "DO lines" true
+    (String.length str > 0
+    && List.exists
+         (fun line -> String.length line >= 2 && String.sub line 0 2 = "DO")
+         (String.split_on_char '\n' str));
+  Alcotest.(check bool) "mentions subscript" true
+    (let rec contains s sub i =
+       if i + String.length sub > String.length s then false
+       else if String.sub s i (String.length sub) = sub then true
+       else contains s sub (i + 1)
+     in
+     contains str "M(I,J)" 0)
+
+let test_sites () =
+  let n = Ujam_kernels.Kernels.dflux16 ~n:10 () in
+  let sites = Site.of_nest n in
+  Alcotest.(check int) "site count" 7 (List.length sites);
+  List.iteri
+    (fun i (s : Site.t) -> Alcotest.(check int) "dense ids in list order" i s.Site.id)
+    sites;
+  let writes = List.filter Site.is_write sites in
+  Alcotest.(check int) "one write per statement" 2 (List.length writes);
+  (* reads of a statement precede its write *)
+  List.iter
+    (fun (w : Site.t) ->
+      List.iter
+        (fun (s : Site.t) ->
+          if s.Site.stmt = w.Site.stmt && not (Site.is_write s) then
+            Alcotest.(check bool) "read id < write id" true (s.Site.id < w.Site.id))
+        sites)
+    writes
+
+let prop_shift_commutes_with_eval =
+  QCheck2.Test.make ~name:"ir: Aref.shift matches H*o on constants" ~count:300
+    QCheck2.Gen.(pair (Gen.aref_gen ~depth:3 ~base:"A") (Gen.vec_gen ~dim:3 ~lo:(-4) ~hi:4))
+    (fun (r, o) ->
+      let shifted = Aref.shift r (Vec.to_array o) in
+      Vec.equal
+        (Aref.c_vector shifted)
+        (Vec.add (Aref.c_vector r) (Mat.apply (Aref.h_matrix r) o)))
+
+let suite =
+  [ Alcotest.test_case "affine eval" `Quick test_affine_eval;
+    Alcotest.test_case "affine shift" `Quick test_affine_shift;
+    Alcotest.test_case "aref H and c" `Quick test_aref_hc;
+    Alcotest.test_case "aref shift" `Quick test_aref_shift;
+    Alcotest.test_case "expr flops/reads" `Quick test_expr_flops_reads;
+    Alcotest.test_case "expr substitute order" `Quick test_expr_substitute_order;
+    Alcotest.test_case "stmt" `Quick test_stmt;
+    Alcotest.test_case "nest validation" `Quick test_nest_validation;
+    Alcotest.test_case "nest queries" `Quick test_nest_queries;
+    Alcotest.test_case "triangular iteration" `Quick test_nest_iteration;
+    Alcotest.test_case "stepped iteration" `Quick test_nest_step_iteration;
+    Alcotest.test_case "pretty printer" `Quick test_pretty;
+    Alcotest.test_case "sites" `Quick test_sites;
+    Gen.to_alcotest prop_shift_commutes_with_eval ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "ujam"
+    [ ("linalg/rat", Test_rat.suite);
+      ("linalg/vec", Test_vec.suite);
+      ("linalg/mat", Test_mat.suite);
+      ("linalg/subspace", Test_subspace.suite);
+      ("ir/core", Test_ir.suite);
+      ("ir/unroll", Test_unroll.suite);
+      ("ir/parse", Test_parse.suite);
+      ("ir/interchange", Test_interchange.suite);
+      ("ir/tile", Test_tile.suite);
+      ("depend", Test_depend.suite);
+      ("reuse", Test_reuse.suite);
+      ("core/unroll-space", Test_unroll_space.suite);
+      ("core/tables", Test_tables.suite);
+      ("core/balance-search", Test_balance.suite);
+      ("core/scalar-replace", Test_scalar_replace.suite);
+      ("core/driver-models", Test_driver.suite);
+      ("sim", Test_sim.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("sim/codegen", Test_codegen.suite);
+      ("kernels", Test_kernels.suite);
+      ("workload", Test_workload.suite);
+      ("invariants", Test_invariants.suite) ]

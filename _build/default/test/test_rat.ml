@@ -1,0 +1,88 @@
+open Ujam_linalg
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let check_rat = Alcotest.check rat
+
+let test_normalisation () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.(check int) "den positive" 2 (Rat.den (Rat.make 1 (-2)));
+  Alcotest.(check int) "num carries sign" (-1) (Rat.num (Rat.make 1 (-2)))
+
+let test_arithmetic () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "1/2 / 1/4" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check_rat "neg" (Rat.make (-1) 2) (Rat.neg (Rat.make 1 2));
+  check_rat "abs" (Rat.make 1 2) (Rat.abs (Rat.make (-1) 2));
+  check_rat "inv" (Rat.make 3 2) (Rat.inv (Rat.make 2 3))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make _ 0" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rat.(make 1 3 < make 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rat.(make (-1) 2 < make 1 3);
+  Alcotest.(check int) "equal compare" 0 (Rat.compare (Rat.make 2 4) (Rat.make 1 2));
+  Alcotest.(check int) "sign neg" (-1) (Rat.sign (Rat.make (-3) 7));
+  check_rat "min" (Rat.make 1 3) (Rat.min (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "max" (Rat.make 1 2) (Rat.max (Rat.make 1 2) (Rat.make 1 3))
+
+let test_integrality () =
+  Alcotest.(check bool) "4/2 is integer" true (Rat.is_integer (Rat.make 4 2));
+  Alcotest.(check bool) "1/2 not integer" false (Rat.is_integer (Rat.make 1 2));
+  Alcotest.(check int) "to_int_exn" 2 (Rat.to_int_exn (Rat.make 4 2));
+  Alcotest.check_raises "to_int_exn 1/2"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Rat.to_int_exn (Rat.make 1 2)));
+  Alcotest.(check (float 1e-9)) "to_float" 0.5 (Rat.to_float (Rat.make 1 2))
+
+let prop_field_ops =
+  QCheck2.Test.make ~name:"rat: (a+b)*c = a*c + b*c" ~count:500
+    QCheck2.Gen.(
+      triple
+        (pair (int_range (-50) 50) (int_range 1 20))
+        (pair (int_range (-50) 50) (int_range 1 20))
+        (pair (int_range (-50) 50) (int_range 1 20)))
+    (fun ((an, ad), (bn, bd), (cn, cd)) ->
+      let a = Rat.make an ad and b = Rat.make bn bd and c = Rat.make cn cd in
+      Rat.equal
+        (Rat.mul (Rat.add a b) c)
+        (Rat.add (Rat.mul a c) (Rat.mul b c)))
+
+let prop_add_sub_roundtrip =
+  QCheck2.Test.make ~name:"rat: a + b - b = a" ~count:500
+    QCheck2.Gen.(
+      pair
+        (pair (int_range (-50) 50) (int_range 1 20))
+        (pair (int_range (-50) 50) (int_range 1 20)))
+    (fun ((an, ad), (bn, bd)) ->
+      let a = Rat.make an ad and b = Rat.make bn bd in
+      Rat.equal a (Rat.sub (Rat.add a b) b))
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"rat: compare antisymmetric" ~count:500
+    QCheck2.Gen.(
+      pair
+        (pair (int_range (-50) 50) (int_range 1 20))
+        (pair (int_range (-50) 50) (int_range 1 20)))
+    (fun ((an, ad), (bn, bd)) ->
+      let a = Rat.make an ad and b = Rat.make bn bd in
+      Rat.compare a b = -Rat.compare b a)
+
+let suite =
+  [ Alcotest.test_case "normalisation" `Quick test_normalisation;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "integrality" `Quick test_integrality;
+    Gen.to_alcotest prop_field_ops;
+    Gen.to_alcotest prop_add_sub_roundtrip;
+    Gen.to_alcotest prop_compare_antisym ]

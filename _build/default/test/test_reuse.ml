@@ -1,0 +1,220 @@
+(* The Wolf-Lam reuse model: UGS partitioning, self-reuse spaces,
+   group-temporal/spatial partitions, Equation 1 and loop ranking. *)
+
+open Ujam_linalg
+open Ujam_ir
+open Ujam_ir.Build
+open Ujam_reuse
+
+let space = Alcotest.testable Subspace.pp Subspace.equal
+
+let innermost d = Subspace.span_dims ~dim:d [ d - 1 ]
+
+let test_ugs_partition () =
+  (* A(I,J), A(I,J+1) share H; A(J,I) is transposed; B(I,J) is another
+     array. *)
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let nest =
+    nest "mix"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:8 (); loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "B" [ i; j ]
+        <<- rd "A" [ i; j ] +: rd "A" [ i; j +$ 1 ] +: rd "A" [ j; i ] ]
+  in
+  let groups = Ugs.of_nest nest in
+  Alcotest.(check int) "three UGSs" 3 (List.length groups);
+  let a_same =
+    List.find
+      (fun (g : Ugs.t) ->
+        String.equal g.Ugs.base "A" && List.length g.Ugs.members = 2)
+      groups
+  in
+  Alcotest.(check int) "leaders" 2 (List.length (Ugs.leaders a_same));
+  Alcotest.(check bool) "leaders lex sorted" true
+    (match Ugs.constant_vectors a_same with
+    | [ c1; c2 ] -> Vec.compare c1 c2 < 0
+    | _ -> false);
+  Alcotest.(check bool) "separable" true (Ugs.is_separable_siv a_same)
+
+let test_ugs_duplicate_constants () =
+  (* the same reference twice: one leader *)
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let nest =
+    nest "dup"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:8 (); loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "B" [ i; j ] <<- rd "A" [ i; j ] *: rd "A" [ i; j ] ]
+  in
+  let a = List.find (fun (g : Ugs.t) -> String.equal g.Ugs.base "A") (Ugs.of_nest nest) in
+  Alcotest.(check int) "two members" 2 (List.length a.Ugs.members);
+  Alcotest.(check int) "one leader" 1 (List.length (Ugs.leaders a))
+
+let test_self_reuse_spaces () =
+  let d = 3 in
+  (* A(I,J) in a (J,K,I) nest: ker H = span(e_K) *)
+  let h = Mat.of_rows_list [ [ 0; 0; 1 ]; [ 1; 0; 0 ] ] in
+  Alcotest.check space "self-temporal = e_K"
+    (Subspace.span_dims ~dim:d [ 1 ])
+    (Selfreuse.self_temporal h);
+  Alcotest.check space "self-spatial adds the contiguous walker"
+    (Subspace.span_dims ~dim:d [ 1; 2 ])
+    (Selfreuse.self_spatial h);
+  Alcotest.(check bool) "temporal in K-localized" true
+    (Selfreuse.has_self_temporal ~localized:(Subspace.span_dims ~dim:d [ 1 ]) h);
+  Alcotest.(check bool) "no temporal innermost" false
+    (Selfreuse.has_self_temporal ~localized:(innermost d) h);
+  Alcotest.(check bool) "spatial innermost" true
+    (Selfreuse.has_self_spatial ~localized:(innermost d) h);
+  (* row access B(K,J): innermost I not used at all -> temporal, and
+     spatial adds nothing beyond temporal *)
+  let hb = Mat.of_rows_list [ [ 0; 1; 0 ]; [ 1; 0; 0 ] ] in
+  Alcotest.(check bool) "invariant temporal" true
+    (Selfreuse.has_self_temporal ~localized:(innermost d) hb);
+  Alcotest.(check bool) "invariant not spatial-beyond-temporal" false
+    (Selfreuse.has_self_spatial ~localized:(innermost d) hb)
+
+let test_group_temporal () =
+  let nest = Ujam_kernels.Kernels.jacobi ~n:16 () in
+  let d = Nest.depth nest in
+  let b = List.find (fun (g : Ugs.t) -> String.equal g.Ugs.base "B") (Ugs.of_nest nest) in
+  (* innermost I: B(I-1,J), B(I,J±0...) merge along I; B(I,J-1), B(I,J+1)
+     stay separate *)
+  let gts = Groups.group_temporal ~localized:(innermost d) b in
+  Alcotest.(check int) "jacobi B: 3 GTSs innermost" 3 (Groups.count gts);
+  (* with both loops localized everything merges *)
+  let gts_full = Groups.group_temporal ~localized:(Subspace.full d) b in
+  Alcotest.(check int) "full space: single GTS" 1 (Groups.count gts_full);
+  (* classes are sorted and partition the members *)
+  Alcotest.(check int) "partition covers members" 4
+    (List.fold_left (fun acc c -> acc + List.length c) 0 gts.Groups.classes)
+
+let test_group_spatial () =
+  let jac = Ujam_kernels.Kernels.jacobi ~n:16 () in
+  let d = Nest.depth jac in
+  let b = List.find (fun (g : Ugs.t) -> String.equal g.Ugs.base "B") (Ugs.of_nest jac) in
+  (* spatially, B(I±1,J) and B(I,J) share cache lines; B(I,J±1) still
+     differ in the J (column) dimension *)
+  let gss = Groups.group_spatial ~localized:(innermost d) b in
+  Alcotest.(check int) "jacobi B: 3 GSSs innermost" 3 (Groups.count gss);
+  (* A(1,I) vs A(2,I): different rows of one column -> same line walk *)
+  let d2 = 2 in
+  let i = var d2 1 in
+  let nest2 =
+    nest "rows"
+      [ loop d2 "J" ~level:0 ~lo:1 ~hi:8 (); loop d2 "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "B" [ i ] <<- rd "A" [ cst d2 1; i ] +: rd "A" [ cst d2 2; i ] ]
+  in
+  let a = List.find (fun (g : Ugs.t) -> String.equal g.Ugs.base "A") (Ugs.of_nest nest2) in
+  Alcotest.(check int) "temporally distinct" 2
+    (Groups.count (Groups.group_temporal ~localized:(innermost d2) a));
+  Alcotest.(check int) "spatially one group" 1
+    (Groups.count (Groups.group_spatial ~localized:(innermost d2) a))
+
+let test_eq1_costs () =
+  let line = 4 in
+  let check_nest name expected nest =
+    let d = Nest.depth nest in
+    Alcotest.(check (float 0.0001)) name expected
+      (Locality.nest_accesses ~line ~localized:(innermost d) nest)
+  in
+  (* mmjki: C unit-stride 1/4, A unit-stride 1/4, B invariant 0 *)
+  check_nest "mmjki" 0.5 (Ujam_kernels.Kernels.mmjki ~n:8 ());
+  (* dmxpy0 (inner I): Y unit-stride (r+w merge) 1/4, X invariant, column
+     M(I,J) unit-stride 1/4 *)
+  check_nest "dmxpy0" 0.5 (Ujam_kernels.Kernels.dmxpy0 ~n:8 ());
+  (* dmxpy1 (inner J): Y invariant 0, X unit-stride 1/4, M row walk
+     no-reuse 1 *)
+  check_nest "dmxpy1" 1.25 (Ujam_kernels.Kernels.dmxpy1 ~n:8 ());
+  (* jacobi: A 1/4; B: 3 GTS, 3 GSS, unit-stride: (3 + 0/4) * 1/4 *)
+  check_nest "jacobi" 1.0 (Ujam_kernels.Kernels.jacobi ~n:8 ())
+
+let test_eq1_group_sharing () =
+  (* A(1,I), A(2,I): adjacent rows of the walked column share lines
+     (g_T=2, g_S=1) but the walk itself is strided (no self-spatial
+     reuse): (1 + 1/4) * 1 *)
+  let d = 2 in
+  let i = var d 1 in
+  let nest =
+    nest "shared"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:8 (); loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "B" [ i ] <<- rd "A" [ cst d 1; i ] +: rd "A" [ cst d 2; i ] ]
+  in
+  let a = List.find (fun (g : Ugs.t) -> String.equal g.Ugs.base "A") (Ugs.of_nest nest) in
+  let c = Locality.ugs_cost ~line:4 ~localized:(innermost d) a in
+  Alcotest.(check (float 0.0001)) "Eq.1 with line sharing" 1.25 c.Locality.accesses;
+  Alcotest.(check int) "g_T" 2 c.Locality.g_t;
+  Alcotest.(check int) "g_S" 1 c.Locality.g_s
+
+let test_rank_loops () =
+  (* mmjik (J,I,K): localizing I exposes B(K,J)'s spatial reuse...
+     compare the two outer candidates on mmjki (J,K,I): K carries A
+     reuse, J carries B/C reuse. *)
+  let nest = Ujam_kernels.Kernels.mmjki ~n:8 () in
+  let ranking = Locality.rank_outer_loops ~line:4 nest in
+  Alcotest.(check int) "two candidates" 2 (List.length ranking);
+  List.iter
+    (fun (level, cost) ->
+      Alcotest.(check bool) "outer levels only" true (level < 2);
+      Alcotest.(check bool) "cost positive" true (cost >= 0.0))
+    ranking;
+  Alcotest.(check bool) "sorted ascending" true
+    (match ranking with [ (_, a); (_, b) ] -> a <= b | _ -> false)
+
+let prop_group_counts_consistent =
+  QCheck2.Test.make ~name:"reuse: g_S <= g_T <= members" ~count:150
+    (Gen.nest_gen ()) (fun nest ->
+      let d = Nest.depth nest in
+      let localized = innermost d in
+      List.for_all
+        (fun (g : Ugs.t) ->
+          let gt = Groups.count (Groups.group_temporal ~localized g) in
+          let gs = Groups.count (Groups.group_spatial ~localized g) in
+          gs <= gt && gt <= List.length g.Ugs.members && gs >= 1)
+        (Ugs.of_nest nest))
+
+let prop_partition_is_partition =
+  QCheck2.Test.make ~name:"reuse: GTS classes partition the UGS" ~count:150
+    (Gen.nest_gen ()) (fun nest ->
+      let d = Nest.depth nest in
+      List.for_all
+        (fun (g : Ugs.t) ->
+          let part = Groups.group_temporal ~localized:(innermost d) g in
+          let total = List.fold_left (fun a c -> a + List.length c) 0 part.Groups.classes in
+          total = List.length g.Ugs.members
+          && List.for_all (fun c -> c <> []) part.Groups.classes)
+        (Ugs.of_nest nest))
+
+let prop_spatial_coarsens_temporal =
+  QCheck2.Test.make ~name:"reuse: every GTS lies inside one GSS" ~count:150
+    (Gen.nest_gen ()) (fun nest ->
+      let d = Nest.depth nest in
+      let localized = innermost d in
+      List.for_all
+        (fun (g : Ugs.t) ->
+          let gts = Groups.group_temporal ~localized g in
+          List.for_all
+            (fun cls ->
+              match cls with
+              | [] -> true
+              | leader :: rest ->
+                  let c1 = Aref.c_vector leader.Site.ref_ in
+                  List.for_all
+                    (fun (s : Site.t) ->
+                      Groups.merges_spatial ~localized g ~c1
+                        ~c2:(Aref.c_vector s.Site.ref_))
+                    rest)
+            gts.Groups.classes)
+        (Ugs.of_nest nest))
+
+let suite =
+  [ Alcotest.test_case "ugs partition" `Quick test_ugs_partition;
+    Alcotest.test_case "duplicate constants" `Quick test_ugs_duplicate_constants;
+    Alcotest.test_case "self reuse spaces" `Quick test_self_reuse_spaces;
+    Alcotest.test_case "group temporal" `Quick test_group_temporal;
+    Alcotest.test_case "group spatial" `Quick test_group_spatial;
+    Alcotest.test_case "equation 1 costs" `Quick test_eq1_costs;
+    Alcotest.test_case "equation 1 line sharing" `Quick test_eq1_group_sharing;
+    Alcotest.test_case "loop ranking" `Quick test_rank_loops;
+    Gen.to_alcotest prop_group_counts_consistent;
+    Gen.to_alcotest prop_partition_is_partition;
+    Gen.to_alcotest prop_spatial_coarsens_temporal ]

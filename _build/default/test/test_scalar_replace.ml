@@ -1,0 +1,120 @@
+(* Scalar replacement: plan counts, site filtering for the simulator, and
+   the display rewrite. *)
+
+open Ujam_linalg
+open Ujam_ir
+open Ujam_ir.Build
+open Ujam_core
+
+let test_plan_counts () =
+  let nest = Ujam_kernels.Kernels.mmjki ~n:12 () in
+  let p = Scalar_replace.plan nest in
+  (* C load, C store, A load kept; B register-resident *)
+  Alcotest.(check int) "kept" 3 (List.length p.Scalar_replace.kept);
+  Alcotest.(check int) "eliminated" 1 (List.length p.Scalar_replace.eliminated);
+  Alcotest.(check int) "registers" 4 p.Scalar_replace.registers;
+  let sites = Site.of_nest nest in
+  let kept = List.filter (Scalar_replace.issues_memory p) sites in
+  Alcotest.(check int) "issues_memory consistent" 3 (List.length kept)
+
+let test_plan_matches_streams () =
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build ~n:12 () in
+      let p = Scalar_replace.plan nest in
+      let d = Nest.depth nest in
+      let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+      let summary = Streams.summarize (Streams.of_body ~localized nest) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s kept = V_M" e.Ujam_kernels.Catalogue.name)
+        summary.Streams.memory_ops
+        (List.length p.Scalar_replace.kept);
+      Alcotest.(check int)
+        (Printf.sprintf "%s registers" e.Ujam_kernels.Catalogue.name)
+        summary.Streams.registers p.Scalar_replace.registers)
+    Ujam_kernels.Catalogue.all
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else if String.sub s i n = sub then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_apply_reduction () =
+  (* A(J) = A(J) + B(I): A is innermost-invariant (kept in a register),
+     B's load survives. *)
+  let d = 2 in
+  let j = var d 0 and i = var d 1 in
+  let nest =
+    nest "red"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:8 (); loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "A" [ j ] <<- rd "A" [ j ] +: rd "B" [ i ] ]
+  in
+  let p = Scalar_replace.plan nest in
+  Alcotest.(check int) "only B issues memory" 1 (List.length p.Scalar_replace.kept);
+  let out = Nest.to_string (Scalar_replace.apply nest p) in
+  Alcotest.(check bool) "A read became a scalar" true (contains out "A_inv");
+  Alcotest.(check bool) "B load survives" true (contains out "B(I)")
+
+let test_apply_chain () =
+  (* A(I,J) = A(I,J-2) + 1: rotating 3-register chain with shifts. *)
+  let d = 2 in
+  let i = var d 0 and j = var d 1 in
+  let nest =
+    nest "lag2"
+      [ loop d "I" ~level:0 ~lo:1 ~hi:8 (); loop d "J" ~level:1 ~lo:3 ~hi:18 () ]
+      [ aref "A" [ i; j ] <<- rd "A" [ i; j -$ 2 ] +: f 1.0 ]
+  in
+  let p = Scalar_replace.plan nest in
+  let out = Nest.to_string (Scalar_replace.apply nest p) in
+  Alcotest.(check bool) "chain head filled" true (contains out "A_0_0 =");
+  Alcotest.(check bool) "store kept" true (contains out "A(I,J) = A_0_0");
+  Alcotest.(check bool) "use reads the lag-2 temp" true (contains out "A_0_2");
+  Alcotest.(check bool) "rotation emitted" true (contains out "A_0_2 = A_0_1");
+  Alcotest.(check bool) "second rotation" true (contains out "A_0_1 = A_0_0")
+
+let test_apply_preserves_flop_count () =
+  let nest = Ujam_kernels.Kernels.cond7 ~n:12 () in
+  let p = Scalar_replace.plan nest in
+  let out = Scalar_replace.apply nest p in
+  Alcotest.(check int) "flops unchanged"
+    (Nest.flops_per_iteration nest)
+    (Nest.flops_per_iteration out)
+
+let prop_kept_plus_eliminated_is_all =
+  QCheck2.Test.make ~name:"scalar-replace: kept + eliminated = all sites" ~count:100
+    (Gen.nest_gen ()) (fun nest ->
+      let p = Scalar_replace.plan nest in
+      List.length p.Scalar_replace.kept + List.length p.Scalar_replace.eliminated
+      = List.length (Site.of_nest nest))
+
+let prop_every_def_kept_or_invariant =
+  QCheck2.Test.make ~name:"scalar-replace: defs issue stores unless invariant"
+    ~count:100 (Gen.nest_gen ()) (fun nest ->
+      let p = Scalar_replace.plan nest in
+      let invariant_sites =
+        List.concat_map
+          (fun (s : Streams.stream) ->
+            if s.Streams.invariant then
+              List.map (fun (m : Streams.member) -> m.Streams.site.Site.id) s.Streams.members
+            else [])
+          p.Scalar_replace.streams
+      in
+      List.for_all
+        (fun (s : Site.t) ->
+          (not (Site.is_write s))
+          || Scalar_replace.issues_memory p s
+          || List.mem s.Site.id invariant_sites)
+        (Site.of_nest nest))
+
+let suite =
+  [ Alcotest.test_case "plan counts" `Quick test_plan_counts;
+    Alcotest.test_case "plan matches streams" `Quick test_plan_matches_streams;
+    Alcotest.test_case "apply: reduction" `Quick test_apply_reduction;
+    Alcotest.test_case "apply: rotating chain" `Quick test_apply_chain;
+    Alcotest.test_case "apply: flops preserved" `Quick test_apply_preserves_flop_count;
+    Gen.to_alcotest prop_kept_plus_eliminated_is_all;
+    Gen.to_alcotest prop_every_def_kept_or_invariant ]

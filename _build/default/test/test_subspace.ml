@@ -1,0 +1,123 @@
+open Ujam_linalg
+
+let v = Vec.of_list
+let space = Alcotest.testable Subspace.pp Subspace.equal
+
+let test_construction () =
+  Alcotest.(check int) "full dim" 3 (Subspace.dim (Subspace.full 3));
+  Alcotest.(check int) "trivial dim" 0 (Subspace.dim (Subspace.trivial 3));
+  Alcotest.(check bool) "trivial" true (Subspace.is_trivial (Subspace.trivial 2));
+  Alcotest.(check bool) "full" true (Subspace.is_full (Subspace.full 2));
+  Alcotest.(check int) "dependent spanning set" 1
+    (Subspace.dim (Subspace.of_basis ~dim:2 [ v [ 1; 2 ]; v [ 2; 4 ] ]));
+  Alcotest.(check int) "span_dims" 2
+    (Subspace.dim (Subspace.span_dims ~dim:4 [ 1; 3 ]))
+
+let test_membership () =
+  let l = Subspace.of_basis ~dim:3 [ v [ 1; 1; 0 ]; v [ 0; 0; 1 ] ] in
+  Alcotest.(check bool) "member" true (Subspace.mem (v [ 2; 2; 5 ]) l);
+  Alcotest.(check bool) "zero always member" true (Subspace.mem (v [ 0; 0; 0 ]) l);
+  Alcotest.(check bool) "non-member" false (Subspace.mem (v [ 1; 0; 0 ]) l);
+  Alcotest.(check bool) "rational combination member" true
+    (Subspace.mem (v [ 1; 1; 0 ]) (Subspace.of_basis ~dim:3 [ v [ 2; 2; 0 ] ]))
+
+let test_canonical_equality () =
+  Alcotest.check space "different bases, same space"
+    (Subspace.of_basis ~dim:2 [ v [ 1; 0 ]; v [ 1; 1 ] ])
+    (Subspace.of_basis ~dim:2 [ v [ 0; 1 ]; v [ 1; 0 ] ]);
+  Alcotest.(check bool) "subset" true
+    (Subspace.subset
+       (Subspace.of_basis ~dim:3 [ v [ 1; 1; 0 ] ])
+       (Subspace.span_dims ~dim:3 [ 0; 1 ]))
+
+let test_intersect_join () =
+  let xy = Subspace.span_dims ~dim:3 [ 0; 1 ] in
+  let yz = Subspace.span_dims ~dim:3 [ 1; 2 ] in
+  Alcotest.check space "intersect coordinate planes"
+    (Subspace.span_dims ~dim:3 [ 1 ])
+    (Subspace.intersect xy yz);
+  Alcotest.check space "join spans everything" (Subspace.full 3) (Subspace.join xy yz);
+  Alcotest.check space "intersect with trivial" (Subspace.trivial 3)
+    (Subspace.intersect xy (Subspace.trivial 3));
+  (* non-coordinate intersection *)
+  let a = Subspace.of_basis ~dim:2 [ v [ 1; 1 ] ] in
+  let b = Subspace.of_basis ~dim:2 [ v [ 1; -1 ] ] in
+  Alcotest.check space "lines intersect trivially" (Subspace.trivial 2)
+    (Subspace.intersect a b);
+  Alcotest.check space "line with itself" a (Subspace.intersect a a)
+
+let test_solvable_in () =
+  (* A(I,J) vs A(I,J+2): H = identity, difference (0,2), localized = J *)
+  let h = Mat.identity 2 in
+  let lj = Subspace.span_dims ~dim:2 [ 1 ] in
+  Alcotest.(check bool) "solvable within localized loop" true
+    (Subspace.solvable_in h (v [ 0; 2 ]) lj);
+  Alcotest.(check bool) "not solvable across the other loop" false
+    (Subspace.solvable_in h (v [ 2; 0 ]) lj);
+  (match Subspace.solution_in h (v [ 0; 2 ]) lj with
+  | Some x -> Alcotest.(check bool) "witness" true (Vec.equal x (v [ 0; 2 ]))
+  | None -> Alcotest.fail "expected witness");
+  (* zero difference always solvable, even in the trivial space *)
+  Alcotest.(check bool) "zero diff" true
+    (Subspace.solvable_in h (v [ 0; 0 ]) (Subspace.trivial 2));
+  (* integrality: 2x = 1 unsolvable over integers *)
+  Alcotest.(check bool) "non-integral rejected" false
+    (Subspace.solvable_in (Mat.of_rows_list [ [ 2 ] ]) (v [ 1 ]) (Subspace.full 1));
+  (* coupled subscript: H = [1 1], difference 3, localized span (1,-1)
+     cannot reach it but the full space can *)
+  let hc = Mat.of_rows_list [ [ 1; 1 ] ] in
+  Alcotest.(check bool) "coupled reachable in full space" true
+    (Subspace.solvable_in hc (v [ 3 ]) (Subspace.full 2));
+  Alcotest.(check bool) "kernel direction cannot change the value" false
+    (Subspace.solvable_in hc (v [ 3 ]) (Subspace.of_basis ~dim:2 [ v [ 1; -1 ] ]))
+
+let sub_gen =
+  QCheck2.Gen.(
+    let* n = int_range 0 3 in
+    let* basis = list_size (return n) (Gen.vec_gen ~dim:3 ~lo:(-3) ~hi:3) in
+    return (Subspace.of_basis ~dim:3 basis))
+
+let prop_intersect_subset =
+  QCheck2.Test.make ~name:"subspace: intersection contained in both" ~count:200
+    QCheck2.Gen.(pair sub_gen sub_gen)
+    (fun (a, b) ->
+      let i = Subspace.intersect a b in
+      Subspace.subset i a && Subspace.subset i b)
+
+let prop_join_contains =
+  QCheck2.Test.make ~name:"subspace: join contains both" ~count:200
+    QCheck2.Gen.(pair sub_gen sub_gen)
+    (fun (a, b) ->
+      let j = Subspace.join a b in
+      Subspace.subset a j && Subspace.subset b j)
+
+let prop_dim_formula =
+  QCheck2.Test.make ~name:"subspace: dim(a)+dim(b) = dim(a∩b)+dim(a+b)" ~count:200
+    QCheck2.Gen.(pair sub_gen sub_gen)
+    (fun (a, b) ->
+      Subspace.dim a + Subspace.dim b
+      = Subspace.dim (Subspace.intersect a b) + Subspace.dim (Subspace.join a b))
+
+let prop_solution_in_sound =
+  QCheck2.Test.make ~name:"subspace: solution_in witness is valid" ~count:200
+    QCheck2.Gen.(
+      triple
+        (map (fun ls -> Mat.of_rows_list ls)
+           (list_size (return 2) (list_size (return 3) (int_range (-3) 3))))
+        (Gen.vec_gen ~dim:2 ~lo:(-4) ~hi:4)
+        sub_gen)
+    (fun (h, c, l) ->
+      match Subspace.solution_in h c l with
+      | Some x -> Vec.equal (Mat.apply h x) c && Subspace.mem x l
+      | None -> true)
+
+let suite =
+  [ Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "membership" `Quick test_membership;
+    Alcotest.test_case "canonical equality" `Quick test_canonical_equality;
+    Alcotest.test_case "intersect and join" `Quick test_intersect_join;
+    Alcotest.test_case "solvable_in" `Quick test_solvable_in;
+    Gen.to_alcotest prop_intersect_subset;
+    Gen.to_alcotest prop_join_contains;
+    Gen.to_alcotest prop_dim_formula;
+    Gen.to_alcotest prop_solution_in_sound ]

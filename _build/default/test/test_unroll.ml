@@ -1,0 +1,163 @@
+(* The unroll-and-jam transformation itself. *)
+
+open Ujam_linalg
+open Ujam_ir
+open Ujam_ir.Build
+
+let v = Vec.of_list
+
+let test_offsets () =
+  let os = Unroll.offsets (v [ 1; 2; 0 ]) in
+  Alcotest.(check int) "count" 6 (List.length os);
+  Alcotest.(check bool) "lexicographically sorted" true
+    (List.for_all2
+       (fun a b -> Vec.compare a b < 0)
+       (List.filteri (fun i _ -> i < 5) os)
+       (List.tl os));
+  Alcotest.(check bool) "first is zero" true (Vec.is_zero (List.hd os))
+
+let test_identity () =
+  let nest = Ujam_kernels.Kernels.jacobi ~n:10 () in
+  let same = Unroll.unroll_and_jam nest (v [ 0; 0 ]) in
+  Alcotest.(check int) "body unchanged" 1 (List.length (Nest.body same))
+
+let test_validation () =
+  let nest = Ujam_kernels.Kernels.jacobi ~n:10 () in
+  Alcotest.check_raises "innermost rejected"
+    (Invalid_argument "Unroll.unroll_and_jam: innermost loop must not be unrolled")
+    (fun () -> ignore (Unroll.unroll_and_jam nest (v [ 0; 1 ])));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Unroll.unroll_and_jam: negative unroll amount") (fun () ->
+      ignore (Unroll.unroll_and_jam nest (v [ -1; 0 ])));
+  Alcotest.check_raises "dimension"
+    (Invalid_argument "Unroll.unroll_and_jam: dimension") (fun () ->
+      ignore (Unroll.unroll_and_jam nest (v [ 1 ])))
+
+let test_structure () =
+  let nest = Ujam_kernels.Kernels.mmjki ~n:12 () in
+  let u = v [ 2; 1; 0 ] in
+  let t = Unroll.unroll_and_jam nest u in
+  Alcotest.(check int) "body copies" 6 (List.length (Nest.body t));
+  Alcotest.(check int) "flops scale" (6 * Nest.flops_per_iteration nest)
+    (Nest.flops_per_iteration t);
+  let steps = Array.map (fun (l : Loop.t) -> l.Loop.step) (Nest.loops t) in
+  Alcotest.(check (array int)) "steps multiplied" [| 3; 2; 1 |] steps;
+  (* the J-offset-2, K-offset-1 copy reads A(I,K+1) and B(K+1,J+2) *)
+  let has_ref base c =
+    List.exists
+      (fun (r, _) ->
+        String.equal (Aref.base r) base && Vec.equal (Aref.c_vector r) c)
+      (Nest.refs t)
+  in
+  Alcotest.(check bool) "shifted A copy" true (has_ref "A" (v [ 0; 1 ]));
+  Alcotest.(check bool) "shifted B copy" true (has_ref "B" (v [ 1; 2 ]));
+  Alcotest.(check bool) "shifted C copy" true (has_ref "C" (v [ 0; 2 ]))
+
+let test_step_aware_shift () =
+  (* Unrolling a loop that already has step 2 must shift subscripts by
+     2 per copy. *)
+  let d = 2 in
+  let nest =
+    nest "step2"
+      [ Loop.make_const ~var:"J" ~level:0 ~depth:d ~lo:1 ~hi:16 ~step:2 ();
+        loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "A" [ var d 1; var d 0 ] <<- rd "B" [ var d 1; var d 0 ] ]
+  in
+  let t = Unroll.unroll_and_jam nest (v [ 1; 0 ]) in
+  let cs =
+    List.filter_map
+      (fun (r, k) -> if k = `Write then Some (Aref.c_vector r) else None)
+      (Nest.refs t)
+  in
+  Alcotest.(check bool) "copy offset is one original step" true
+    (List.exists (fun c -> Vec.equal c (v [ 0; 2 ])) cs);
+  Alcotest.(check int) "new step" 4 (Nest.loops t).(0).Loop.step
+
+(* Semantics: interpret a nest numerically and compare original vs
+   unrolled executions.  The interpreter evaluates statements over a
+   float store keyed by (array, flattened subscripts). *)
+let interpret nest =
+  let store : (string * int list, float) Hashtbl.t = Hashtbl.create 997 in
+  let read (r : Aref.t) iv =
+    let key = (Aref.base r, Array.to_list (Array.map (fun s -> Affine.eval s iv) r.Aref.subs)) in
+    match Hashtbl.find_opt store key with
+    | Some x -> x
+    | None ->
+        (* deterministic pseudo-initial contents *)
+        let h = Hashtbl.hash key land 0xFFFF in
+        float_of_int h /. 65536.0
+  in
+  let write (r : Aref.t) iv x =
+    let key = (Aref.base r, Array.to_list (Array.map (fun s -> Affine.eval s iv) r.Aref.subs)) in
+    Hashtbl.replace store key x
+  in
+  let rec eval iv = function
+    | Expr.Const f -> f
+    | Expr.Scalar s -> float_of_int (Hashtbl.hash s land 0xFF) /. 256.0
+    | Expr.Read r -> read r iv
+    | Expr.Neg e -> -.eval iv e
+    | Expr.Bin (op, a, b) -> (
+        let x = eval iv a and y = eval iv b in
+        match op with
+        | Expr.Add -> x +. y
+        | Expr.Sub -> x -. y
+        | Expr.Mul -> x *. y
+        | Expr.Div -> x /. (y +. 1.0))
+  in
+  Nest.iter_index_vectors nest (fun iv ->
+      List.iter
+        (fun (st : Stmt.t) ->
+          let value = eval iv st.Stmt.rhs in
+          match st.Stmt.lhs with
+          | Stmt.Array_elt r -> write r iv value
+          | Stmt.Scalar_var _ -> ())
+        (Nest.body nest));
+  store
+
+let stores_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k v acc ->
+         acc
+         && match Hashtbl.find_opt b k with
+            | Some v' -> Float.abs (v -. v') <= 1e-9 *. Float.max 1.0 (Float.abs v)
+            | None -> false)
+       a true
+
+let test_semantics_preserved () =
+  (* For kernels whose trip counts divide the unroll factors and whose
+     dependences permit it, unroll-and-jam must compute the same values. *)
+  List.iter
+    (fun (nest, u) ->
+      let t = Unroll.unroll_and_jam nest (v u) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s semantics preserved" (Nest.name nest))
+        true
+        (stores_equal (interpret nest) (interpret t)))
+    [ (Ujam_kernels.Kernels.mmjki ~n:12 (), [ 1; 2; 0 ]);
+      (Ujam_kernels.Kernels.mmjik ~n:12 (), [ 3; 1; 0 ]);
+      (Ujam_kernels.Kernels.dmxpy0 ~n:12 (), [ 2; 0 ]);
+      (Ujam_kernels.Kernels.jacobi ~n:14 (), [ 2; 0 ]);
+      (Ujam_kernels.Kernels.cond7 ~n:14 (), [ 3; 0 ]);
+      (Ujam_kernels.Kernels.vpenta7 ~n:14 (), [ 1; 0 ]) ]
+
+let prop_copies_scale_refs =
+  QCheck2.Test.make ~name:"unroll: reference count scales with copies" ~count:100
+    (QCheck2.Gen.map
+       (fun (nest, space) ->
+         let bounds = Ujam_core.Unroll_space.bounds space in
+         (nest, Vec.make bounds))
+       (Gen.nest_and_space_gen ()))
+    (fun (nest, u) ->
+      let copies = Vec.fold (fun acc x -> acc * (x + 1)) 1 u in
+      let t = Unroll.unroll_and_jam nest u in
+      List.length (Nest.refs t) = copies * List.length (Nest.refs nest))
+
+let suite =
+  [ Alcotest.test_case "offsets" `Quick test_offsets;
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "step-aware shift" `Quick test_step_aware_shift;
+    Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+    Gen.to_alcotest prop_copies_scale_refs ]

@@ -1,0 +1,83 @@
+open Ujam_linalg
+open Ujam_core
+
+let v = Vec.of_list
+
+let test_make () =
+  let s = Unroll_space.make ~bounds:[| 2; 3; 0 |] in
+  Alcotest.(check int) "card" 12 (Unroll_space.card s);
+  Alcotest.(check int) "depth" 3 (Unroll_space.depth s);
+  Alcotest.(check (list int)) "unroll levels" [ 0; 1 ] (Unroll_space.unroll_levels s);
+  Alcotest.(check bool) "mem" true (Unroll_space.mem s (v [ 2; 3; 0 ]));
+  Alcotest.(check bool) "not mem" false (Unroll_space.mem s (v [ 3; 0; 0 ]));
+  Alcotest.(check bool) "negative not mem" false (Unroll_space.mem s (v [ -1; 0; 0 ]));
+  Alcotest.check_raises "innermost must be zero"
+    (Invalid_argument "Unroll_space.make: innermost bound must be 0") (fun () ->
+      ignore (Unroll_space.make ~bounds:[| 0; 1 |]))
+
+let test_uniform () =
+  let s = Unroll_space.uniform ~depth:3 ~bound:4 ~unroll_levels:[ 0 ] in
+  Alcotest.(check int) "card" 5 (Unroll_space.card s);
+  Alcotest.check_raises "innermost level rejected"
+    (Invalid_argument "Unroll_space.uniform: level out of range") (fun () ->
+      ignore (Unroll_space.uniform ~depth:3 ~bound:2 ~unroll_levels:[ 2 ]))
+
+let test_iteration () =
+  let s = Unroll_space.make ~bounds:[| 1; 2; 0 |] in
+  let vs = Unroll_space.vectors s in
+  Alcotest.(check int) "all vectors" 6 (List.length vs);
+  Alcotest.(check bool) "lexicographic" true
+    (List.for_all2
+       (fun a b -> Vec.compare a b < 0)
+       (List.filteri (fun i _ -> i < 5) vs)
+       (List.tl vs));
+  Alcotest.(check bool) "all members" true (List.for_all (Unroll_space.mem s) vs)
+
+let test_table () =
+  let s = Unroll_space.make ~bounds:[| 2; 2; 0 |] in
+  let t = Unroll_space.Table.create s 5 in
+  Alcotest.(check int) "initial" 5 (Unroll_space.Table.get t (v [ 1; 1; 0 ]));
+  Unroll_space.Table.set t (v [ 1; 1; 0 ]) 9;
+  Unroll_space.Table.add t (v [ 1; 1; 0 ]) 1;
+  Alcotest.(check int) "set/add" 10 (Unroll_space.Table.get t (v [ 1; 1; 0 ]));
+  Alcotest.(check int) "others untouched" 5 (Unroll_space.Table.get t (v [ 2; 1; 0 ]));
+  Alcotest.check_raises "out of space"
+    (Invalid_argument "Unroll_space.Table: out of space") (fun () ->
+      ignore (Unroll_space.Table.get t (v [ 3; 0; 0 ])))
+
+let test_table_regions () =
+  let s = Unroll_space.make ~bounds:[| 2; 2; 0 |] in
+  let t = Unroll_space.Table.create s 0 in
+  Unroll_space.Table.add_from t (v [ 1; 1; 0 ]) 1;
+  Alcotest.(check int) "inside" 1 (Unroll_space.Table.get t (v [ 2; 1; 0 ]));
+  Alcotest.(check int) "outside" 0 (Unroll_space.Table.get t (v [ 2; 0; 0 ]));
+  let t2 = Unroll_space.Table.create s 0 in
+  Unroll_space.Table.add_region t2 ~from_:(v [ 1; 0; 0 ])
+    ~excluding:(Some (v [ 2; 0; 0 ])) 1;
+  Alcotest.(check int) "in region" 1 (Unroll_space.Table.get t2 (v [ 1; 2; 0 ]));
+  Alcotest.(check int) "excluded" 0 (Unroll_space.Table.get t2 (v [ 2; 2; 0 ]));
+  Alcotest.(check int) "below" 0 (Unroll_space.Table.get t2 (v [ 0; 0; 0 ]))
+
+let test_prefix_sum () =
+  let s = Unroll_space.make ~bounds:[| 2; 2; 0 |] in
+  let t = Unroll_space.Table.create s 1 in
+  (* Sum over u' <= u of 1 = product of (u_k + 1) *)
+  Alcotest.(check int) "prefix at origin" 1
+    (Unroll_space.Table.prefix_sum t (v [ 0; 0; 0 ]));
+  Alcotest.(check int) "prefix box" 6 (Unroll_space.Table.prefix_sum t (v [ 1; 2; 0 ]));
+  Alcotest.(check int) "prefix full" 9 (Unroll_space.Table.prefix_sum t (v [ 2; 2; 0 ]))
+
+let test_merge_add () =
+  let s = Unroll_space.make ~bounds:[| 1; 0 |] in
+  let a = Unroll_space.Table.create s 1 and b = Unroll_space.Table.create s 2 in
+  let c = Unroll_space.Table.merge_add a b in
+  Alcotest.(check int) "pointwise sum" 3 (Unroll_space.Table.get c (v [ 1; 0 ]))
+
+let suite =
+  [ Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "uniform" `Quick test_uniform;
+    Alcotest.test_case "iteration" `Quick test_iteration;
+    Alcotest.test_case "table basics" `Quick test_table;
+    Alcotest.test_case "table regions" `Quick test_table_regions;
+    Alcotest.test_case "prefix sum" `Quick test_prefix_sum;
+    Alcotest.test_case "merge add" `Quick test_merge_add ]

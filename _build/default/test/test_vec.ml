@@ -1,0 +1,83 @@
+open Ujam_linalg
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+
+let test_construction () =
+  Alcotest.check vec "of_list/make" (Vec.of_list [ 1; 2; 3 ]) (Vec.make [| 1; 2; 3 |]);
+  Alcotest.check vec "zero" (Vec.of_list [ 0; 0 ]) (Vec.zero 2);
+  Alcotest.check vec "unit" (Vec.of_list [ 0; 1; 0 ]) (Vec.unit 3 1);
+  Alcotest.check vec "init" (Vec.of_list [ 0; 2; 4 ]) (Vec.init 3 (fun i -> 2 * i));
+  Alcotest.(check int) "dim" 3 (Vec.dim (Vec.zero 3))
+
+let test_copy_semantics () =
+  let a = [| 1; 2 |] in
+  let v = Vec.make a in
+  a.(0) <- 99;
+  Alcotest.(check int) "make copies input" 1 (Vec.get v 0);
+  let arr = Vec.to_array v in
+  arr.(1) <- 77;
+  Alcotest.(check int) "to_array copies output" 2 (Vec.get v 1);
+  let v' = Vec.set v 0 5 in
+  Alcotest.(check int) "set is functional" 1 (Vec.get v 0);
+  Alcotest.(check int) "set updates the copy" 5 (Vec.get v' 0)
+
+let test_arithmetic () =
+  let a = Vec.of_list [ 1; 2; 3 ] and b = Vec.of_list [ 4; 5; 6 ] in
+  Alcotest.check vec "add" (Vec.of_list [ 5; 7; 9 ]) (Vec.add a b);
+  Alcotest.check vec "sub" (Vec.of_list [ -3; -3; -3 ]) (Vec.sub a b);
+  Alcotest.check vec "neg" (Vec.of_list [ -1; -2; -3 ]) (Vec.neg a);
+  Alcotest.check vec "scale" (Vec.of_list [ 2; 4; 6 ]) (Vec.scale 2 a);
+  Alcotest.(check int) "dot" 32 (Vec.dot a b)
+
+let test_orders () =
+  let a = Vec.of_list [ 1; 5 ] and b = Vec.of_list [ 2; 0 ] in
+  Alcotest.(check bool) "lex a < b" true (Vec.compare a b < 0);
+  Alcotest.(check (option int)) "pointwise incomparable" None (Vec.compare_pointwise a b);
+  Alcotest.(check (option int)) "pointwise le" (Some (-1))
+    (Vec.compare_pointwise (Vec.of_list [ 1; 0 ]) (Vec.of_list [ 1; 5 ]));
+  Alcotest.(check (option int)) "pointwise eq" (Some 0)
+    (Vec.compare_pointwise a (Vec.of_list [ 1; 5 ]));
+  Alcotest.(check bool) "leq_pointwise" true
+    (Vec.leq_pointwise (Vec.of_list [ 0; 0 ]) a);
+  Alcotest.(check bool) "leq_pointwise dims differ" false
+    (Vec.leq_pointwise (Vec.zero 3) a)
+
+let test_predicates () =
+  Alcotest.(check bool) "is_zero" true (Vec.is_zero (Vec.zero 4));
+  Alcotest.(check bool) "not is_zero" false (Vec.is_zero (Vec.unit 4 2));
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x < 0) (Vec.of_list [ 1; -1 ]));
+  Alcotest.(check bool) "for_all" true (Vec.for_all (fun x -> x >= 0) (Vec.of_list [ 0; 3 ]));
+  Alcotest.(check int) "fold" 6 (Vec.fold ( + ) 0 (Vec.of_list [ 1; 2; 3 ]))
+
+let prop_add_commutes =
+  QCheck2.Test.make ~name:"vec: add commutes" ~count:300
+    QCheck2.Gen.(pair (Gen.vec_gen ~dim:4 ~lo:(-10) ~hi:10) (Gen.vec_gen ~dim:4 ~lo:(-10) ~hi:10))
+    (fun (a, b) -> Vec.equal (Vec.add a b) (Vec.add b a))
+
+let prop_lex_total =
+  QCheck2.Test.make ~name:"vec: lex order total and antisymmetric" ~count:300
+    QCheck2.Gen.(pair (Gen.vec_gen ~dim:3 ~lo:(-5) ~hi:5) (Gen.vec_gen ~dim:3 ~lo:(-5) ~hi:5))
+    (fun (a, b) ->
+      let c = Vec.compare a b in
+      if Vec.equal a b then c = 0 else c = -Vec.compare b a && c <> 0)
+
+let prop_pointwise_sound =
+  QCheck2.Test.make ~name:"vec: compare_pointwise matches leq_pointwise" ~count:300
+    QCheck2.Gen.(pair (Gen.vec_gen ~dim:3 ~lo:(-5) ~hi:5) (Gen.vec_gen ~dim:3 ~lo:(-5) ~hi:5))
+    (fun (a, b) ->
+      match Vec.compare_pointwise a b with
+      | Some 0 -> Vec.leq_pointwise a b && Vec.leq_pointwise b a
+      | Some -1 -> Vec.leq_pointwise a b
+      | Some 1 -> Vec.leq_pointwise b a
+      | Some _ -> false
+      | None -> (not (Vec.leq_pointwise a b)) && not (Vec.leq_pointwise b a))
+
+let suite =
+  [ Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "copy semantics" `Quick test_copy_semantics;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "orders" `Quick test_orders;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Gen.to_alcotest prop_add_commutes;
+    Gen.to_alcotest prop_lex_total;
+    Gen.to_alcotest prop_pointwise_sound ]

@@ -1,0 +1,81 @@
+(* Synthetic corpus generator and Table 1 measurement. *)
+
+open Ujam_workload
+
+let test_determinism () =
+  let a = Generator.corpus ~seed:42 ~count:25 () in
+  let b = Generator.corpus ~seed:42 ~count:25 () in
+  List.iter2
+    (fun (ra : Generator.routine) (rb : Generator.routine) ->
+      Alcotest.(check string) "names equal" ra.Generator.name rb.Generator.name;
+      List.iter2
+        (fun na nb ->
+          Alcotest.(check string) "nests identical"
+            (Ujam_ir.Nest.to_string na) (Ujam_ir.Nest.to_string nb))
+        ra.Generator.nests rb.Generator.nests)
+    a b;
+  let c = Generator.corpus ~seed:43 ~count:25 () in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists2
+       (fun (ra : Generator.routine) (rb : Generator.routine) ->
+         not
+           (List.equal
+              (fun x y -> String.equal (Ujam_ir.Nest.to_string x) (Ujam_ir.Nest.to_string y))
+              ra.Generator.nests rb.Generator.nests))
+       a c)
+
+let test_wellformed () =
+  List.iter
+    (fun (r : Generator.routine) ->
+      List.iter
+        (fun nest ->
+          Alcotest.(check bool) "has statements" true
+            (List.length (Ujam_ir.Nest.body nest) > 0);
+          Alcotest.(check bool) "has refs" true
+            (List.length (Ujam_ir.Nest.refs nest) > 0))
+        r.Generator.nests)
+    (Generator.corpus ~seed:7 ~count:100 ())
+
+let test_measure_small () =
+  let report = Corpus.measure (Generator.corpus ~seed:1997 ~count:300 ()) in
+  Alcotest.(check int) "all routines counted" 300 report.Corpus.routines;
+  Alcotest.(check bool) "a sizeable share has no dependences" true
+    (report.Corpus.with_deps < 300 && report.Corpus.with_deps > 100);
+  Alcotest.(check bool) "input dependences dominate the mass" true
+    (float_of_int report.Corpus.total_input
+    > 0.6 *. float_of_int report.Corpus.total_deps);
+  Alcotest.(check bool) "mean share in the paper's regime" true
+    (report.Corpus.mean_input_fraction > 0.4
+    && report.Corpus.mean_input_fraction < 0.8);
+  (* bucket counts account for every routine with dependences *)
+  Alcotest.(check int) "buckets partition"
+    report.Corpus.with_deps
+    (List.fold_left (fun a (_, n) -> a + n) 0 report.Corpus.buckets)
+
+let test_buckets_cover_reals () =
+  (* the bucket predicates partition [0,1] *)
+  List.iter
+    (fun p ->
+      let hits =
+        List.filter (fun (_, pred) -> pred p) Corpus.table1_buckets
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "p=%.3f in exactly one bucket" p)
+        1 (List.length hits))
+    [ 0.0; 0.001; 0.2; 1.0 /. 3.0; 0.35; 0.4; 0.5; 0.63; 0.75; 0.85; 0.9; 0.95; 1.0 ]
+
+let test_archetypes_present () =
+  let report = Corpus.measure (Generator.corpus ~seed:1997 ~count:500 ()) in
+  let bucket name =
+    List.assoc name report.Corpus.buckets
+  in
+  Alcotest.(check bool) "0%% bucket populated" true (bucket "0%" > 0);
+  Alcotest.(check bool) "90-100%% bucket populated" true (bucket "90%-100%" > 0);
+  Alcotest.(check bool) "low buckets populated" true (bucket "1%-32%" > 0)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "well-formed" `Quick test_wellformed;
+    Alcotest.test_case "measurement" `Quick test_measure_small;
+    Alcotest.test_case "bucket partition" `Quick test_buckets_cover_reals;
+    Alcotest.test_case "archetypes present" `Quick test_archetypes_present ]
