@@ -7,6 +7,7 @@
 open Cmdliner
 open Ujam_linalg
 open Ujam_core
+open Ujam_engine
 
 let machine_conv =
   let parse s =
@@ -39,6 +40,44 @@ let cache_arg =
   Arg.(
     value & flag
     & info [ "no-cache" ] ~doc:"Use the all-hits balance model of Carr-Kennedy.")
+
+let model_conv =
+  let parse s =
+    match Model.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (%s)" s
+               (String.concat "|" Model.names)))
+  in
+  let print ppf m = Format.pp_print_string ppf (Model.name m) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv (module Model.Ugs_tables : Model.MODEL)
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Selection strategy: ugs, dep, brute, no-cache.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D" ~doc:"Parallel domains for batch runs.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Report per-stage analysis timings (graph/tables/search/sim).")
+
+(* --no-cache is sugar for the no-cache strategy on engine-backed paths. *)
+let effective_model no_cache model =
+  if no_cache then (module Model.No_cache : Model.MODEL) else model
 
 let kernel_arg =
   let parse s =
@@ -82,41 +121,89 @@ let show_cmd =
     Term.(const run $ kernel_arg $ size_arg)
 
 let analyze_cmd =
-  let run e n (machine : Ujam_machine.Machine.t) =
+  let run e n (machine : Ujam_machine.Machine.t) json =
     let nest = build e n in
+    let ctx = Analysis_ctx.create ~machine nest in
     let d = Ujam_ir.Nest.depth nest in
     let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
     let line = machine.Ujam_machine.Machine.cache_line in
-    Format.printf "%a@.@." Ujam_ir.Nest.pp nest;
     let vn = Ujam_ir.Nest.var_name nest in
-    List.iter
-      (fun (g : Ujam_reuse.Ugs.t) ->
-        let cost = Ujam_reuse.Locality.ugs_cost ~line ~localized g in
-        Format.printf "%a@,  stream: %a, g_T=%d, g_S=%d, accesses/iter=%.3f@."
-          (Ujam_reuse.Ugs.pp ~var_name:vn) g Ujam_reuse.Locality.pp_stream
-          cost.Ujam_reuse.Locality.stream cost.Ujam_reuse.Locality.g_t
-          cost.Ujam_reuse.Locality.g_s cost.Ujam_reuse.Locality.accesses)
-      (Ujam_reuse.Ugs.of_nest nest);
-    let with_input = Ujam_depend.Graph.build ~include_input:true nest in
-    let without = Ujam_depend.Graph.build ~include_input:false nest in
-    Format.printf "@.dependences (with input): %a@."
-      Ujam_depend.Stats.pp (Ujam_depend.Stats.of_graph with_input);
-    Format.printf "dependence graph: %d edges with input, %d without (%.0f%% saved)@."
-      (List.length with_input.Ujam_depend.Graph.edges)
-      (List.length without.Ujam_depend.Graph.edges)
-      (100.0
-      *. (1.0
-         -. (float_of_int (List.length without.Ujam_depend.Graph.edges)
-            /. float_of_int (max 1 (List.length with_input.Ujam_depend.Graph.edges)))));
-    Format.printf "locality ranking (level, accesses/iter): %s@."
-      (String.concat ", "
-         (List.map
-            (fun (l, c) -> Printf.sprintf "%s:%.3f" (vn l) c)
-            (Ujam_reuse.Locality.rank_outer_loops ~line nest)))
+    let groups = Analysis_ctx.ugs ctx in
+    let costs =
+      List.map (Ujam_reuse.Locality.ugs_cost ~line ~localized) groups
+    in
+    let with_input = Analysis_ctx.graph_with_input ctx in
+    let without = Analysis_ctx.graph ctx in
+    let stats = Ujam_depend.Stats.of_graph with_input in
+    let ranking = Analysis_ctx.ranked ctx in
+    if json then begin
+      let stream_name = function
+        | Ujam_reuse.Locality.Invariant -> "invariant"
+        | Ujam_reuse.Locality.Unit_stride -> "unit-stride"
+        | Ujam_reuse.Locality.No_reuse -> "no-reuse"
+      in
+      let group_json (c : Ujam_reuse.Locality.ugs_cost) =
+        Json.Obj
+          [ ("base", Json.Str c.Ujam_reuse.Locality.ugs.Ujam_reuse.Ugs.base);
+            ("size",
+             Json.Int
+               (List.length c.Ujam_reuse.Locality.ugs.Ujam_reuse.Ugs.members));
+            ("stream", Json.Str (stream_name c.Ujam_reuse.Locality.stream));
+            ("g_t", Json.Int c.Ujam_reuse.Locality.g_t);
+            ("g_s", Json.Int c.Ujam_reuse.Locality.g_s);
+            ("accesses_per_iter", Json.Float c.Ujam_reuse.Locality.accesses) ]
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("kernel", Json.Str (Ujam_ir.Nest.name nest));
+                ("machine", Json.Str machine.Ujam_machine.Machine.name);
+                ("groups", Json.List (List.map group_json costs));
+                ("dependences",
+                 Json.Obj
+                   [ ("flow", Json.Int stats.Ujam_depend.Stats.flow);
+                     ("anti", Json.Int stats.Ujam_depend.Stats.anti);
+                     ("output", Json.Int stats.Ujam_depend.Stats.output);
+                     ("input", Json.Int stats.Ujam_depend.Stats.input);
+                     ("edges_with_input",
+                      Json.Int (List.length with_input.Ujam_depend.Graph.edges));
+                     ("edges_without_input",
+                      Json.Int (List.length without.Ujam_depend.Graph.edges)) ]);
+                ("ranking",
+                 Json.List
+                   (List.map
+                      (fun (l, c) ->
+                        Json.Obj
+                          [ ("level", Json.Int l); ("var", Json.Str (vn l));
+                            ("accesses_per_iter", Json.Float c) ])
+                      ranking)) ]))
+    end
+    else begin
+      Format.printf "%a@.@." Ujam_ir.Nest.pp nest;
+      List.iter
+        (fun (cost : Ujam_reuse.Locality.ugs_cost) ->
+          Format.printf "%a@,  stream: %a, g_T=%d, g_S=%d, accesses/iter=%.3f@."
+            (Ujam_reuse.Ugs.pp ~var_name:vn) cost.Ujam_reuse.Locality.ugs
+            Ujam_reuse.Locality.pp_stream cost.Ujam_reuse.Locality.stream
+            cost.Ujam_reuse.Locality.g_t cost.Ujam_reuse.Locality.g_s
+            cost.Ujam_reuse.Locality.accesses)
+        costs;
+      Format.printf "@.dependences (with input): %a@." Ujam_depend.Stats.pp stats;
+      Format.printf "dependence graph: %d edges with input, %d without (%.0f%% saved)@."
+        (List.length with_input.Ujam_depend.Graph.edges)
+        (List.length without.Ujam_depend.Graph.edges)
+        (100.0
+        *. (1.0
+           -. (float_of_int (List.length without.Ujam_depend.Graph.edges)
+              /. float_of_int (max 1 (List.length with_input.Ujam_depend.Graph.edges)))));
+      Format.printf "locality ranking (level, accesses/iter): %s@."
+        (String.concat ", "
+           (List.map (fun (l, c) -> Printf.sprintf "%s:%.3f" (vn l) c) ranking))
+    end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Reuse and dependence analysis of a kernel.")
-    Term.(const run $ kernel_arg $ size_arg $ machine_arg)
+    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ json_arg)
 
 let tables_cmd =
   let run e n bound =
@@ -149,19 +236,96 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Print the precomputed unroll tables of a kernel.")
     Term.(const run $ kernel_arg $ size_arg $ bound_arg)
 
+let print_corpus_report ~json ~timings report =
+  if json then print_endline (Json.to_string (Engine.to_json ~timings report))
+  else begin
+    Format.printf "%a@." Engine.pp report;
+    if timings then Format.printf "%a@." Engine.pp_timings report
+  end
+
 let optimize_cmd =
-  let run e n machine bound no_cache =
-    let nest = build e n in
-    let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
-    Format.printf "%a@.@." Driver.pp r;
-    Format.printf "--- transformed ---@.%a@.@." Ujam_ir.Nest.pp r.Driver.transformed;
-    Format.printf "--- after scalar replacement ---@.%a@." Ujam_ir.Nest.pp
-      (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
+  let kernel_opt_arg =
+    let parse s =
+      match Ujam_kernels.Catalogue.find s with
+      | Some e -> Ok e
+      | None -> (
+          match List.assoc_opt s Ujam_kernels.Extras.all with
+          | Some build ->
+              Ok
+                { Ujam_kernels.Catalogue.num = 0; name = s;
+                  description = "extra kernel";
+                  build = (fun ?n () -> build ?n ()) }
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown kernel %S; see `ujc list'" s)))
+    in
+    let print ppf (e : Ujam_kernels.Catalogue.entry) =
+      Format.pp_print_string ppf e.Ujam_kernels.Catalogue.name
+    in
+    Arg.(
+      value
+      & pos 0 (some (conv (parse, print))) None
+      & info [] ~docv:"KERNEL"
+          ~doc:"Kernel name from Table 2 (omit with $(b,--all)).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Optimize every Table-2 kernel through the engine.")
+  in
+  let run e_opt n machine bound no_cache model all domains json timings =
+    let model = effective_model no_cache model in
+    if all then begin
+      let report =
+        Engine.run_corpus ~domains ~bound ~model ~machine
+          (Engine.routines_of_catalogue ?n ())
+      in
+      print_corpus_report ~json ~timings report
+    end
+    else
+      match e_opt with
+      | None ->
+          Format.eprintf "ujc optimize: missing KERNEL argument (or pass --all)@.";
+          exit 2
+      | Some e -> (
+          let nest = build e n in
+          let mname = Model.name model in
+          if json then
+            let outcome =
+              Engine.analyze ~bound ~model ~machine
+                ~routine:e.Ujam_kernels.Catalogue.name nest
+            in
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [ ("kernel", Json.Str e.Ujam_kernels.Catalogue.name);
+                      ("machine",
+                       Json.Str machine.Ujam_machine.Machine.name);
+                      ("result", Engine.nest_outcome_to_json outcome) ]))
+          else
+            match mname with
+            | "ugs" | "no-cache" ->
+                let r =
+                  Driver.optimize ~bound ~cache:(mname = "ugs") ~machine nest
+                in
+                Format.printf "%a@.@." Driver.pp r;
+                Format.printf "--- transformed ---@.%a@.@." Ujam_ir.Nest.pp
+                  r.Driver.transformed;
+                Format.printf "--- after scalar replacement ---@.%a@."
+                  Ujam_ir.Nest.pp
+                  (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
+            | _ ->
+                let outcome =
+                  Engine.analyze ~bound ~model ~machine
+                    ~routine:e.Ujam_kernels.Catalogue.name nest
+                in
+                Format.printf "%a@." Engine.pp_nest_outcome outcome)
   in
   Cmd.v
     (Cmd.info "optimize"
-       ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel.")
-    Term.(const run $ kernel_arg $ size_arg $ machine_arg $ bound_arg $ cache_arg)
+       ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel              (or batch-optimize the whole catalogue with $(b,--all)).")
+    Term.(const run $ kernel_opt_arg $ size_arg $ machine_arg $ bound_arg
+          $ cache_arg $ model_arg $ all_flag $ domains_arg $ json_arg
+          $ timings_arg)
 
 let simulate_cmd =
   let run e n machine bound no_cache =
@@ -319,14 +483,35 @@ let corpus_cmd =
   let seed_arg =
     Arg.(value & opt int 1997 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
   in
-  let run count seed =
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print input-dependence statistics (Table 1) instead of               running the optimization pipeline.")
+  in
+  let corpus_bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"B" ~doc:"Unroll-space bound per loop.")
+  in
+  let run count seed machine bound no_cache model domains json timings stats =
+    let count = max 0 count in
     let routines = Ujam_workload.Generator.corpus ~seed ~count () in
-    Format.printf "%a@." Ujam_workload.Corpus.pp (Ujam_workload.Corpus.measure routines)
+    if stats then
+      Format.printf "%a@." Ujam_workload.Corpus.pp
+        (Ujam_workload.Corpus.measure routines)
+    else begin
+      let model = effective_model no_cache model in
+      let report = Engine.run_corpus ~domains ~bound ~model ~machine routines in
+      print_corpus_report ~json ~timings report
+    end
   in
   Cmd.v
     (Cmd.info "corpus"
-       ~doc:"Input-dependence statistics over a synthetic corpus (Table 1).")
-    Term.(const run $ count_arg $ seed_arg)
+       ~doc:"Run the selection pipeline over a synthetic corpus              (per-routine reports; $(b,--stats) for the Table-1              input-dependence statistics).")
+    Term.(const run $ count_arg $ seed_arg $ machine_arg $ corpus_bound_arg
+          $ cache_arg $ model_arg $ domains_arg $ json_arg $ timings_arg
+          $ stats_flag)
 
 let () =
   let doc = "unroll-and-jam using uniformly generated sets" in

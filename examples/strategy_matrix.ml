@@ -1,0 +1,62 @@
+(* Every selection strategy on every evaluation machine, chosen by
+   registry name — no strategy-specific call paths.
+
+     dune exec examples/strategy_matrix.exe
+
+   Each (kernel, machine) pair gets one shared analysis context, so the
+   four strategies see identical precomputed inputs (safety vector,
+   locality ranking, unroll space) and differ only in how they cost the
+   candidates. *)
+
+open Ujam_linalg
+open Ujam_core
+open Ujam_engine
+
+let kernels = [ "dmxpy0"; "mmjki"; "mmjik"; "sor"; "jacobi"; "afold" ]
+let machines = [ Ujam_machine.Presets.alpha; Ujam_machine.Presets.hppa ]
+
+let () =
+  List.iter
+    (fun (machine : Ujam_machine.Machine.t) ->
+      Format.printf "@.=== %s ===@." machine.Ujam_machine.Machine.name;
+      Format.printf "%-10s" "loop";
+      List.iter (fun m -> Format.printf " %-12s" (Model.name m)) Model.all;
+      Format.printf "@.";
+      List.iter
+        (fun name ->
+          let e = Option.get (Ujam_kernels.Catalogue.find name) in
+          let nest = e.Ujam_kernels.Catalogue.build ~n:24 () in
+          let ctx = Analysis_ctx.create ~bound:4 ~machine nest in
+          Format.printf "%-10s" name;
+          List.iter
+            (fun m ->
+              let module M = (val m : Model.MODEL) in
+              let c = M.analyze ctx in
+              Format.printf " %-12s"
+                (Printf.sprintf "%s b=%.2f" (Vec.to_string c.Search.u)
+                   c.Search.balance))
+            Model.all;
+          Format.printf "@.")
+        kernels)
+    machines;
+  (* The same registry drives batch runs: a corpus with an unsupported
+     routine injected still completes, the bad routine becoming a typed
+     per-routine error record. *)
+  let bad =
+    let d = 2 in
+    let open Ujam_ir.Build in
+    let j = var d 0 and i = var d 1 in
+    { Ujam_workload.Generator.name = "strided-outlier";
+      nests =
+        [ nest "strided"
+            [ loop d "J" ~level:0 ~lo:1 ~hi:16 ~step:2 ();
+              loop d "I" ~level:1 ~lo:1 ~hi:16 () ]
+            [ aref "A" [ i; j ] <<- rd "A" [ i; j ] +: rd "B" [ i ] ] ] }
+  in
+  let routines = Ujam_workload.Generator.corpus ~count:6 () @ [ bad ] in
+  let report =
+    Engine.run_corpus ~domains:2 ~bound:3
+      ~machine:Ujam_machine.Presets.alpha routines
+  in
+  Format.printf "@.=== engine corpus (typed error degradation) ===@.%a@."
+    Engine.pp report

@@ -18,9 +18,12 @@ type t = {
   groups : ugs_tables list;
 }
 
-let prepare ~machine space nest =
+let prepare ?groups ~machine space nest =
   let d = Ujam_ir.Nest.depth nest in
   let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let partition =
+    match groups with Some gs -> gs | None -> Ugs.of_nest nest
+  in
   let groups =
     List.map
       (fun (g : Ugs.t) ->
@@ -31,13 +34,13 @@ let prepare ~machine space nest =
           stream;
           gts = Tables.gts_exact_table space ~localized g;
           gss = Tables.gss_exact_table space ~localized g })
-      (Ugs.of_nest nest)
+      partition
   in
   { space;
     machine;
     flops_body = Ujam_ir.Nest.flops_per_iteration nest;
-    mem_table = Rrs.memory_table space ~localized nest;
-    reg_table = Rrs.register_table space ~localized nest;
+    mem_table = Rrs.memory_table ~groups:partition space ~localized nest;
+    reg_table = Rrs.register_table ~groups:partition space ~localized nest;
     groups }
 
 let space t = t.space

@@ -15,10 +15,13 @@ open Ujam_linalg
 type t
 
 val prepare :
+  ?groups:Ujam_reuse.Ugs.t list ->
   machine:Ujam_machine.Machine.t ->
   Unroll_space.t ->
   Ujam_ir.Nest.t ->
   t
+(** [groups] supplies a precomputed UGS partition of the nest (e.g. from
+    {!Analysis_ctx}); without it the partition is rebuilt here. *)
 
 val space : t -> Unroll_space.t
 val machine : t -> Ujam_machine.Machine.t

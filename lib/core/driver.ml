@@ -6,6 +6,7 @@ type report = {
   nest : Nest.t;
   machine : Machine.t;
   cache_model : bool;
+  ctx : Analysis_ctx.t;
   safety : int array;
   ranked : (int * float) list;
   unroll_levels : int list;
@@ -16,30 +17,24 @@ type report = {
   plan : Scalar_replace.plan;
 }
 
-let optimize ?(bound = 10) ?(cache = true) ?(max_loops = 2) ~machine nest =
-  let d = Nest.depth nest in
-  (* Safety needs only true/anti/output dependences: the graph is built
-     without input edges. *)
-  let graph = Ujam_depend.Graph.build ~include_input:false nest in
-  let safety = Ujam_depend.Safety.max_safe_unroll graph in
-  let ranked = Ujam_reuse.Locality.rank_outer_loops ~line:machine.Machine.cache_line nest in
-  let unroll_levels =
-    ranked
-    |> List.filter (fun (level, _) -> safety.(level) > 0)
-    |> List.filteri (fun i _ -> i < max_loops)
-    |> List.map fst
+let optimize ?(bound = 10) ?(cache = true) ?(max_loops = 2) ?ctx ~machine nest =
+  let ctx =
+    match ctx with
+    | Some ctx -> ctx
+    | None -> Analysis_ctx.create ~bound ~max_loops ~machine nest
   in
-  let bounds = Array.make d 0 in
-  List.iter
-    (fun level -> bounds.(level) <- min bound safety.(level))
-    unroll_levels;
-  let space = Unroll_space.make ~bounds in
-  let balance = Balance.prepare ~machine space nest in
-  let choice = Search.best ~cache balance in
-  let original = Search.evaluate ~cache balance (Vec.zero d) in
+  (* Safety needs only true/anti/output dependences: the context builds
+     that graph without input edges. *)
+  let safety = Analysis_ctx.safety ctx in
+  let ranked = Analysis_ctx.ranked ctx in
+  let unroll_levels = Analysis_ctx.unroll_levels ctx in
+  let space = Analysis_ctx.space ctx in
+  let balance = Analysis_ctx.balance ctx in
+  let choice = Analysis_ctx.timed ctx Analysis_ctx.Search (fun () -> Search.best ~cache balance) in
+  let original = Search.evaluate ~cache balance (Vec.zero (Nest.depth nest)) in
   let transformed = Unroll.unroll_and_jam nest choice.Search.u in
   let plan = Scalar_replace.plan transformed in
-  { nest; machine; cache_model = cache; safety; ranked; unroll_levels;
+  { nest; machine; cache_model = cache; ctx; safety; ranked; unroll_levels;
     space; choice; original; transformed; plan }
 
 (* Modelled cycles per *original* iteration: issue-bound cycles of the
@@ -55,13 +50,17 @@ let cycles_per_orig_iteration (machine : Machine.t) (c : Search.choice) misses =
   let stall = misses *. float_of_int machine.Machine.miss_penalty in
   (issue +. stall) /. float_of_int copies
 
-let speedup_estimate r =
-  let balance = Balance.prepare ~machine:r.machine r.space r.nest in
-  let m_before = Balance.misses balance r.original.Search.u in
-  let m_after = Balance.misses balance r.choice.Search.u in
-  let before = cycles_per_orig_iteration r.machine r.original m_before in
-  let after = cycles_per_orig_iteration r.machine r.choice m_after in
+let speedup ~machine balance ~original ~choice =
+  let m_before = Balance.misses balance original.Search.u in
+  let m_after = Balance.misses balance choice.Search.u in
+  let before = cycles_per_orig_iteration machine original m_before in
+  let after = cycles_per_orig_iteration machine choice m_after in
   if after = 0.0 then 1.0 else before /. after
+
+let speedup_estimate r =
+  (* The balance tables are cached in the report's context: no rebuild. *)
+  let balance = Analysis_ctx.balance r.ctx in
+  speedup ~machine:r.machine balance ~original:r.original ~choice:r.choice
 
 let pp ppf r =
   let beta_m = Machine.balance r.machine in

@@ -9,6 +9,8 @@ type report = {
   nest : Ujam_ir.Nest.t;
   machine : Ujam_machine.Machine.t;
   cache_model : bool;
+  ctx : Analysis_ctx.t;            (** the shared analysis context; holds
+                                       the prepared balance tables *)
   safety : int array;              (** per-level legal extra copies *)
   ranked : (int * float) list;     (** locality ranking of outer levels *)
   unroll_levels : int list;        (** levels chosen for unrolling *)
@@ -23,6 +25,7 @@ val optimize :
   ?bound:int ->
   ?cache:bool ->
   ?max_loops:int ->
+  ?ctx:Analysis_ctx.t ->
   machine:Ujam_machine.Machine.t ->
   Ujam_ir.Nest.t ->
   report
@@ -32,9 +35,22 @@ val optimize :
     model; [false] reproduces the all-hits model of [Carr–Kennedy].
     [max_loops] (default 2, "in practice we limit unroll-and-jam to at
     most 2 loops", Sec. 4.5) caps how many outer loops join the unroll
-    space. *)
+    space.  [ctx] supplies an existing {!Analysis_ctx} for the same
+    (nest, machine) pair — its graphs, ranking and tables are reused and
+    its [bound]/[max_loops] take precedence over the optional
+    arguments. *)
 
 val speedup_estimate : report -> float
-(** Ratio of modelled cycles per original iteration, before vs after. *)
+(** Ratio of modelled cycles per original iteration, before vs after.
+    Reads the balance tables cached in the report's context instead of
+    rebuilding them. *)
+
+val speedup :
+  machine:Ujam_machine.Machine.t ->
+  Balance.t ->
+  original:Search.choice ->
+  choice:Search.choice ->
+  float
+(** The underlying estimate on explicit inputs (used by the engine). *)
 
 val pp : Format.formatter -> report -> unit

@@ -9,22 +9,27 @@ let totals_table space f =
   Unroll_space.iter space (fun u -> Unroll_space.Table.set t u (f u));
   t
 
-let nest_fn space ~localized nest =
+let groups_of ?groups nest =
+  match groups with Some gs -> gs | None -> Ugs.of_nest nest
+
+let nest_fn ?groups space ~localized nest =
   let fns =
-    List.map (fun g -> Streams.unrolled_fn space ~localized g) (Ugs.of_nest nest)
+    List.map
+      (fun g -> Streams.unrolled_fn space ~localized g)
+      (groups_of ?groups nest)
   in
   fun u -> List.concat_map (fun f -> f u) fns
 
-let stream_table space ~localized nest =
-  let fn = nest_fn space ~localized nest in
+let stream_table ?groups space ~localized nest =
+  let fn = nest_fn ?groups space ~localized nest in
   totals_table space (fun u -> (Streams.summarize (fn u)).Streams.streams)
 
-let memory_table space ~localized nest =
-  let fn = nest_fn space ~localized nest in
+let memory_table ?groups space ~localized nest =
+  let fn = nest_fn ?groups space ~localized nest in
   totals_table space (fun u -> (Streams.summarize (fn u)).Streams.memory_ops)
 
-let register_table space ~localized nest =
-  let fn = nest_fn space ~localized nest in
+let register_table ?groups space ~localized nest =
+  let fn = nest_fn ?groups space ~localized nest in
   totals_table space (fun u -> (Streams.summarize (fn u)).Streams.registers)
 
 (* Figure 5: the number of register-reuse sets after unrolling, without

@@ -24,12 +24,17 @@ val partition :
 (** Figure 4, [ComputeRRS], on the original body. *)
 
 val stream_table :
+  ?groups:Ujam_reuse.Ugs.t list ->
   Unroll_space.t -> localized:Subspace.t -> Ujam_ir.Nest.t -> Unroll_space.Table.t
 
 val memory_table :
+  ?groups:Ujam_reuse.Ugs.t list ->
   Unroll_space.t -> localized:Subspace.t -> Ujam_ir.Nest.t -> Unroll_space.Table.t
+(** [groups] supplies a precomputed UGS partition of the nest so the
+    table builders do not re-partition per table. *)
 
 val register_table :
+  ?groups:Ujam_reuse.Ugs.t list ->
   Unroll_space.t -> localized:Subspace.t -> Ujam_ir.Nest.t -> Unroll_space.Table.t
 
 val incremental_rrs_table :

@@ -1,0 +1,235 @@
+open Ujam_linalg
+open Ujam_ir
+open Ujam_core
+
+type nest_report = {
+  nest_name : string;
+  model : string;
+  u : Vec.t;
+  balance_before : float;
+  balance_after : float;
+  objective : float;
+  registers : int;
+  memory_ops : int;
+  flops : int;
+  speedup : float;
+}
+
+type nest_outcome = (nest_report, Error.t) result
+
+type routine_report = { routine : string; nests : nest_outcome list }
+
+type corpus_report = {
+  model : string;
+  domains : int;
+  bound : int;
+  routines : routine_report array;
+  ok : int;
+  failed : int;
+  timings : Analysis_ctx.timings;
+  elapsed_s : float;
+}
+
+let default_model : (module Model.MODEL) = (module Model.Ugs_tables)
+
+let add_timings (acc : Analysis_ctx.timings) (t : Analysis_ctx.timings) =
+  acc.Analysis_ctx.graph_s <- acc.Analysis_ctx.graph_s +. t.Analysis_ctx.graph_s;
+  acc.Analysis_ctx.tables_s <- acc.Analysis_ctx.tables_s +. t.Analysis_ctx.tables_s;
+  acc.Analysis_ctx.search_s <- acc.Analysis_ctx.search_s +. t.Analysis_ctx.search_s;
+  acc.Analysis_ctx.sim_s <- acc.Analysis_ctx.sim_s +. t.Analysis_ctx.sim_s
+
+let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
+    ~machine ~routine nest =
+  let module M = (val model : Model.MODEL) in
+  let ( let* ) = Result.bind in
+  let outcome =
+    let* () = Error.check_supported ~routine nest in
+    let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
+    let guard stage f = Error.guard ~stage ~routine f in
+    let result =
+      let* _safety = guard Error.Graph (fun () -> Analysis_ctx.safety ctx) in
+      let* balance = guard Error.Tables (fun () -> Analysis_ctx.balance ctx) in
+      let* choice = guard Error.Search (fun () -> M.analyze ctx) in
+      let* original =
+        guard Error.Search (fun () ->
+            Search.evaluate ~cache:M.cache balance (Vec.zero (Nest.depth nest)))
+      in
+      let* speedup =
+        guard Error.Search (fun () ->
+            Driver.speedup ~machine balance ~original ~choice)
+      in
+      Ok
+        { nest_name = Nest.name nest;
+          model = M.name;
+          u = choice.Search.u;
+          balance_before = original.Search.balance;
+          balance_after = choice.Search.balance;
+          objective = choice.Search.objective;
+          registers = choice.Search.registers;
+          memory_ops = choice.Search.memory_ops;
+          flops = choice.Search.flops;
+          speedup }
+    in
+    Option.iter (fun acc -> add_timings acc (Analysis_ctx.timings ctx)) into;
+    result
+  in
+  outcome
+
+let analyze ?bound ?max_loops ?model ~machine ?(routine = "<nest>") nest =
+  analyze_into ?bound ?max_loops ?model ~machine ~routine nest
+
+(* ------------------------------------------------------------------ *)
+(* Parallel corpus runner.
+
+   A lock-free work queue over an atomic index: each domain claims the
+   next unprocessed routine and writes its report into that routine's
+   slot, so the result ordering is the input ordering no matter how many
+   domains run or how the scheduler interleaves them. *)
+
+let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
+    ?(model = default_model) ~machine
+    (routines : Ujam_workload.Generator.routine list) =
+  let module M = (val model : Model.MODEL) in
+  let jobs = Array.of_list routines in
+  let n = Array.length jobs in
+  let out = Array.make n { routine = ""; nests = [] } in
+  let domains = max 1 (min domains (max 1 n)) in
+  let per_domain = Array.init domains (fun _ -> Analysis_ctx.zero_timings ()) in
+  let next = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker acc () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = jobs.(i) in
+        out.(i) <-
+          { routine = r.Ujam_workload.Generator.name;
+            nests =
+              List.map
+                (fun nest ->
+                  analyze_into ~into:acc ~bound ~max_loops ~model ~machine
+                    ~routine:r.Ujam_workload.Generator.name nest)
+                r.Ujam_workload.Generator.nests };
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains = 1 then worker per_domain.(0) ()
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () -> worker per_domain.(k + 1) ()))
+    in
+    worker per_domain.(0) ();
+    List.iter Domain.join spawned
+  end;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let timings = Analysis_ctx.zero_timings () in
+  Array.iter (add_timings timings) per_domain;
+  let ok = ref 0 and failed = ref 0 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (function Ok _ -> incr ok | Error _ -> incr failed)
+        r.nests)
+    out;
+  { model = M.name; domains; bound; routines = out; ok = !ok; failed = !failed;
+    timings; elapsed_s }
+
+let routines_of_catalogue ?n () =
+  List.map
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest =
+        match n with
+        | Some n -> e.Ujam_kernels.Catalogue.build ~n ()
+        | None -> e.Ujam_kernels.Catalogue.build ()
+      in
+      { Ujam_workload.Generator.name = e.Ujam_kernels.Catalogue.name;
+        nests = [ nest ] })
+    Ujam_kernels.Catalogue.all
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.  The default printers exclude the timing counters so runs
+   with different domain counts stay byte-identical; print timings
+   separately with [pp_timings]. *)
+
+let pp_nest_outcome ppf = function
+  | Ok r ->
+      Format.fprintf ppf
+        "%s: u=%s balance %.3f->%.3f regs %d V_M %d V_F %d speedup %.2f"
+        r.nest_name (Vec.to_string r.u) r.balance_before r.balance_after
+        r.registers r.memory_ops r.flops r.speedup
+  | Error e -> Error.pp ppf e
+
+let pp_routine ppf r =
+  List.iter
+    (fun outcome ->
+      Format.fprintf ppf "%-12s %a@," r.routine pp_nest_outcome outcome)
+    r.nests
+
+let pp ppf report =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun r -> pp_routine ppf r) report.routines;
+  Format.fprintf ppf "corpus: %d routines, %d nests ok, %d failed (model %s)@]"
+    (Array.length report.routines) report.ok report.failed report.model
+
+let pp_timings ppf report =
+  Format.fprintf ppf "stages: %a; wall %.3fs (%d domains)"
+    Analysis_ctx.pp_timings report.timings report.elapsed_s report.domains
+
+let to_string report = Format.asprintf "%a" pp report
+
+(* ------------------------------------------------------------------ *)
+(* JSON. *)
+
+let nest_outcome_to_json = function
+  | Ok r ->
+      Json.Obj
+        [ ("nest", Json.Str r.nest_name);
+          ("model", Json.Str r.model);
+          ("u", Json.of_vec r.u);
+          ("balance_before", Json.Float r.balance_before);
+          ("balance_after", Json.Float r.balance_after);
+          ("objective", Json.Float r.objective);
+          ("registers", Json.Int r.registers);
+          ("memory_ops", Json.Int r.memory_ops);
+          ("flops", Json.Int r.flops);
+          ("speedup", Json.Float r.speedup) ]
+  | Error e ->
+      Json.Obj
+        [ ("error",
+           Json.Obj
+             [ ("stage", Json.Str (Error.stage_name e.Error.stage));
+               ("routine", Json.Str e.Error.routine);
+               ("message", Json.Str e.Error.message) ]) ]
+
+let routine_to_json r =
+  Json.Obj
+    [ ("routine", Json.Str r.routine);
+      ("nests", Json.List (List.map nest_outcome_to_json r.nests)) ]
+
+let timings_to_json (t : Analysis_ctx.timings) =
+  Json.Obj
+    [ ("graph_s", Json.Float t.Analysis_ctx.graph_s);
+      ("tables_s", Json.Float t.Analysis_ctx.tables_s);
+      ("search_s", Json.Float t.Analysis_ctx.search_s);
+      ("sim_s", Json.Float t.Analysis_ctx.sim_s) ]
+
+let to_json ?(timings = false) report =
+  let base =
+    [ ("model", Json.Str report.model);
+      ("bound", Json.Int report.bound);
+      ("routines",
+       Json.List (Array.to_list (Array.map routine_to_json report.routines)));
+      ("ok", Json.Int report.ok);
+      ("failed", Json.Int report.failed) ]
+  in
+  let extra =
+    if timings then
+      [ ("domains", Json.Int report.domains);
+        ("timings", timings_to_json report.timings);
+        ("elapsed_s", Json.Float report.elapsed_s) ]
+    else []
+  in
+  Json.Obj (base @ extra)

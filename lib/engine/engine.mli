@@ -1,0 +1,78 @@
+(** The unified selection pipeline.
+
+    One entry point analyzes a nest with any registered strategy
+    ({!Model.MODEL}) over a shared {!Ujam_core.Analysis_ctx};
+    {!run_corpus} scales that to routine batches on an OCaml 5
+    domain-based work queue with deterministic result ordering — the
+    report for routine [i] lands in slot [i] whatever the domain count,
+    so 1-domain and N-domain runs render byte-identically.  Failures
+    degrade to per-routine {!Error.t} records; the batch always
+    completes. *)
+
+open Ujam_linalg
+
+type nest_report = {
+  nest_name : string;
+  model : string;
+  u : Vec.t;                 (** chosen unroll vector *)
+  balance_before : float;
+  balance_after : float;
+  objective : float;         (** |beta_L - beta_M| at the choice *)
+  registers : int;
+  memory_ops : int;
+  flops : int;
+  speedup : float;           (** modelled cycles before / after *)
+}
+
+type nest_outcome = (nest_report, Error.t) result
+
+type routine_report = { routine : string; nests : nest_outcome list }
+
+type corpus_report = {
+  model : string;
+  domains : int;
+  bound : int;
+  routines : routine_report array;  (** input order, one slot per routine *)
+  ok : int;
+  failed : int;
+  timings : Ujam_core.Analysis_ctx.timings;  (** summed per-stage counters *)
+  elapsed_s : float;
+}
+
+val analyze :
+  ?bound:int ->
+  ?max_loops:int ->
+  ?model:(module Model.MODEL) ->
+  machine:Ujam_machine.Machine.t ->
+  ?routine:string ->
+  Ujam_ir.Nest.t ->
+  nest_outcome
+(** Analyze one nest ([bound] defaults to 4, [model] to
+    {!Model.Ugs_tables}).  Never raises on unsupported input: the
+    outcome carries a typed {!Error.t} instead. *)
+
+val run_corpus :
+  ?domains:int ->
+  ?bound:int ->
+  ?max_loops:int ->
+  ?model:(module Model.MODEL) ->
+  machine:Ujam_machine.Machine.t ->
+  Ujam_workload.Generator.routine list ->
+  corpus_report
+(** Analyze a routine batch on [domains] parallel domains (default 1).
+    Results are slotted by input index, so the rendered report is
+    independent of the domain count; the timing counters are the only
+    run-dependent fields and are excluded from {!pp}/{!to_json} unless
+    requested. *)
+
+val routines_of_catalogue :
+  ?n:int -> unit -> Ujam_workload.Generator.routine list
+(** The 19 Table-2 kernels wrapped as single-nest routines. *)
+
+val pp : Format.formatter -> corpus_report -> unit
+val pp_nest_outcome : Format.formatter -> nest_outcome -> unit
+val pp_timings : Format.formatter -> corpus_report -> unit
+val to_string : corpus_report -> string
+
+val nest_outcome_to_json : nest_outcome -> Json.t
+val to_json : ?timings:bool -> corpus_report -> Json.t

@@ -1,0 +1,65 @@
+open Ujam_ir
+
+type stage = Validate | Parse | Graph | Tables | Search | Transform | Sim
+
+type t = { stage : stage; routine : string; message : string }
+
+let make ~stage ~routine message = { stage; routine; message }
+
+let stage_name = function
+  | Validate -> "validate"
+  | Parse -> "parse"
+  | Graph -> "graph"
+  | Tables -> "tables"
+  | Search -> "search"
+  | Transform -> "transform"
+  | Sim -> "sim"
+
+let pp ppf e =
+  Format.fprintf ppf "ERROR [%s] %s: %s" (stage_name e.stage) e.routine e.message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let guard ~stage ~routine f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (make ~stage ~routine msg)
+  | exception Failure msg -> Error (make ~stage ~routine msg)
+  | exception Not_found -> Error (make ~stage ~routine "internal lookup failed")
+  | exception Stack_overflow -> Error (make ~stage ~routine "stack overflow")
+
+(* The reuse model covers the paper's subscript class (Sec. 3.5): affine
+   subscripts over unit-step loops, with the doubled (multigrid
+   restriction/interpolation) stride as the largest modelled coefficient.
+   Anything beyond that is rejected up front with a typed error instead
+   of feeding the lattice solvers inputs they do not model. *)
+let max_coefficient = 2
+
+let check_supported ~routine nest =
+  let err message = Error (make ~stage:Validate ~routine message) in
+  let bad_step =
+    Array.find_opt (fun (l : Loop.t) -> l.Loop.step <> 1) (Nest.loops nest)
+  in
+  match bad_step with
+  | Some l ->
+      err
+        (Printf.sprintf "%s: loop %s has step %d; only unit-step loops are modelled"
+           (Nest.name nest) l.Loop.var l.Loop.step)
+  | None ->
+      let bad_ref =
+        List.find_opt
+          (fun ((r : Aref.t), _) ->
+            Array.exists
+              (fun (s : Affine.t) ->
+                Array.exists (fun c -> abs c > max_coefficient) s.Affine.coefs)
+              r.Aref.subs)
+          (Nest.refs nest)
+      in
+      (match bad_ref with
+      | Some (r, _) ->
+          err
+            (Printf.sprintf
+               "%s: subscript of %s has a coefficient beyond the modelled stride \
+                range (|c| <= %d)"
+               (Nest.name nest) (Aref.base r) max_coefficient)
+      | None -> Ok ())

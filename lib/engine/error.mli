@@ -1,0 +1,36 @@
+(** Typed pipeline errors.
+
+    A corpus run over hundreds of routines must degrade per-routine: a
+    nest the model does not support becomes an error record in that
+    routine's report, never a process-killing exception.  [guard] is the
+    boundary adaptor — it converts the [Invalid_argument]/[Failure]
+    invariant exits of the analysis layers into a value tagged with the
+    pipeline stage that failed; [check_supported] rejects nests outside
+    the modelled subscript class up front. *)
+
+type stage =
+  | Validate   (** nest outside the supported subscript class *)
+  | Parse      (** source text did not parse *)
+  | Graph      (** dependence graph / safety analysis *)
+  | Tables     (** UGS partition or table construction *)
+  | Search     (** unroll-vector selection *)
+  | Transform  (** unroll-and-jam / scalar replacement *)
+  | Sim        (** cache/CPU simulation *)
+
+type t = { stage : stage; routine : string; message : string }
+
+val make : stage:stage -> routine:string -> string -> t
+val stage_name : stage -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val guard : stage:stage -> routine:string -> (unit -> 'a) -> ('a, t) result
+(** Run a pipeline stage, converting its exceptions into a typed error. *)
+
+val max_coefficient : int
+(** Largest modelled subscript coefficient magnitude (2: the doubled
+    multigrid stride, the largest the paper's subscript class uses). *)
+
+val check_supported : routine:string -> Ujam_ir.Nest.t -> (unit, t) result
+(** Reject nests the reuse model does not cover: non-unit loop steps and
+    subscript coefficients beyond {!max_coefficient}. *)

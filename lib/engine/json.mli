@@ -1,0 +1,18 @@
+(** Minimal JSON emitter for machine-readable batch output.
+
+    Only construction and compact serialisation — the CLI pins its
+    output format with cram tests, so stability matters more than
+    features.  Non-finite floats render as [null] (JSON has no
+    [Infinity] literal). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val of_vec : Ujam_linalg.Vec.t -> t

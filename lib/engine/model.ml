@@ -1,0 +1,98 @@
+open Ujam_core
+
+module type MODEL = sig
+  val name : string
+  val description : string
+
+  val cache : bool
+  (** Whether the strategy's balance includes the cache-miss term (used
+      to evaluate the original loop under the same objective). *)
+
+  val analyze : Analysis_ctx.t -> Search.choice
+end
+
+(* The dependence-based and brute-force baselines report their own
+   metrics record; fold it into the common choice shape so all four
+   strategies are interchangeable downstream. *)
+let choice_of_metrics ~machine ~cache (u, (m : Bruteforce.metrics)) =
+  let beta_m = Ujam_machine.Machine.balance machine in
+  let balance =
+    if cache then m.Bruteforce.balance_cache else m.Bruteforce.balance_nocache
+  in
+  { Search.u;
+    balance;
+    objective = Float.abs (balance -. beta_m);
+    registers = m.Bruteforce.registers;
+    memory_ops = m.Bruteforce.memory_ops;
+    flops = m.Bruteforce.flops }
+
+module Ugs_tables = struct
+  let name = "ugs"
+  let description = "UGS tables + balance search (the paper's model)"
+  let cache = true
+
+  let analyze ctx =
+    let balance = Analysis_ctx.balance ctx in
+    Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+        Search.best ~cache balance)
+end
+
+module No_cache = struct
+  let name = "no-cache"
+  let description = "UGS tables under the all-hits Carr-Kennedy balance"
+  let cache = false
+
+  let analyze ctx =
+    let balance = Analysis_ctx.balance ctx in
+    Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+        Search.best ~cache balance)
+end
+
+module Dep_based = struct
+  let name = "dep"
+  let description = "dependence-graph reuse model (Carr PACT'96 baseline)"
+  let cache = true
+
+  let analyze ctx =
+    let machine = Analysis_ctx.machine ctx in
+    let space = Analysis_ctx.space ctx in
+    let nest = Analysis_ctx.nest ctx in
+    Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+        choice_of_metrics ~machine ~cache
+          (Depmodel.best ~cache ~machine space nest))
+end
+
+module Brute_force = struct
+  let name = "brute"
+  let description = "materialise every unrolled body (Wolf-Maydan-Chen)"
+  let cache = true
+
+  let analyze ctx =
+    let machine = Analysis_ctx.machine ctx in
+    let space = Analysis_ctx.space ctx in
+    let nest = Analysis_ctx.nest ctx in
+    Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+        choice_of_metrics ~machine ~cache
+          (Bruteforce.best ~cache ~machine space nest))
+end
+
+let all : (module MODEL) list =
+  [ (module Ugs_tables); (module Dep_based); (module Brute_force);
+    (module No_cache) ]
+
+let name (module M : MODEL) = M.name
+
+let names = List.map name all
+
+let find s =
+  let s = String.lowercase_ascii s in
+  let canonical =
+    match s with
+    | "ugs" | "ugs-tables" | "tables" -> Some "ugs"
+    | "dep" | "dep-based" | "dependence" -> Some "dep"
+    | "brute" | "brute-force" | "bruteforce" -> Some "brute"
+    | "no-cache" | "nocache" | "carr-kennedy" -> Some "no-cache"
+    | _ -> None
+  in
+  Option.bind canonical (fun c ->
+      List.find_opt (fun (module M : MODEL) -> String.equal M.name c) all)

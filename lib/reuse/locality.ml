@@ -27,21 +27,27 @@ let ugs_cost ~line ~localized (u : Ugs.t) =
   in
   { ugs = u; g_t; g_s; stream; accesses = groups *. base }
 
-let nest_accesses ~line ~localized nest =
+let nest_accesses ?groups ~line ~localized nest =
+  let groups =
+    match groups with Some gs -> gs | None -> Ugs.of_nest nest
+  in
   List.fold_left
     (fun acc u -> acc +. (ugs_cost ~line ~localized u).accesses)
-    0.0 (Ugs.of_nest nest)
+    0.0 groups
 
 let innermost_localized nest =
   let d = Nest.depth nest in
   Subspace.span_dims ~dim:d [ d - 1 ]
 
-let rank_outer_loops ~line nest =
+let rank_outer_loops ?groups ~line nest =
   let d = Nest.depth nest in
+  let groups =
+    match groups with Some gs -> gs | None -> Ugs.of_nest nest
+  in
   let costs =
     List.init (d - 1) (fun level ->
         let localized = Subspace.span_dims ~dim:d [ level; d - 1 ] in
-        (level, nest_accesses ~line ~localized nest))
+        (level, nest_accesses ~groups ~line ~localized nest))
   in
   List.stable_sort (fun (_, a) (_, b) -> Float.compare a b) costs
 

@@ -26,12 +26,16 @@ type ugs_cost = {
 
 val ugs_cost : line:int -> localized:Subspace.t -> Ugs.t -> ugs_cost
 
-val nest_accesses : line:int -> localized:Subspace.t -> Ujam_ir.Nest.t -> float
-(** Sum of {!ugs_cost} over all UGSs of the nest. *)
+val nest_accesses :
+  ?groups:Ugs.t list -> line:int -> localized:Subspace.t -> Ujam_ir.Nest.t -> float
+(** Sum of {!ugs_cost} over all UGSs of the nest.  [groups] supplies a
+    precomputed UGS partition (e.g. from an analysis context) so the
+    partition is not rebuilt per call. *)
 
 val innermost_localized : Ujam_ir.Nest.t -> Subspace.t
 
-val rank_outer_loops : line:int -> Ujam_ir.Nest.t -> (int * float) list
+val rank_outer_loops :
+  ?groups:Ugs.t list -> line:int -> Ujam_ir.Nest.t -> (int * float) list
 (** Candidate outer levels ordered by the memory cost of the nest when
     that loop joins the innermost loop in the localized space — best
     (lowest-cost, i.e. most reuse carried) first.  The paper unrolls the

@@ -12,10 +12,10 @@ type result = {
   cycles_per_iteration : float;
 }
 
-let run ~machine ?plan nest =
+let run ~machine ?plan ?sites nest =
   let layout = Layout.of_nest nest ~line:machine.Machine.cache_line in
   let cache = Cache.of_machine machine in
-  let sites = Site.of_nest nest in
+  let sites = match sites with Some s -> s | None -> Site.of_nest nest in
   let memory_sites =
     match plan with
     | None -> sites

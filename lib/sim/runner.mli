@@ -20,8 +20,11 @@ type result = {
 val run :
   machine:Ujam_machine.Machine.t ->
   ?plan:Ujam_core.Scalar_replace.plan ->
+  ?sites:Ujam_ir.Site.t list ->
   Ujam_ir.Nest.t ->
   result
+(** [sites] supplies the nest's precomputed reference sites (e.g. from
+    [Analysis_ctx.sites]) so a baseline run does not re-enumerate them. *)
 
 val normalized : baseline:result -> result -> float
 (** Execution time relative to [baseline], correcting for the number of

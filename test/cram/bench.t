@@ -1,0 +1,46 @@
+The benchmark harness has a deterministic smoke subset: no wall-clock
+numbers, small sizes, fixed seeds — safe to pin.
+
+  $ ujam-bench --quick
+  
+  =============================================================
+  Quick smoke — strategy matrix (shared context per kernel)
+  =============================================================
+  loop       ugs        dep        brute      no-cache  
+  dmxpy0     (3,0)      (3,0)      (3,0)      (3,0)     
+  mmjki      (2,3,0)    (2,3,0)    (2,3,0)    (1,1,0)   
+  sor        (3,0)      (3,0)      (3,0)      (0,0)     
+  jacobi     (3,0)      (3,0)      (3,0)      (0,0)     
+  
+  =============================================================
+  Quick smoke — engine corpus (20 routines, 2 domains)
+  =============================================================
+  routine0000  nest0: u=(3,0) balance 75.000->34.500 regs 12 V_M 12 V_F 4 speedup 2.17
+  routine0000  nest1: u=(3,0) balance 50.000->23.000 regs 16 V_M 16 V_F 8 speedup 2.17
+  routine0001  nest3: u=(3,0) balance 32.000->13.625 regs 13 V_M 13 V_F 8 speedup 2.35
+  routine0001  nest4: u=(3,0) balance 32.000->13.625 regs 13 V_M 13 V_F 8 speedup 2.35
+  routine0002  nest6: u=(3,0) balance 75.000->34.500 regs 12 V_M 12 V_F 4 speedup 2.17
+  routine0003  nest9: u=(0,0) balance 6.350->6.350 regs 26 V_M 13 V_F 20 speedup 1.00
+  routine0004  nest12: u=(3,0,0) balance 32.000->15.250 regs 14 V_M 14 V_F 8 speedup 2.10
+  routine0004  nest13: u=(3,0,0) balance 32.000->15.250 regs 14 V_M 14 V_F 8 speedup 2.10
+  routine0005  nest15: u=(0) balance 14.000->14.000 regs 4 V_M 4 V_F 2 speedup 1.00
+  routine0006  nest18: u=(0,0,0) balance 18.214->18.214 regs 17 V_M 15 V_F 14 speedup 1.00
+  routine0006  nest19: u=(2,0,0) balance 23.571->12.286 regs 27 V_M 24 V_F 21 speedup 1.92
+  routine0007  nest21: u=(1,0) balance 9.000->5.321 regs 29 V_M 17 V_F 28 speedup 1.60
+  routine0007  nest22: u=(2,0) balance 11.100->5.633 regs 30 V_M 19 V_F 30 speedup 1.87
+  routine0008  nest24: u=(1,0) balance 5.381->3.429 regs 31 V_M 18 V_F 42 speedup 1.46
+  routine0009  nest27: u=(1,0) balance 11.000->6.950 regs 25 V_M 13 V_F 20 speedup 1.53
+  routine0010  nest30: u=(0,0,0) balance 7.500->7.500 regs 9 V_M 9 V_F 6 speedup 1.00
+  routine0011  nest33: u=(0,0,0) balance 19.059->19.059 regs 25 V_M 18 V_F 17 speedup 1.00
+  routine0011  nest34: u=(1,1,0) balance 27.000->12.679 regs 32 V_M 25 V_F 28 speedup 2.11
+  routine0012  nest36: u=(3,0) balance 25.000->11.500 regs 12 V_M 4 V_F 4 speedup 2.17
+  routine0013  nest39: u=(1,0) balance 5.905->3.667 regs 32 V_M 16 V_F 42 speedup 1.50
+  routine0013  nest40: u=(0,0) balance 8.857->8.857 regs 20 V_M 10 V_F 14 speedup 1.00
+  routine0014  nest42: u=(0) balance 14.000->14.000 regs 4 V_M 4 V_F 2 speedup 1.00
+  routine0015  nest45: u=(0,0) balance 7.278->7.278 regs 25 V_M 11 V_F 18 speedup 1.00
+  routine0016  nest48: u=(0,0,0) balance 18.235->18.235 regs 24 V_M 16 V_F 17 speedup 1.00
+  routine0017  nest51: u=(0) balance inf->inf regs 2 V_M 2 V_F 0 speedup 1.00
+  routine0018  nest54: u=(3,0) balance 50.000->23.000 regs 16 V_M 16 V_F 8 speedup 2.17
+  routine0019  nest57: u=(0) balance 7.500->7.500 regs 4 V_M 3 V_F 2 speedup 1.00
+  routine0019  nest58: u=(0) balance 7.500->7.500 regs 4 V_M 3 V_F 2 speedup 1.00
+  corpus: 20 routines, 28 nests ok, 0 failed (model ugs)

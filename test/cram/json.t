@@ -1,0 +1,37 @@
+Machine-readable output. The JSON formats below are a pinned interface:
+batch tooling parses them, so any change here is a deliberate format
+break.
+
+Reuse/dependence analysis:
+
+  $ ujc analyze dmxpy0 --json
+  {"kernel":"dmxpy0","machine":"DEC-Alpha-21064","groups":[{"base":"Y","size":2,"stream":"unit-stride","g_t":1,"g_s":1,"accesses_per_iter":0.25},{"base":"X","size":1,"stream":"invariant","g_t":1,"g_s":1,"accesses_per_iter":0.0},{"base":"M","size":1,"stream":"unit-stride","g_t":1,"g_s":1,"accesses_per_iter":0.25}],"dependences":{"flow":0,"anti":1,"output":1,"input":2,"edges_with_input":4,"edges_without_input":2},"ranking":[{"level":0,"var":"J","accesses_per_iter":0.25}]}
+
+Single-kernel optimization (default UGS-tables strategy):
+
+  $ ujc optimize dmxpy0 --json
+  {"kernel":"dmxpy0","machine":"DEC-Alpha-21064","result":{"nest":"dmxpy0","model":"ugs","u":[8,0],"balance_before":7.5,"balance_after":4.38889,"objective":3.38889,"registers":28,"memory_ops":19,"flops":18,"speedup":1.70886}}
+
+Strategy selection by registry name:
+
+  $ ujc optimize sor --json --model brute -b 4
+  {"kernel":"sor","machine":"DEC-Alpha-21064","result":{"nest":"sor","model":"brute","u":[4,0],"balance_before":3.14286,"balance_after":1.54286,"objective":0.542857,"registers":22,"memory_ops":12,"flops":35,"speedup":1.62338}}
+
+Unknown strategies are rejected up front:
+
+  $ ujc optimize sor --model magic
+  ujc: option '--model': unknown model "magic" (ugs|dep|brute|no-cache)
+  Usage: ujc optimize [OPTION]… [KERNEL]
+  Try 'ujc optimize --help' or 'ujc --help' for more information.
+  [124]
+
+Engine corpus runs (per-routine reports, slotted by input index):
+
+  $ ujc corpus --count 3 --json
+  {"model":"ugs","bound":4,"routines":[{"routine":"routine0000","nests":[{"nest":"nest0","model":"ugs","u":[4,0],"balance_before":75.0,"balance_after":31.8,"objective":30.8,"registers":15,"memory_ops":15,"flops":5,"speedup":2.35849},{"nest":"nest1","model":"ugs","u":[4,0],"balance_before":50.0,"balance_after":21.2,"objective":20.2,"registers":20,"memory_ops":20,"flops":10,"speedup":2.35849}]},{"routine":"routine0001","nests":[{"nest":"nest3","model":"ugs","u":[4,0],"balance_before":32.0,"balance_after":12.4,"objective":11.4,"registers":16,"memory_ops":16,"flops":10,"speedup":2.58065},{"nest":"nest4","model":"ugs","u":[4,0],"balance_before":32.0,"balance_after":12.4,"objective":11.4,"registers":16,"memory_ops":16,"flops":10,"speedup":2.58065}]},{"routine":"routine0002","nests":[{"nest":"nest6","model":"ugs","u":[4,0],"balance_before":75.0,"balance_after":31.8,"objective":30.8,"registers":15,"memory_ops":15,"flops":5,"speedup":2.35849}]}],"ok":5,"failed":0}
+
+The domain count never changes the rendered report:
+
+  $ ujc corpus --count 2 --seed 7 --json > one.json
+  $ ujc corpus --count 2 --seed 7 --json --domains 2 > two.json
+  $ cmp one.json two.json

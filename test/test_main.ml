@@ -21,4 +21,5 @@ let () =
       ("sim/codegen", Test_codegen.suite);
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
+      ("engine", Test_engine.suite);
       ("invariants", Test_invariants.suite) ]
