@@ -13,11 +13,19 @@
      dune exec bench/main.exe -- ablation-registers register-file sweep
      dune exec bench/main.exe -- corpus    Engine.run_corpus throughput
      dune exec bench/main.exe -- speed     Bechamel micro-benchmarks
-     dune exec bench/main.exe -- --quick   deterministic smoke subset *)
+     dune exec bench/main.exe -- --quick   deterministic smoke subset
+
+   Every experiment that draws a synthetic corpus honours a global
+   "--seed S" option (default 1997, the pinned corpus seed). *)
 
 open Ujam_linalg
 open Ujam_core
 open Ujam_engine
+
+(* Generator seed for every synthetic corpus below; --seed overrides.
+   The default matches Generator.corpus's own, keeping the pinned
+   --quick cram output stable. *)
+let seed = ref 1997
 
 let section title =
   Format.printf "@.=============================================================@.";
@@ -32,7 +40,7 @@ let table1 () =
   Format.printf
     "corpus: the 19 suite kernels + synthetic routines, 1187 total (the@.\
      paper's routine count for SPEC92/Perfect/NAS/local)@.@.";
-  let synthetic = Ujam_workload.Generator.corpus ~count:1168 () in
+  let synthetic = Ujam_workload.Generator.corpus ~seed:!seed ~count:1168 () in
   let kernel_routines =
     List.map
       (fun (e : Ujam_kernels.Catalogue.entry) ->
@@ -291,7 +299,7 @@ let corpus_throughput () =
   section "Engine.run_corpus throughput (synthetic corpus, bound 4)";
   let machine = Ujam_machine.Presets.alpha in
   let count = 200 in
-  let routines = Ujam_workload.Generator.corpus ~count () in
+  let routines = Ujam_workload.Generator.corpus ~seed:!seed ~count () in
   let reference = ref None in
   List.iter
     (fun domains ->
@@ -335,7 +343,7 @@ let quick () =
   section "Quick smoke — engine corpus (20 routines, 2 domains)";
   let report =
     Engine.run_corpus ~domains:2 ~bound:3 ~machine
-      (Ujam_workload.Generator.corpus ~count:20 ())
+      (Ujam_workload.Generator.corpus ~seed:!seed ~count:20 ())
   in
   Format.printf "%a@." Engine.pp report
 
@@ -355,7 +363,7 @@ let speed () =
     [ Test.make ~name:"table1:corpus-50-routines"
         (Staged.stage (fun () ->
              Ujam_workload.Corpus.measure
-               (Ujam_workload.Generator.corpus ~count:50 ())));
+               (Ujam_workload.Generator.corpus ~seed:!seed ~count:50 ())));
       Test.make ~name:"table2:catalogue-build"
         (Staged.stage (fun () ->
              List.map
@@ -427,8 +435,20 @@ let all () =
   corpus_throughput ();
   speed ()
 
+(* Strip "--seed S" out of the argument list before dispatching. *)
+let rec extract_seed = function
+  | [] -> []
+  | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some s -> seed := s
+      | None ->
+          Format.eprintf "--seed: expected an integer, got %S@." v;
+          exit 2);
+      extract_seed rest
+  | arg :: rest -> arg :: extract_seed rest
+
 let () =
-  match Array.to_list Sys.argv with
+  match extract_seed (Array.to_list Sys.argv) with
   | [ _ ] -> all ()
   | _ :: args ->
       List.iter

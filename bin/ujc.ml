@@ -445,15 +445,7 @@ let verify_cmd =
     (* Clamp the chosen unroll amounts to factors dividing the trip
        counts: the remainder (cleanup) loop is outside the IR's perfect
        nests, so verification requires exact coverage. *)
-    let u =
-      match Ujam_ir.Nest.trip_counts nest with
-      | None -> r.Driver.choice.Search.u
-      | Some trips ->
-          Vec.init (Ujam_ir.Nest.depth nest) (fun k ->
-              let want = Vec.get r.Driver.choice.Search.u k + 1 in
-              let rec fit f = if trips.(k) mod f = 0 then f else fit (f - 1) in
-              fit (max 1 (min want trips.(k))) - 1)
-    in
+    let u = Ujam_ir.Unroll.clamp_divisible nest r.Driver.choice.Search.u in
     let t = Ujam_ir.Unroll.unroll_and_jam nest u in
     let plan = Scalar_replace.plan t in
     let body = Scalar_replace.apply t plan in
@@ -513,9 +505,78 @@ let corpus_cmd =
           $ cache_arg $ model_arg $ domains_arg $ json_arg $ timings_arg
           $ stats_flag)
 
+let fuzz_cmd =
+  let open Ujam_oracle in
+  let n_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "nests" ] ~docv:"N" ~doc:"Number of generated nests to check.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1997 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let max_depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-depth" ] ~docv:"D"
+          ~doc:"Skip generated nests deeper than $(docv) loops.")
+  in
+  let fuzz_bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"B" ~doc:"Unroll-space bound per loop.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Shrink each failing nest to a minimal reproducer (drop               loops, drop references, shrink coefficients) and print it               as a rebuildable OCaml snippet.")
+  in
+  let layers_arg =
+    let layer_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | "recount" -> Ok Fuzz.Recount
+        | "sim" -> Ok Fuzz.Sim
+        | "cross-model" | "cross" -> Ok Fuzz.Cross_model
+        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model)" s))
+      in
+      Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Fuzz.layer_name l))
+    in
+    Arg.(
+      value
+      & opt (list layer_conv) Fuzz.all_layers
+      & info [ "layers" ] ~docv:"LAYERS"
+          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model).")
+  in
+  let run n seed max_depth bound machine domains layers shrink json =
+    let cfg =
+      { (Fuzz.default_config ~machine ()) with
+        Fuzz.n = max 0 n;
+        seed;
+        max_depth;
+        bound;
+        domains;
+        layers;
+        shrink }
+    in
+    let report = Fuzz.run cfg in
+    if json then print_endline (Json.to_string (Fuzz.to_json report))
+    else Format.printf "%a" Fuzz.pp report;
+    if not (Fuzz.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential oracle: fuzz the UGS tables against materialized              unrolls, the cache simulator, and the other selection              strategies; shrink any failure to a minimal reproducer.")
+    Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
+          $ machine_arg $ domains_arg $ layers_arg $ shrink_flag $ json_arg)
+
 let () =
   let doc = "unroll-and-jam using uniformly generated sets" in
   let info = Cmd.info "ujc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
+  (* cmdliner reserves single-dash spellings for one-letter names; accept
+     the documented "--n" as sugar for "-n". *)
+  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
+  exit (Cmd.eval ~argv (Cmd.group info
     [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
-      compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd ]))
+      compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd ]))

@@ -79,51 +79,62 @@ let analyze ?bound ?max_loops ?model ~machine ?(routine = "<nest>") nest =
   analyze_into ?bound ?max_loops ?model ~machine ~routine nest
 
 (* ------------------------------------------------------------------ *)
-(* Parallel corpus runner.
+(* Deterministic parallel work queue.
 
-   A lock-free work queue over an atomic index: each domain claims the
-   next unprocessed routine and writes its report into that routine's
-   slot, so the result ordering is the input ordering no matter how many
-   domains run or how the scheduler interleaves them. *)
+   A lock-free queue over an atomic index: each domain claims the next
+   unprocessed job and writes its result into that job's slot, so the
+   result ordering is the input ordering no matter how many domains run
+   or how the scheduler interleaves them.  [run_corpus] and the oracle's
+   fuzz loop both run on this. *)
+
+let clamp_domains domains n = max 1 (min domains (max 1 n))
+
+let parallel_map ?(domains = 1) ~f jobs =
+  let n = Array.length jobs in
+  let out = Array.make n None in
+  let domains = clamp_domains domains n in
+  let next = Atomic.make 0 in
+  let worker dom () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        out.(i) <- Some (f ~domain:dom jobs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains = 1 then worker 0 ()
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () -> worker (k + 1) ()))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end;
+  Array.map (fun slot -> Option.get slot) out
 
 let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
     ?(model = default_model) ~machine
     (routines : Ujam_workload.Generator.routine list) =
   let module M = (val model : Model.MODEL) in
   let jobs = Array.of_list routines in
-  let n = Array.length jobs in
-  let out = Array.make n { routine = ""; nests = [] } in
-  let domains = max 1 (min domains (max 1 n)) in
+  let domains = clamp_domains domains (Array.length jobs) in
   let per_domain = Array.init domains (fun _ -> Analysis_ctx.zero_timings ()) in
-  let next = Atomic.make 0 in
   let t0 = Unix.gettimeofday () in
-  let worker acc () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let r = jobs.(i) in
-        out.(i) <-
-          { routine = r.Ujam_workload.Generator.name;
-            nests =
-              List.map
-                (fun nest ->
-                  analyze_into ~into:acc ~bound ~max_loops ~model ~machine
-                    ~routine:r.Ujam_workload.Generator.name nest)
-                r.Ujam_workload.Generator.nests };
-        loop ()
-      end
-    in
-    loop ()
+  let out =
+    parallel_map ~domains
+      ~f:(fun ~domain (r : Ujam_workload.Generator.routine) ->
+        { routine = r.Ujam_workload.Generator.name;
+          nests =
+            List.map
+              (fun nest ->
+                analyze_into ~into:per_domain.(domain) ~bound ~max_loops ~model
+                  ~machine ~routine:r.Ujam_workload.Generator.name nest)
+              r.Ujam_workload.Generator.nests })
+      jobs
   in
-  if domains = 1 then worker per_domain.(0) ()
-  else begin
-    let spawned =
-      List.init (domains - 1) (fun k ->
-          Domain.spawn (fun () -> worker per_domain.(k + 1) ()))
-    in
-    worker per_domain.(0) ();
-    List.iter Domain.join spawned
-  end;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let timings = Analysis_ctx.zero_timings () in
   Array.iter (add_timings timings) per_domain;

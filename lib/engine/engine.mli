@@ -51,6 +51,15 @@ val analyze :
     {!Model.Ugs_tables}).  Never raises on unsupported input: the
     outcome carries a typed {!Error.t} instead. *)
 
+val parallel_map :
+  ?domains:int -> f:(domain:int -> 'a -> 'b) -> 'a array -> 'b array
+(** The engine's deterministic work queue on its own: run [f] over the
+    jobs on [domains] OCaml 5 domains (default 1, clamped to the job
+    count), slotting result [i] from job [i] whatever the interleaving.
+    [f] receives the worker-domain index so callers can keep per-domain
+    accumulators ({!run_corpus} threads its timing counters this way);
+    the oracle's fuzz loop batches nest checks on the same queue. *)
+
 val run_corpus :
   ?domains:int ->
   ?bound:int ->

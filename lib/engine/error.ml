@@ -28,38 +28,14 @@ let guard ~stage ~routine f =
   | exception Not_found -> Error (make ~stage ~routine "internal lookup failed")
   | exception Stack_overflow -> Error (make ~stage ~routine "stack overflow")
 
-(* The reuse model covers the paper's subscript class (Sec. 3.5): affine
-   subscripts over unit-step loops, with the doubled (multigrid
-   restriction/interpolation) stride as the largest modelled coefficient.
-   Anything beyond that is rejected up front with a typed error instead
-   of feeding the lattice solvers inputs they do not model. *)
-let max_coefficient = 2
+(* The supported subscript class is defined once, in the IR layer
+   ({!Ujam_ir.Supported}), so the workload generator and the oracle agree
+   with the engine on what "supported" means; here a violation becomes a
+   typed Validate error instead of feeding the lattice solvers inputs
+   they do not model. *)
+let max_coefficient = Supported.max_coefficient
 
 let check_supported ~routine nest =
-  let err message = Error (make ~stage:Validate ~routine message) in
-  let bad_step =
-    Array.find_opt (fun (l : Loop.t) -> l.Loop.step <> 1) (Nest.loops nest)
-  in
-  match bad_step with
-  | Some l ->
-      err
-        (Printf.sprintf "%s: loop %s has step %d; only unit-step loops are modelled"
-           (Nest.name nest) l.Loop.var l.Loop.step)
-  | None ->
-      let bad_ref =
-        List.find_opt
-          (fun ((r : Aref.t), _) ->
-            Array.exists
-              (fun (s : Affine.t) ->
-                Array.exists (fun c -> abs c > max_coefficient) s.Affine.coefs)
-              r.Aref.subs)
-          (Nest.refs nest)
-      in
-      (match bad_ref with
-      | Some (r, _) ->
-          err
-            (Printf.sprintf
-               "%s: subscript of %s has a coefficient beyond the modelled stride \
-                range (|c| <= %d)"
-               (Nest.name nest) (Aref.base r) max_coefficient)
-      | None -> Ok ())
+  match Supported.check nest with
+  | Ok () -> Ok ()
+  | Error message -> Error (make ~stage:Validate ~routine message)

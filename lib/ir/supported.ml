@@ -1,0 +1,35 @@
+let max_coefficient = 2
+
+type violation = Bad_step of Loop.t | Bad_coefficient of Aref.t
+
+let find_violation nest =
+  match
+    Array.find_opt (fun (l : Loop.t) -> l.Loop.step <> 1) (Nest.loops nest)
+  with
+  | Some l -> Some (Bad_step l)
+  | None ->
+      List.find_map
+        (fun ((r : Aref.t), _) ->
+          if
+            Array.exists
+              (fun (s : Affine.t) ->
+                Array.exists (fun c -> abs c > max_coefficient) s.Affine.coefs)
+              r.Aref.subs
+          then Some (Bad_coefficient r)
+          else None)
+        (Nest.refs nest)
+
+let message nest = function
+  | Bad_step l ->
+      Printf.sprintf "%s: loop %s has step %d; only unit-step loops are modelled"
+        (Nest.name nest) l.Loop.var l.Loop.step
+  | Bad_coefficient r ->
+      Printf.sprintf
+        "%s: subscript of %s has a coefficient beyond the modelled stride \
+         range (|c| <= %d)"
+        (Nest.name nest) (Aref.base r) max_coefficient
+
+let check nest =
+  match find_violation nest with
+  | None -> Ok ()
+  | Some v -> Error (message nest v)

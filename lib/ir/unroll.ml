@@ -20,6 +20,27 @@ let validate nest u =
   if Vec.get u (d - 1) <> 0 then
     invalid_arg "Unroll.unroll_and_jam: innermost loop must not be unrolled"
 
+let divides nest u =
+  match Nest.trip_counts nest with
+  | None -> true
+  | Some trips ->
+      let ok = ref true in
+      Array.iteri
+        (fun k trip ->
+          let f = Vec.get u k + 1 in
+          if f > 1 && (trip <= 0 || trip mod f <> 0) then ok := false)
+        trips;
+      !ok
+
+let clamp_divisible nest u =
+  match Nest.trip_counts nest with
+  | None -> u
+  | Some trips ->
+      Vec.init (Nest.depth nest) (fun k ->
+          let want = Vec.get u k + 1 in
+          let rec fit f = if trips.(k) mod f = 0 then f else fit (f - 1) in
+          fit (max 1 (min want trips.(k))) - 1)
+
 let unroll_and_jam nest u =
   validate nest u;
   if Vec.is_zero u then nest

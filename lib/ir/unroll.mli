@@ -15,6 +15,18 @@
 val offsets : Ujam_linalg.Vec.t -> Ujam_linalg.Vec.t list
 (** All offset vectors [0 <= o <= u], lexicographically sorted. *)
 
+val divides : Nest.t -> Ujam_linalg.Vec.t -> bool
+(** Whether every unrolled level's factor [u_k + 1] divides that loop's
+    constant trip count — the divisibility assumption under which
+    {!unroll_and_jam} preserves semantics exactly (no cleanup loop
+    needed).  Vacuously true when trip counts are not constant. *)
+
+val clamp_divisible : Nest.t -> Ujam_linalg.Vec.t -> Ujam_linalg.Vec.t
+(** Largest pointwise [u' <= u] such that [divides nest u'] (identity
+    when trip counts are not constant) — used before interpreting a
+    transformed nest, since the remainder loop lives outside the
+    perfect-nest IR. *)
+
 val unroll_and_jam : Nest.t -> Ujam_linalg.Vec.t -> Nest.t
 (** @raise Invalid_argument if [u] has a non-zero innermost component, a
     negative component, or the wrong dimension. *)

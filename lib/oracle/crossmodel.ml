@@ -1,0 +1,94 @@
+open Ujam_ir
+open Ujam_core
+open Ujam_machine
+open Ujam_engine
+
+let dep_note =
+  "dependence-based reuse is a coarser approximation than the UGS tables"
+
+let copies u = Ujam_linalg.Vec.fold (fun acc x -> acc * (x + 1)) 1 u
+
+let check ?(bound = 4) ?(max_loops = 2) ?(eps = 1e-6) ~machine nest =
+  let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
+  let space = Analysis_ctx.space ctx in
+  let beta_m = Machine.balance machine in
+  (* One materialized sweep serves every comparison: both cache flavours
+     of the measured objective, and both exhaustive reference choices. *)
+  let sweep =
+    lazy
+      (Unroll_space.vectors space
+      |> List.map (fun u -> (u, Bruteforce.metrics ~machine nest u)))
+  in
+  (* Measured objective of a candidate: materialize, recount, evaluate.
+     A register-infeasible choice is infinitely bad — the search is
+     constrained to the FP register file. *)
+  let objective ~cache (m : Bruteforce.metrics) =
+    if m.Bruteforce.registers > machine.Machine.fp_registers then infinity
+    else
+      Float.abs
+        ((if cache then m.Bruteforce.balance_cache
+          else m.Bruteforce.balance_nocache)
+        -. beta_m)
+  in
+  let measure ~cache u =
+    match
+      List.find_opt (fun (u', _) -> Ujam_linalg.Vec.equal u u') (Lazy.force sweep)
+    with
+    | Some (_, m) -> objective ~cache m
+    | None -> objective ~cache (Bruteforce.metrics ~machine nest u)
+  in
+  (* The exhaustive choice under {!Bruteforce.best}'s tie-breaking:
+     objective, then fewer body copies, then lexicographic order. *)
+  let reference ~cache =
+    let best =
+      List.fold_left
+        (fun best (u, m) ->
+          if m.Bruteforce.registers > machine.Machine.fp_registers then best
+          else
+            let o = objective ~cache m in
+            match best with
+            | None -> Some (u, o)
+            | Some (bu, bo) ->
+                let c = Float.compare o bo in
+                let wins =
+                  if c <> 0 then c < 0
+                  else
+                    let c = compare (copies u) (copies bu) in
+                    if c <> 0 then c < 0 else Ujam_linalg.Vec.compare u bu < 0
+                in
+                if wins then Some (u, o) else best)
+        None (Lazy.force sweep)
+    in
+    match best with
+    | Some r -> r
+    | None ->
+        let u0 = Ujam_linalg.Vec.zero (Unroll_space.depth space) in
+        (u0, measure ~cache u0)
+  in
+  let ref_cache = lazy (reference ~cache:true) in
+  let ref_nocache = lazy (reference ~cache:false) in
+  List.filter_map
+    (fun (module M : Model.MODEL) ->
+      if M.name = Model.Brute_force.name then None
+      else
+        let choice = M.analyze ctx in
+        let u = choice.Search.u in
+        let reference_u, reference_objective =
+          Lazy.force (if M.cache then ref_cache else ref_nocache)
+        in
+        let objective = measure ~cache:M.cache u in
+        if objective > reference_objective +. eps then
+          let explained =
+            if M.name = Model.Dep_based.name then Some dep_note else None
+          in
+          Some
+            (Mismatch.make ~nest:(Nest.name nest) ~machine:machine.Machine.name
+               ?explained
+               (Mismatch.Model_divergence
+                  { model = M.name;
+                    u;
+                    objective;
+                    reference_u;
+                    reference_objective }))
+        else None)
+    Model.all

@@ -1,0 +1,26 @@
+(** Oracle layer 3: N-way differential check across the model registry.
+
+    Every registered strategy ({!Ujam_engine.Model.all}) analyzes the
+    same shared {!Ujam_core.Analysis_ctx}; each chosen unroll vector is
+    then *measured* with {!Ujam_core.Bruteforce.metrics} — materialize,
+    recount, evaluate balance — and compared against the exhaustive
+    Wolf–Maydan–Chen choice over the same space under the same cache
+    flavour.  A strategy whose measured objective (distance from machine
+    balance) is worse than the reference's by more than [eps], or whose
+    chosen vector breaks the register file in truth, is reported.
+
+    The ["ugs"] and ["no-cache"] table strategies compute the exact same
+    quantities as the reference on the supported class, so for them any
+    divergence is an unexplained table bug even at tight [eps].  The
+    ["dep"] strategy is a documented coarser approximation (Carr,
+    PACT'96); its divergences carry an [explained] note.  The reference
+    itself is skipped. *)
+
+val check :
+  ?bound:int ->
+  ?max_loops:int ->
+  ?eps:float ->
+  machine:Ujam_machine.Machine.t ->
+  Ujam_ir.Nest.t ->
+  Mismatch.t list
+(** Defaults: [eps] 1e-6; [bound]/[max_loops] the engine's 4/2. *)

@@ -1,0 +1,284 @@
+open Ujam_ir
+open Ujam_machine
+open Ujam_engine
+open Ujam_workload
+
+type layer = Recount | Sim | Cross_model
+
+let layer_name = function
+  | Recount -> "recount"
+  | Sim -> "sim"
+  | Cross_model -> "cross-model"
+
+let all_layers = [ Recount; Sim; Cross_model ]
+
+type config = {
+  n : int;
+  seed : int;
+  max_depth : int;
+  bound : int;
+  max_loops : int;
+  machine : Machine.t;
+  domains : int;
+  layers : layer list;
+  shrink : bool;
+}
+
+let default_config ?(machine = Presets.alpha) () =
+  { n = 200;
+    seed = 1997;
+    max_depth = 3;
+    bound = 4;
+    max_loops = 2;
+    machine;
+    domains = 1;
+    layers = all_layers;
+    shrink = true }
+
+type failure = {
+  routine : string;
+  nest : Nest.t;
+  error : Error.t option;
+  mismatches : Mismatch.t list;
+  reduced : Nest.t option;
+}
+
+type report = {
+  config : config;
+  nests : int;
+  routines : int;
+  draws : int;
+  rejected : int;
+  skipped_depth : int;
+  sim_checked : int;
+  total_mismatches : int;
+  unexplained : int;
+  failures : failure list;
+}
+
+(* ---- one nest through one layer -------------------------------------- *)
+
+type layer_result = {
+  lr_mismatches : Mismatch.t list;
+  lr_simulated : int;
+  lr_error : Error.t option;
+}
+
+let check_layer ?perturb ~cfg ~routine layer nest =
+  let { bound; max_loops; machine; _ } = cfg in
+  let guard stage f =
+    match Error.guard ~stage ~routine f with
+    | Ok r -> r
+    | Error e -> { lr_mismatches = []; lr_simulated = 0; lr_error = Some e }
+  in
+  match layer with
+  | Recount ->
+      guard Error.Tables (fun () ->
+          let ms =
+            Recount.check ~bound ~max_loops ?perturb ~machine nest
+          in
+          { lr_mismatches = ms; lr_simulated = 0; lr_error = None })
+  | Sim ->
+      guard Error.Sim (fun () ->
+          let o = Simcheck.check ~bound ~max_loops ~machine nest in
+          { lr_mismatches = o.Simcheck.mismatches;
+            lr_simulated = o.Simcheck.simulated;
+            lr_error = None })
+  | Cross_model ->
+      guard Error.Search (fun () ->
+          let ms = Crossmodel.check ~bound ~max_loops ~machine nest in
+          { lr_mismatches = ms; lr_simulated = 0; lr_error = None })
+
+let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
+
+(* ---- one nest through all layers, with shrinking --------------------- *)
+
+type job_result = {
+  jr_simulated : bool;
+  jr_failure : failure option;
+}
+
+let check_nest ?perturb ~cfg ~routine nest =
+  let results =
+    List.map (fun l -> (l, check_layer ?perturb ~cfg ~routine l nest)) cfg.layers
+  in
+  let mismatches = List.concat_map (fun (_, r) -> r.lr_mismatches) results in
+  let error = List.find_map (fun (_, r) -> r.lr_error) results in
+  let simulated =
+    List.exists (fun (_, r) -> r.lr_simulated > 0) results
+  in
+  let bad = unexplained_of mismatches <> [] || error <> None in
+  if not bad then { jr_simulated = simulated; jr_failure = None }
+  else
+    let reduced =
+      if not cfg.shrink then None
+      else
+        (* Re-run only the layers that failed; an analysis crash counts as
+           the same failure only when the original run also crashed (and
+           produced no unexplained mismatch — mismatches take priority). *)
+        let want_error = error <> None && unexplained_of mismatches = [] in
+        let fail_layers =
+          if want_error then
+            List.filter_map
+              (fun (l, r) -> if r.lr_error <> None then Some l else None)
+              results
+          else
+            List.filter_map
+              (fun (l, r) ->
+                if unexplained_of r.lr_mismatches <> [] then Some l else None)
+              results
+        in
+        let still_fails n =
+          List.exists
+            (fun l ->
+              let r = check_layer ?perturb ~cfg ~routine l n in
+              if want_error then r.lr_error <> None
+              else unexplained_of r.lr_mismatches <> [])
+            fail_layers
+        in
+        Some (Shrink.run ~still_fails nest)
+    in
+    { jr_simulated = simulated;
+      jr_failure = Some { routine; nest; error; mismatches; reduced } }
+
+(* ---- the run ---------------------------------------------------------- *)
+
+let run ?perturb cfg =
+  let stats = Generator.stats () in
+  let st = Random.State.make [| cfg.seed |] in
+  let jobs = ref [] in
+  let count = ref 0 and idx = ref 0 and skipped_depth = ref 0 in
+  let max_draws = (cfg.n * 8) + 16 in
+  while !count < cfg.n && !idx < max_draws do
+    let r = Generator.routine ~stats st !idx in
+    incr idx;
+    List.iter
+      (fun nest ->
+        if !count < cfg.n then
+          if Nest.depth nest <= cfg.max_depth then begin
+            incr count;
+            jobs := (r.Generator.name, nest) :: !jobs
+          end
+          else incr skipped_depth)
+      r.Generator.nests
+  done;
+  let jobs = Array.of_list (List.rev !jobs) in
+  let results =
+    Engine.parallel_map ~domains:cfg.domains
+      ~f:(fun ~domain:_ (routine, nest) ->
+        check_nest ?perturb ~cfg ~routine nest)
+      jobs
+  in
+  let failures =
+    Array.to_list results |> List.filter_map (fun r -> r.jr_failure)
+  in
+  let total_mismatches =
+    List.fold_left (fun acc f -> acc + List.length f.mismatches) 0 failures
+  in
+  let unexplained =
+    List.fold_left
+      (fun acc f -> acc + List.length (unexplained_of f.mismatches))
+      0 failures
+  in
+  { config = cfg;
+    nests = Array.length jobs;
+    routines = !idx;
+    draws = stats.Generator.generated;
+    rejected = stats.Generator.rejected;
+    skipped_depth = !skipped_depth;
+    sim_checked =
+      Array.fold_left
+        (fun acc r -> if r.jr_simulated then acc + 1 else acc)
+        0 results;
+    total_mismatches;
+    unexplained;
+    failures }
+
+let ok r = r.unexplained = 0 && List.for_all (fun f -> f.error = None) r.failures
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let pp ppf r =
+  let c = r.config in
+  Format.fprintf ppf
+    "differential oracle: seed=%d machine=%s bound=%d depth<=%d layers=%s@."
+    c.seed c.machine.Machine.name c.bound c.max_depth
+    (String.concat "," (List.map layer_name c.layers));
+  Format.fprintf ppf
+    "nests: %d checked (%d routines, %d draws, %d out-of-class re-rolls, %d over depth limit)@."
+    r.nests r.routines r.draws r.rejected r.skipped_depth;
+  Format.fprintf ppf "sim layer: %d nests replayed through the cache model@."
+    r.sim_checked;
+  Format.fprintf ppf "mismatches: %d total, %d unexplained@."
+    r.total_mismatches r.unexplained;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@.failure: %s (%s)@." (Nest.name f.nest) f.routine;
+      (match f.error with
+      | Some e -> Format.fprintf ppf "  error: %a@." Error.pp e
+      | None -> ());
+      let shown, rest =
+        let rec split k = function
+          | [] -> ([], [])
+          | l when k = 0 -> ([], l)
+          | m :: tl ->
+              let a, b = split (k - 1) tl in
+              (m :: a, b)
+        in
+        split 5 f.mismatches
+      in
+      List.iter (fun m -> Format.fprintf ppf "  %a@." Mismatch.pp m) shown;
+      if rest <> [] then
+        Format.fprintf ppf "  ... and %d more@." (List.length rest);
+      match f.reduced with
+      | None -> ()
+      | Some n ->
+          Format.fprintf ppf "  reduced reproducer:@.";
+          String.split_on_char '\n' (Nest.to_string n)
+          |> List.iter (fun line ->
+                 if line <> "" then Format.fprintf ppf "    %s@." line);
+          Format.fprintf ppf "  rebuild with:@.";
+          String.split_on_char '\n' (Shrink.to_snippet n)
+          |> List.iter (fun line ->
+                 if line <> "" then Format.fprintf ppf "    %s@." line))
+    r.failures;
+  Format.fprintf ppf "result: %s@."
+    (if ok r then "ok"
+     else Printf.sprintf "%d unexplained mismatch(es), %d error(s)"
+         r.unexplained
+         (List.length (List.filter (fun f -> f.error <> None) r.failures)))
+
+let failure_to_json f =
+  Json.Obj
+    [ ("routine", Json.Str f.routine);
+      ("nest", Json.Str (Nest.name f.nest));
+      ( "error",
+        match f.error with
+        | Some e -> Json.Str (Error.to_string e)
+        | None -> Json.Null );
+      ("mismatches", Json.List (List.map Mismatch.to_json f.mismatches));
+      ( "reduced",
+        match f.reduced with
+        | Some n -> Shrink.to_json n
+        | None -> Json.Null ) ]
+
+let to_json r =
+  let c = r.config in
+  Json.Obj
+    [ ("seed", Json.Int c.seed);
+      ("n", Json.Int c.n);
+      ("machine", Json.Str c.machine.Machine.name);
+      ("bound", Json.Int c.bound);
+      ("max_depth", Json.Int c.max_depth);
+      ( "layers",
+        Json.List (List.map (fun l -> Json.Str (layer_name l)) c.layers) );
+      ("nests", Json.Int r.nests);
+      ("routines", Json.Int r.routines);
+      ("draws", Json.Int r.draws);
+      ("rejected", Json.Int r.rejected);
+      ("skipped_depth", Json.Int r.skipped_depth);
+      ("sim_checked", Json.Int r.sim_checked);
+      ("mismatches", Json.Int r.total_mismatches);
+      ("unexplained", Json.Int r.unexplained);
+      ("ok", Json.Bool (ok r));
+      ("failures", Json.List (List.map failure_to_json r.failures)) ]

@@ -1,0 +1,65 @@
+(** The fuzzing front end: generate nests, run the oracle layers over
+    the engine's parallel work queue, shrink failures, report.
+
+    A run draws routines from {!Ujam_workload.Generator} under a seed,
+    checks each nest with the configured layers ({!Recount},
+    {!Simcheck}, {!Crossmodel}), and — when a check reports an
+    unexplained mismatch or an analysis crash — greedily shrinks the
+    nest to a minimal reproducer ({!Shrink}) emitted as an OCaml
+    snippet plus JSON.  Results are deterministic for a given config:
+    generation is sequential, checks are pure, and the work queue slots
+    results by input index whatever the domain count. *)
+
+open Ujam_linalg
+
+type layer = Recount | Sim | Cross_model
+
+val layer_name : layer -> string
+val all_layers : layer list
+
+type config = {
+  n : int;  (** nests to check *)
+  seed : int;
+  max_depth : int;  (** deeper generated nests are skipped *)
+  bound : int;  (** per-level unroll bound of the searched space *)
+  max_loops : int;
+  machine : Ujam_machine.Machine.t;
+  domains : int;
+  layers : layer list;
+  shrink : bool;
+}
+
+val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
+(** n 200, seed 1997, max_depth 3, bound 4, max_loops 2, machine alpha,
+    domains 1, all layers, shrinking on. *)
+
+type failure = {
+  routine : string;
+  nest : Ujam_ir.Nest.t;
+  error : Ujam_engine.Error.t option;  (** a layer crashed outright *)
+  mismatches : Mismatch.t list;
+  reduced : Ujam_ir.Nest.t option;  (** shrunk reproducer *)
+}
+
+type report = {
+  config : config;
+  nests : int;  (** nests checked *)
+  routines : int;  (** routines drawn *)
+  draws : int;  (** generator nest draws, including re-rolls *)
+  rejected : int;  (** out-of-class draws re-rolled by the generator *)
+  skipped_depth : int;  (** nests over [max_depth], not checked *)
+  sim_checked : int;  (** nests the simulator layer replayed *)
+  total_mismatches : int;
+  unexplained : int;
+  failures : failure list;
+}
+
+val run : ?perturb:(Vec.t -> Counts.t -> Counts.t) -> config -> report
+(** [perturb] is threaded to the recount layer (fault injection for the
+    oracle's own regression tests). *)
+
+val ok : report -> bool
+(** No unexplained mismatch and no crashed layer. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Ujam_engine.Json.t

@@ -1,0 +1,30 @@
+open Ujam_ir
+open Ujam_core
+open Ujam_machine
+
+let check ?(bound = 4) ?(max_loops = 2) ?perturb ~machine nest =
+  let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
+  let bal = Analysis_ctx.balance ctx in
+  let space = Analysis_ctx.space ctx in
+  let mismatches = ref [] in
+  Unroll_space.iter space (fun u ->
+      let predicted = Counts.predicted bal u in
+      let predicted =
+        match perturb with None -> predicted | Some f -> f u predicted
+      in
+      let measured = Counts.measured nest u in
+      if not (Counts.equal predicted measured) then
+        List.iter
+          (fun (field, get) ->
+            if get predicted <> get measured then
+              mismatches :=
+                Mismatch.make ~nest:(Nest.name nest)
+                  ~machine:machine.Machine.name
+                  (Mismatch.Recount
+                     { u;
+                       field;
+                       predicted = get predicted;
+                       measured = get measured })
+                :: !mismatches)
+          Counts.fields);
+  List.rev !mismatches

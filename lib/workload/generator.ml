@@ -2,6 +2,14 @@ open Ujam_ir
 
 type routine = { name : string; nests : Nest.t list }
 
+type stats = { mutable generated : int; mutable rejected : int }
+
+let stats () = { generated = 0; rejected = 0 }
+
+let rejection_rate s =
+  if s.generated = 0 then 0.0
+  else float_of_int s.rejected /. float_of_int s.generated
+
 let array_names = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "W" |]
 let loop_names = [| "I"; "J"; "K"; "L" |]
 
@@ -233,7 +241,30 @@ let stencil_nest st ~self_update ~idx ~depth =
   in
   Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops ~body
 
-let routine st idx =
+(* Every emitted nest must sit inside the modelled subscript class
+   ({!Ujam_ir.Supported}) so downstream consumers — the engine, and
+   especially the fuzzing oracle — never burn throughput on known-
+   unsupported shapes.  The archetypes above only produce unit steps and
+   coefficients <= 2, so a draw is re-rolled (and counted) only if an
+   archetype ever grows an out-of-class shape; the supported path
+   consumes no extra randomness, keeping pinned corpora stable. *)
+let supported_nest ?stats st ~idx gen =
+  let rec attempt tries =
+    let nest = gen () in
+    Option.iter (fun s -> s.generated <- s.generated + 1) stats;
+    match Supported.check nest with
+    | Ok () -> nest
+    | Error _ when tries < 16 ->
+        Option.iter (fun s -> s.rejected <- s.rejected + 1) stats;
+        attempt (tries + 1)
+    | Error _ ->
+        Option.iter (fun s -> s.rejected <- s.rejected + 1) stats;
+        (* deterministic in-class fallback *)
+        streaming_nest st ~idx ~depth:1
+  in
+  attempt 0
+
+let routine ?stats st idx =
   let depth = weighted st [ (20, 1); (52, 2); (28, 3) ] in
   let kind =
     weighted st
@@ -244,17 +275,19 @@ let routine st idx =
   let nests =
     List.init n_nests (fun k ->
         let idx = (idx * 3) + k in
-        match kind with
-        | `Streaming -> streaming_nest st ~idx ~depth
-        | `Recurrence -> recurrence_nest st ~idx ~depth:(max 1 depth)
-        | `Light -> light_reuse_nest st ~idx ~depth:(max 1 depth)
-        | `Stencil -> stencil_nest st ~self_update:false ~idx ~depth:(max 2 depth)
-        | `Stencil_update ->
-            stencil_nest st ~self_update:true ~idx ~depth:(max 2 depth)
-        | `Mixed -> gen_nest st ~idx ~depth ~reuse_heavy:true)
+        supported_nest ?stats st ~idx (fun () ->
+            match kind with
+            | `Streaming -> streaming_nest st ~idx ~depth
+            | `Recurrence -> recurrence_nest st ~idx ~depth:(max 1 depth)
+            | `Light -> light_reuse_nest st ~idx ~depth:(max 1 depth)
+            | `Stencil ->
+                stencil_nest st ~self_update:false ~idx ~depth:(max 2 depth)
+            | `Stencil_update ->
+                stencil_nest st ~self_update:true ~idx ~depth:(max 2 depth)
+            | `Mixed -> gen_nest st ~idx ~depth ~reuse_heavy:true))
   in
   { name = Printf.sprintf "routine%04d" idx; nests }
 
-let corpus ?(seed = 1997) ~count () =
+let corpus ?(seed = 1997) ?stats ~count () =
   let st = Random.State.make [| seed |] in
-  List.init count (fun idx -> routine st idx)
+  List.init count (fun idx -> routine ?stats st idx)

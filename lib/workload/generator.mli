@@ -12,8 +12,20 @@
 
 type routine = { name : string; nests : Ujam_ir.Nest.t list }
 
-val routine : Random.State.t -> int -> routine
-(** [routine st idx] generates one routine. *)
+type stats = { mutable generated : int; mutable rejected : int }
+(** Draw counters: [generated] counts every nest drawn, [rejected] the
+    draws outside {!Ujam_ir.Supported}'s modelled class that were
+    re-rolled.  Every nest the generator actually emits passes
+    [Supported.check]; the counters exist so fuzz harnesses can report
+    the wasted-draw rate. *)
 
-val corpus : ?seed:int -> count:int -> unit -> routine list
+val stats : unit -> stats
+val rejection_rate : stats -> float
+
+val routine : ?stats:stats -> Random.State.t -> int -> routine
+(** [routine st idx] generates one routine.  Emitted nests are always
+    inside the supported class; out-of-class draws are re-rolled and
+    counted in [stats]. *)
+
+val corpus : ?seed:int -> ?stats:stats -> count:int -> unit -> routine list
 (** [count] routines from the given [seed] (default 1997). *)

@@ -1,0 +1,30 @@
+The differential oracle fuzzes generated nests through three check
+layers: exact recount of the tables on materialized unrolls, rank
+monotonicity against the cache simulator, and cross-model agreement.
+A seeded run is deterministic and clean:
+
+  $ ujc fuzz --n 12 --seed 42
+  differential oracle: seed=42 machine=DEC-Alpha-21064 bound=4 depth<=3 layers=recount,sim,cross-model
+  nests: 12 checked (7 routines, 12 draws, 0 out-of-class re-rolls, 0 over depth limit)
+  sim layer: 7 nests replayed through the cache model
+  mismatches: 0 total, 0 unexplained
+  result: ok
+
+Layers can be restricted; skipping the sim layer skips the replay:
+
+  $ ujc fuzz --n 12 --seed 42 --layers recount,cross-model
+  differential oracle: seed=42 machine=DEC-Alpha-21064 bound=4 depth<=3 layers=recount,cross-model
+  nests: 12 checked (7 routines, 12 draws, 0 out-of-class re-rolls, 0 over depth limit)
+  sim layer: 0 nests replayed through the cache model
+  mismatches: 0 total, 0 unexplained
+  result: ok
+
+JSON output for machine consumption:
+
+  $ ujc fuzz --n 12 --seed 42 --json
+  {"seed":42,"n":12,"machine":"DEC-Alpha-21064","bound":4,"max_depth":3,"layers":["recount","sim","cross-model"],"nests":12,"routines":7,"draws":12,"rejected":0,"skipped_depth":0,"sim_checked":7,"mismatches":0,"unexplained":0,"ok":true,"failures":[]}
+
+A clean run exits 0 (the exit status is the CI gate):
+
+  $ ujc fuzz --n 12 --seed 42 --json > /dev/null && echo clean
+  clean

@@ -22,4 +22,5 @@ let () =
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("engine", Test_engine.suite);
+      ("oracle", Test_oracle.suite);
       ("invariants", Test_invariants.suite) ]

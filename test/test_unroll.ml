@@ -141,6 +141,101 @@ let test_semantics_preserved () =
       (Ujam_kernels.Kernels.cond7 ~n:14 (), [ 3; 0 ]);
       (Ujam_kernels.Kernels.vpenta7 ~n:14 (), [ 1; 0 ]) ]
 
+(* Boundary behaviour: divisibility, clamping, trivial amounts, and
+   jamming right above the innermost loop. *)
+
+let stream_nest ?(hi = 10) () =
+  let d = 2 in
+  nest "stream"
+    [ loop d "J" ~level:0 ~lo:1 ~hi ();
+      loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+    [ aref "A" [ var d 1; var d 0 ] <<- rd "B" [ var d 1; var d 0 ] ]
+
+let test_divides () =
+  let nest12 = Ujam_kernels.Kernels.mmjki ~n:12 () in
+  Alcotest.(check bool) "zero vector always divides" true
+    (Unroll.divides nest12 (v [ 0; 0; 0 ]));
+  Alcotest.(check bool) "2,2 divide 12" true
+    (Unroll.divides nest12 (v [ 1; 1; 0 ]));
+  Alcotest.(check bool) "4,3 divide 12" true
+    (Unroll.divides nest12 (v [ 3; 2; 0 ]));
+  Alcotest.(check bool) "5 does not divide 12" false
+    (Unroll.divides nest12 (v [ 4; 0; 0 ]));
+  (* affine bounds: no constant trip count, vacuously true *)
+  let d = 2 in
+  let tri =
+    nest "tri"
+      [ loop d "J" ~level:0 ~lo:1 ~hi:10 ();
+        loop_aff "I" ~level:1 ~lo:(var d 0) ~hi:(cst d 10) () ]
+      [ aref "A" [ var d 1; var d 0 ] <<- rd "A" [ var d 1; var d 0 ] ]
+  in
+  Alcotest.(check bool) "affine bounds are vacuously divisible" true
+    (Unroll.divides tri (v [ 4; 0 ]))
+
+let test_clamp_divisible () =
+  let n10 = stream_nest () in
+  let check_clamp msg want u =
+    Alcotest.(check bool) msg true
+      (Vec.equal (v want) (Unroll.clamp_divisible n10 (v u)))
+  in
+  check_clamp "4 clamps to 2 over trip 10" [ 1; 0 ] [ 3; 0 ];
+  check_clamp "5 already divides 10" [ 4; 0 ] [ 4; 0 ];
+  check_clamp "full unroll kept" [ 9; 0 ] [ 9; 0 ];
+  check_clamp "zero is a fixpoint" [ 0; 0 ] [ 0; 0 ];
+  let n7 = stream_nest ~hi:7 () in
+  Alcotest.(check bool) "prime trip clamps to identity" true
+    (Vec.is_zero (Unroll.clamp_divisible n7 (v [ 5; 0 ])));
+  (* the clamp's contract: pointwise <= u, divisible, and the clamped
+     transformation preserves semantics where the raw one cannot *)
+  let u = v [ 3; 0 ] in
+  let u' = Unroll.clamp_divisible n10 u in
+  Alcotest.(check bool) "clamped below" true
+    (Vec.fold (fun acc x -> acc && x >= 0) true Vec.(sub u u'));
+  Alcotest.(check bool) "clamped divides" true (Unroll.divides n10 u');
+  Alcotest.(check bool) "clamped unroll preserves semantics" true
+    (stores_equal (interpret n10) (interpret (Unroll.unroll_and_jam n10 u')))
+
+let test_amount_one () =
+  (* Unroll factor 1 (zero extra copies) is the identity even on nests
+     whose trip counts nothing else divides. *)
+  let n7 = stream_nest ~hi:7 () in
+  Alcotest.(check bool) "factor 1 divides a prime trip" true
+    (Unroll.divides n7 (v [ 0; 0 ]));
+  let t = Unroll.unroll_and_jam n7 (v [ 0; 0 ]) in
+  Alcotest.(check string) "identity transformation" (Nest.to_string n7)
+    (Nest.to_string t)
+
+let test_jam_above_innermost () =
+  (* Unrolling the loop directly above the innermost one jams copies
+     across the inner loop body; with a loop-carried flow dependence on
+     the outer loop (A column recurrence) the jam is still legal and
+     must compute the same values. *)
+  let d = 2 in
+  let rec_nest =
+    nest "recur"
+      [ loop d "J" ~level:0 ~lo:2 ~hi:9 ();
+        loop d "I" ~level:1 ~lo:1 ~hi:8 () ]
+      [ aref "A" [ var d 1; var d 0 ]
+        <<- rd "A" [ var d 1; var d 0 -$ 1 ] +: rd "B" [ var d 1; var d 0 ] ]
+  in
+  let t = Unroll.unroll_and_jam rec_nest (v [ 1; 0 ]) in
+  Alcotest.(check int) "two jammed copies" 2 (List.length (Nest.body t));
+  Alcotest.(check bool) "recurrence semantics preserved" true
+    (stores_equal (interpret rec_nest) (interpret t))
+
+let prop_clamp_contract =
+  QCheck2.Test.make ~name:"unroll: clamp is below, divisible, maximal-step"
+    ~count:100
+    (QCheck2.Gen.map
+       (fun (nest, space) ->
+         let bounds = Ujam_core.Unroll_space.bounds space in
+         (nest, Vec.make bounds))
+       (Gen.nest_and_space_gen ()))
+    (fun (nest, u) ->
+      let u' = Unroll.clamp_divisible nest u in
+      Unroll.divides nest u'
+      && Vec.fold (fun acc x -> acc && x >= 0) true Vec.(sub u u'))
+
 let prop_copies_scale_refs =
   QCheck2.Test.make ~name:"unroll: reference count scales with copies" ~count:100
     (QCheck2.Gen.map
@@ -160,4 +255,9 @@ let suite =
     Alcotest.test_case "structure" `Quick test_structure;
     Alcotest.test_case "step-aware shift" `Quick test_step_aware_shift;
     Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+    Alcotest.test_case "divides" `Quick test_divides;
+    Alcotest.test_case "clamp divisible" `Quick test_clamp_divisible;
+    Alcotest.test_case "amount one" `Quick test_amount_one;
+    Alcotest.test_case "jam above innermost" `Quick test_jam_above_innermost;
+    Gen.to_alcotest prop_clamp_contract;
     Gen.to_alcotest prop_copies_scale_refs ]

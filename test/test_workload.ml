@@ -73,9 +73,42 @@ let test_archetypes_present () =
   Alcotest.(check bool) "90-100%% bucket populated" true (bucket "90%-100%" > 0);
   Alcotest.(check bool) "low buckets populated" true (bucket "1%-32%" > 0)
 
+let test_only_supported () =
+  (* The generator's contract: every emitted nest is inside the class
+     the analysis models, so downstream fuzzing never trips on an
+     unsupported shape. *)
+  let stats = Generator.stats () in
+  let corpus = Generator.corpus ~seed:23 ~stats ~count:200 () in
+  let emitted = ref 0 in
+  List.iter
+    (fun (r : Generator.routine) ->
+      List.iter
+        (fun nest ->
+          incr emitted;
+          match Ujam_ir.Supported.check nest with
+          | Ok () -> ()
+          | Error msg ->
+              Alcotest.failf "%s emitted unsupported nest: %s"
+                r.Generator.name msg)
+        r.Generator.nests)
+    corpus;
+  (* counters are consistent: every draw was either emitted or rejected *)
+  Alcotest.(check int) "generated = emitted + rejected"
+    stats.Generator.generated
+    (!emitted + stats.Generator.rejected);
+  let rate = Generator.rejection_rate stats in
+  Alcotest.(check bool) "rate in [0,1]" true (rate >= 0.0 && rate <= 1.0)
+
+let test_rejection_rate_empty () =
+  Alcotest.(check (float 0.0)) "no draws, zero rate" 0.0
+    (Generator.rejection_rate (Generator.stats ()))
+
 let suite =
   [ Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "well-formed" `Quick test_wellformed;
     Alcotest.test_case "measurement" `Quick test_measure_small;
     Alcotest.test_case "bucket partition" `Quick test_buckets_cover_reals;
-    Alcotest.test_case "archetypes present" `Quick test_archetypes_present ]
+    Alcotest.test_case "archetypes present" `Quick test_archetypes_present;
+    Alcotest.test_case "only supported nests" `Quick test_only_supported;
+    Alcotest.test_case "rejection rate, no draws" `Quick
+      test_rejection_rate_empty ]
