@@ -16,28 +16,47 @@
      dune exec bench/main.exe -- --quick   deterministic smoke subset
 
    Every experiment that draws a synthetic corpus honours a global
-   "--seed S" option (default 1997, the pinned corpus seed). *)
+   "--seed S" option (default 1997, the pinned corpus seed).
+
+   Every experiment routes through one [report] record: the text body
+   is rendered into a buffer, wall time and per-experiment metrics are
+   captured alongside, and the same record feeds both the terminal
+   output and the perf-trajectory JSON ("--json", writing a
+   schema-versioned BENCH_<n>.json).  "--compare A.json B.json" diffs
+   two such files and exits non-zero on a throughput regression beyond
+   "--threshold" (default 0.10 = 10%). *)
 
 open Ujam_linalg
 open Ujam_core
 open Ujam_engine
+
+let schema_version = 1
+let bench_generation = 3
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
    --quick cram output stable. *)
 let seed = ref 1997
 
-let section title =
-  Format.printf "@.=============================================================@.";
-  Format.printf "%s@." title;
-  Format.printf "=============================================================@."
+(* ------------------------------------------------------------------ *)
+(* The report record: one per experiment, feeding text and JSON.       *)
+
+type report = {
+  name : string;  (** stable key, used by --compare to pair runs *)
+  title : string;  (** section header shown in text mode *)
+  wall_s : float;
+  items : int;  (** work items processed; throughput = items / wall_s *)
+  metrics : (string * float) list;
+  body : string;  (** rendered text output *)
+}
+
+let throughput r = float_of_int r.items /. Float.max 1e-9 r.wall_s
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: input-dependence share of routine dependence graphs.      *)
 
-let table1 () =
-  section "Table 1 — percentage of input dependences (Sec. 5.1)";
-  Format.printf
+let table1 ppf =
+  Format.fprintf ppf
     "corpus: the 19 suite kernels + synthetic routines, 1187 total (the@.\
      paper's routine count for SPEC92/Perfect/NAS/local)@.@.";
   let synthetic = Ujam_workload.Generator.corpus ~seed:!seed ~count:1168 () in
@@ -48,20 +67,22 @@ let table1 () =
           nests = [ e.Ujam_kernels.Catalogue.build ~n:24 () ] })
       Ujam_kernels.Catalogue.all
   in
-  let report = Ujam_workload.Corpus.measure (kernel_routines @ synthetic) in
-  Format.printf "%a@." Ujam_workload.Corpus.pp report;
-  Format.printf
+  let routines = kernel_routines @ synthetic in
+  let report = Ujam_workload.Corpus.measure routines in
+  Format.fprintf ppf "%a@." Ujam_workload.Corpus.pp report;
+  Format.fprintf ppf
     "paper reported: 649/1187 routines with dependences; 84%% of 305,885@.\
      dependences input; mean 55.7%% per routine (stddev 33.6); buckets@.\
      0%%:69  1-32%%:101  33-39%%:65  40-49%%:67  50-59%%:48  60-69%%:46@.\
-     70-79%%:48  80-89%%:43  90-100%%:162@."
+     70-79%%:48  80-89%%:43  90-100%%:162@.";
+  (List.length routines, [])
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: the evaluation suite.                                      *)
 
-let table2 () =
-  section "Table 2 — description of test loops";
-  Format.printf "%a@." Ujam_kernels.Catalogue.pp_table ()
+let table2 ppf =
+  Format.fprintf ppf "%a@." Ujam_kernels.Catalogue.pp_table ();
+  (List.length Ujam_kernels.Catalogue.all, [])
 
 (* ------------------------------------------------------------------ *)
 (* Figures 8 and 9: normalized execution time per loop.                *)
@@ -71,7 +92,7 @@ let bar width v =
   let n = min width (int_of_float (v /. 0.05)) in
   String.make (max 0 n) '#'
 
-let figure machine =
+let figure machine ppf =
   let rows =
     List.map
       (fun (e : Ujam_kernels.Catalogue.entry) ->
@@ -89,35 +110,36 @@ let figure machine =
         (e.Ujam_kernels.Catalogue.name, u_nc, nocache, u_c, cache))
       Ujam_kernels.Catalogue.all
   in
-  Format.printf "%-10s %-9s %-8s %-9s %-8s@." "loop" "u(nocache)" "nocache"
+  Format.fprintf ppf "%-10s %-9s %-8s %-9s %-8s@." "loop" "u(nocache)" "nocache"
     "u(cache)" "cache";
   List.iter
     (fun (name, u_nc, nocache, u_c, cache) ->
-      Format.printf "%-10s %-9s %-8.3f %-9s %-8.3f@." name (Vec.to_string u_nc)
-        nocache (Vec.to_string u_c) cache)
+      Format.fprintf ppf "%-10s %-9s %-8.3f %-9s %-8.3f@." name
+        (Vec.to_string u_nc) nocache (Vec.to_string u_c) cache)
     rows;
   let geomean sel =
     exp
       (List.fold_left (fun acc r -> acc +. log (sel r)) 0.0 rows
       /. float_of_int (List.length rows))
   in
-  Format.printf "@.geometric mean normalized time: nocache %.3f, cache %.3f@."
-    (geomean (fun (_, _, v, _, _) -> v))
-    (geomean (fun (_, _, _, _, v) -> v));
-  Format.printf "@.normalized execution time (1.0 = original; shorter is faster):@.";
+  let gm_nocache = geomean (fun (_, _, v, _, _) -> v) in
+  let gm_cache = geomean (fun (_, _, _, _, v) -> v) in
+  Format.fprintf ppf
+    "@.geometric mean normalized time: nocache %.3f, cache %.3f@." gm_nocache
+    gm_cache;
+  Format.fprintf ppf
+    "@.normalized execution time (1.0 = original; shorter is faster):@.";
   List.iter
     (fun (name, _, nocache, _, cache) ->
-      Format.printf "%-10s original |%s@.%-10s nocache  |%s@.%-10s cache    |%s@.@."
-        name (bar 40 1.0) "" (bar 40 nocache) "" (bar 40 cache))
-    rows
+      Format.fprintf ppf
+        "%-10s original |%s@.%-10s nocache  |%s@.%-10s cache    |%s@.@." name
+        (bar 40 1.0) "" (bar 40 nocache) "" (bar 40 cache))
+    rows;
+  ( List.length rows,
+    [ ("geomean_nocache", gm_nocache); ("geomean_cache", gm_cache) ] )
 
-let fig8 () =
-  section "Figure 8 — performance of test loops on DEC Alpha";
-  figure Ujam_machine.Presets.alpha
-
-let fig9 () =
-  section "Figure 9 — performance of test loops on HP PA-RISC";
-  figure Ujam_machine.Presets.hppa
+let fig8 ppf = figure Ujam_machine.Presets.alpha ppf
+let fig9 ppf = figure Ujam_machine.Presets.hppa ppf
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A1: UGS model vs dependence-based model vs brute force.    *)
@@ -131,12 +153,11 @@ let choose_with m ctx =
   let module M = (val m : Model.MODEL) in
   (M.analyze ctx).Search.u
 
-let ablation_model () =
-  section "Ablation A1 — UGS tables vs dependence-based model (Sec. 5.2)";
+let ablation_model ppf =
   let machine = Ujam_machine.Presets.alpha in
   let models = List.filter_map Model.find [ "ugs"; "dep"; "brute" ] in
-  Format.printf "%-10s %-10s %-10s %-10s %-6s %-18s@." "loop" "u(UGS)" "u(dep)"
-    "u(brute)" "agree" "graph edges (in/out)";
+  Format.fprintf ppf "%-10s %-10s %-10s %-10s %-6s %-18s@." "loop" "u(UGS)"
+    "u(dep)" "u(brute)" "agree" "graph edges (in/out)";
   let agree_all = ref true in
   List.iter
     (fun (e : Ujam_kernels.Catalogue.entry) ->
@@ -152,26 +173,27 @@ let ablation_model () =
       let with_input, without = Depmodel.graph_cost nest (Vec.zero d) in
       let agree = Vec.equal u_ugs u_dep && Vec.equal u_ugs u_bf in
       if not agree then agree_all := false;
-      Format.printf "%-10s %-10s %-10s %-10s %-6s %d/%d@."
+      Format.fprintf ppf "%-10s %-10s %-10s %-10s %-6s %d/%d@."
         e.Ujam_kernels.Catalogue.name (Vec.to_string u_ugs) (Vec.to_string u_dep)
         (Vec.to_string u_bf)
         (if agree then "yes" else "NO")
         with_input without)
     Ujam_kernels.Catalogue.all;
-  Format.printf "@.all models agree: %b (afold holds the one coupled-subscript@."
-    !agree_all;
-  Format.printf
+  Format.fprintf ppf
+    "@.all models agree: %b (afold holds the one coupled-subscript@." !agree_all;
+  Format.fprintf ppf
     "reference, C(I+J-1), where distance vectors are coarser than linear@.\
-     algebra — the paper's Sec. 3.5 restriction)@."
+     algebra — the paper's Sec. 3.5 restriction)@.";
+  ( List.length Ujam_kernels.Catalogue.all,
+    [ ("agree_all", if !agree_all then 1.0 else 0.0) ] )
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A2: cost of the table approach vs brute-force unrolling.   *)
 
-let ablation_brute () =
-  section "Ablation A2 — analysis cost: tables vs brute force (Sec. 5.3)";
+let ablation_brute ppf =
   let machine = Ujam_machine.Presets.alpha in
-  Format.printf "%-10s %-12s %-12s %-12s %-8s@." "loop" "tables (s)" "brute (s)"
-    "depgraph (s)" "speedup";
+  Format.fprintf ppf "%-10s %-12s %-12s %-12s %-8s@." "loop" "tables (s)"
+    "brute (s)" "depgraph (s)" "speedup";
   let tot_t = ref 0.0 and tot_b = ref 0.0 and tot_d = ref 0.0 in
   List.iter
     (fun (e : Ujam_kernels.Catalogue.entry) ->
@@ -193,47 +215,53 @@ let ablation_brute () =
       tot_t := !tot_t +. t_tables;
       tot_b := !tot_b +. t_brute;
       tot_d := !tot_d +. t_dep;
-      Format.printf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@."
+      Format.fprintf ppf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@."
         e.Ujam_kernels.Catalogue.name t_tables t_brute t_dep
         (t_brute /. Float.max 1e-9 t_tables))
     Ujam_kernels.Catalogue.all;
-  Format.printf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@." "total" !tot_t !tot_b
-    !tot_d (!tot_b /. Float.max 1e-9 !tot_t)
+  Format.fprintf ppf "%-10s %-12.4f %-12.4f %-12.4f %.1fx@." "total" !tot_t
+    !tot_b !tot_d
+    (!tot_b /. Float.max 1e-9 !tot_t);
+  ( List.length Ujam_kernels.Catalogue.all,
+    [ ("total_tables_s", !tot_t);
+      ("total_brute_s", !tot_b);
+      ("total_depgraph_s", !tot_d);
+      ("tables_speedup", !tot_b /. Float.max 1e-9 !tot_t) ] )
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A3: prefetch bandwidth (Sec. 3.2's pi term).               *)
 
-let ablation_prefetch () =
-  section "Ablation A3 — prefetch-issue bandwidth sweep";
-  Format.printf "%-10s" "loop";
+let ablation_prefetch ppf =
+  Format.fprintf ppf "%-10s" "loop";
   let bws = [ 0.0; 0.1; 0.25; 0.5; 1.0 ] in
-  List.iter (fun bw -> Format.printf " pi=%-9.2f" bw) bws;
-  Format.printf "@.";
+  List.iter (fun bw -> Format.fprintf ppf " pi=%-9.2f" bw) bws;
+  Format.fprintf ppf "@.";
+  let loops = [ "dmxpy0"; "mmjki"; "sor"; "jacobi" ] in
   List.iter
     (fun name ->
       let e = Option.get (Ujam_kernels.Catalogue.find name) in
       let nest = e.Ujam_kernels.Catalogue.build ~n:48 () in
-      Format.printf "%-10s" name;
+      Format.fprintf ppf "%-10s" name;
       List.iter
         (fun prefetch_bandwidth ->
           let machine = Ujam_machine.Presets.generic ~prefetch_bandwidth () in
           let r = Driver.optimize ~bound:6 ~machine nest in
-          Format.printf " %-8s b=%.2f"
+          Format.fprintf ppf " %-8s b=%.2f"
             (Vec.to_string r.Driver.choice.Search.u)
             r.Driver.choice.Search.balance)
         bws;
-      Format.printf "@.")
-    [ "dmxpy0"; "mmjki"; "sor"; "jacobi" ]
+      Format.fprintf ppf "@.")
+    loops;
+  (List.length loops, [])
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A4: loop permutation as a pre-pass (Wolf-Maydan-Chen        *)
 (* combine permutation with unroll-and-jam; we measure what it adds).  *)
 
-let ablation_permute () =
-  section "Ablation A4 — permutation pre-pass (Wolf–Maydan–Chen setting)";
+let ablation_permute ppf =
   let machine = Ujam_machine.Presets.alpha in
-  Format.printf "%-10s %-12s %-10s %-10s %-10s@." "loop" "permutation" "ujam"
-    "perm+ujam" "perm cost";
+  Format.fprintf ppf "%-10s %-12s %-10s %-10s %-10s@." "loop" "permutation"
+    "ujam" "perm+ujam" "perm cost";
   List.iter
     (fun (e : Ujam_kernels.Catalogue.entry) ->
       let nest = e.Ujam_kernels.Catalogue.build () in
@@ -250,28 +278,29 @@ let ablation_permute () =
           (Ujam_sim.Runner.run ~machine ~plan:combined.Driver.plan
              combined.Driver.transformed)
       in
-      Format.printf "%-10s %-12s %-10.3f %-10.3f %.3f->%.3f@."
+      Format.fprintf ppf "%-10s %-12s %-10.3f %-10.3f %.3f->%.3f@."
         e.Ujam_kernels.Catalogue.name
         (String.concat ";"
            (Array.to_list (Array.map string_of_int choice.Permute.permutation)))
         t_plain t_comb choice.Permute.original_cost choice.Permute.cost)
-    Ujam_kernels.Catalogue.all
+    Ujam_kernels.Catalogue.all;
+  (List.length Ujam_kernels.Catalogue.all, [])
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A5: register-file size (the paper's future work on          *)
 (* architectures with larger register sets).                            *)
 
-let ablation_registers () =
-  section "Ablation A5 — register-file size sweep (future work, Sec. 6)";
+let ablation_registers ppf =
   let regs = [ 8; 16; 32; 64; 128 ] in
-  Format.printf "%-10s" "loop";
-  List.iter (fun r -> Format.printf " %-16s" (Printf.sprintf "R=%d" r)) regs;
-  Format.printf "@.";
+  Format.fprintf ppf "%-10s" "loop";
+  List.iter (fun r -> Format.fprintf ppf " %-16s" (Printf.sprintf "R=%d" r)) regs;
+  Format.fprintf ppf "@.";
+  let loops = [ "mmjki"; "mmjik"; "dmxpy0"; "sor"; "gmtry.3"; "afold" ] in
   List.iter
     (fun name ->
       let e = Option.get (Ujam_kernels.Catalogue.find name) in
       let nest = e.Ujam_kernels.Catalogue.build () in
-      Format.printf "%-10s" name;
+      Format.fprintf ppf "%-10s" name;
       List.iter
         (fun fp_registers ->
           let machine =
@@ -285,73 +314,85 @@ let ablation_registers () =
               (Ujam_sim.Runner.run ~machine ~plan:r.Driver.plan
                  r.Driver.transformed)
           in
-          Format.printf " %-8s t=%.3f"
+          Format.fprintf ppf " %-8s t=%.3f"
             (Vec.to_string r.Driver.choice.Search.u)
             t)
         regs;
-      Format.printf "@.")
-    [ "mmjki"; "mmjik"; "dmxpy0"; "sor"; "gmtry.3"; "afold" ]
+      Format.fprintf ppf "@.")
+    loops;
+  (List.length loops, [])
 
 (* ------------------------------------------------------------------ *)
 (* Engine corpus throughput: the parallel work queue at 1..N domains.  *)
 
-let corpus_throughput () =
-  section "Engine.run_corpus throughput (synthetic corpus, bound 4)";
+let corpus_throughput ppf =
   let machine = Ujam_machine.Presets.alpha in
   let count = 200 in
   let routines = Ujam_workload.Generator.corpus ~seed:!seed ~count () in
   let reference = ref None in
+  let metrics = ref [] in
   List.iter
     (fun domains ->
       let r = Engine.run_corpus ~domains ~bound:4 ~machine routines in
       let rendered = Engine.to_string r in
       let deterministic =
         match !reference with
-        | None -> reference := Some rendered; true
+        | None ->
+            reference := Some rendered;
+            true
         | Some expect -> String.equal expect rendered
       in
-      Format.printf
+      let rps = float_of_int count /. Float.max 1e-9 r.Engine.elapsed_s in
+      metrics :=
+        (Printf.sprintf "routines_per_s_d%d" domains, rps) :: !metrics;
+      if not deterministic then metrics := ("nondeterministic", 1.0) :: !metrics;
+      Format.fprintf ppf
         "domains=%d: %d nests ok, %d failed, wall %.3fs (%.0f routines/s), \
          output identical to 1-domain run: %b@."
-        domains r.Engine.ok r.Engine.failed r.Engine.elapsed_s
-        (float_of_int count /. Float.max 1e-9 r.Engine.elapsed_s)
-        deterministic;
-      Format.printf "  %a@." Engine.pp_timings r)
-    [ 1; 2; 4 ]
+        domains r.Engine.ok r.Engine.failed r.Engine.elapsed_s rps deterministic;
+      Format.fprintf ppf "  %a@." Engine.pp_timings r)
+    [ 1; 2; 4 ];
+  (count * 3, List.rev !metrics)
 
 (* ------------------------------------------------------------------ *)
 (* --quick: a deterministic smoke subset for cram — no wall-clock       *)
 (* numbers, small sizes, fixed seeds.                                   *)
 
-let quick () =
-  section "Quick smoke — strategy matrix (shared context per kernel)";
+let quick_matrix ppf =
   let machine = Ujam_machine.Presets.alpha in
-  Format.printf "%-10s" "loop";
-  List.iter (fun m -> Format.printf " %-10s" (Model.name m)) Model.all;
-  Format.printf "@.";
+  Format.fprintf ppf "%-10s" "loop";
+  List.iter (fun m -> Format.fprintf ppf " %-10s" (Model.name m)) Model.all;
+  Format.fprintf ppf "@.";
+  let loops = [ "dmxpy0"; "mmjki"; "sor"; "jacobi" ] in
   List.iter
     (fun name ->
       let e = Option.get (Ujam_kernels.Catalogue.find name) in
       let nest = e.Ujam_kernels.Catalogue.build ~n:12 () in
       let ctx = Analysis_ctx.create ~bound:3 ~machine nest in
-      Format.printf "%-10s" name;
+      Format.fprintf ppf "%-10s" name;
       List.iter
-        (fun m -> Format.printf " %-10s" (Vec.to_string (choose_with m ctx)))
+        (fun m -> Format.fprintf ppf " %-10s" (Vec.to_string (choose_with m ctx)))
         Model.all;
-      Format.printf "@.")
-    [ "dmxpy0"; "mmjki"; "sor"; "jacobi" ];
-  section "Quick smoke — engine corpus (20 routines, 2 domains)";
+      Format.fprintf ppf "@.")
+    loops;
+  (List.length loops, [])
+
+let quick_corpus ppf =
+  let machine = Ujam_machine.Presets.alpha in
+  let count = 20 in
   let report =
     Engine.run_corpus ~domains:2 ~bound:3 ~machine
-      (Ujam_workload.Generator.corpus ~seed:!seed ~count:20 ())
+      (Ujam_workload.Generator.corpus ~seed:!seed ~count ())
   in
-  Format.printf "%a@." Engine.pp report
+  Format.fprintf ppf "%a@." Engine.pp report;
+  ( count,
+    [ ("ok", float_of_int report.Engine.ok);
+      ("failed", float_of_int report.Engine.failed) ] )
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment pipeline.   *)
 
-let speed () =
-  section "Bechamel micro-benchmarks";
+let speed ppf =
   let open Bechamel in
   let machine = Ujam_machine.Presets.alpha in
   let nest = Ujam_kernels.Kernels.mmjki ~n:24 () in
@@ -402,41 +443,192 @@ let speed () =
     Analyze.merge ols instances results
   in
   let results = benchmark () in
+  let metrics = ref [] in
   Hashtbl.iter
     (fun _measure (by_name : (string, Analyze.OLS.t) Hashtbl.t) ->
       let rows =
         Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
         |> List.sort compare
       in
-      Format.printf "%-40s %s@." "benchmark" "ns/run";
+      Format.fprintf ppf "%-40s %s@." "benchmark" "ns/run";
       List.iter
         (fun (name, ols) ->
           let est =
             match Analyze.OLS.estimates ols with
-            | Some [ e ] -> Printf.sprintf "%.0f" e
+            | Some [ e ] ->
+                metrics := (name, e) :: !metrics;
+                Printf.sprintf "%.0f" e
             | Some _ | None -> "n/a"
           in
-          Format.printf "%-40s %s@." name est)
+          Format.fprintf ppf "%-40s %s@." name est)
         rows)
-    results
+    results;
+  (List.length tests, List.rev !metrics)
 
 (* ------------------------------------------------------------------ *)
+(* Experiment registry, runner, and JSON trajectory.                   *)
 
-let all () =
-  table1 ();
-  table2 ();
-  fig8 ();
-  fig9 ();
-  ablation_model ();
-  ablation_brute ();
-  ablation_prefetch ();
-  ablation_permute ();
-  ablation_registers ();
-  corpus_throughput ();
-  speed ()
+let experiments =
+  [ ("table1", "Table 1 — percentage of input dependences (Sec. 5.1)", table1);
+    ("table2", "Table 2 — description of test loops", table2);
+    ("fig8", "Figure 8 — performance of test loops on DEC Alpha", fig8);
+    ("fig9", "Figure 9 — performance of test loops on HP PA-RISC", fig9);
+    ( "ablation-model",
+      "Ablation A1 — UGS tables vs dependence-based model (Sec. 5.2)",
+      ablation_model );
+    ( "ablation-brute",
+      "Ablation A2 — analysis cost: tables vs brute force (Sec. 5.3)",
+      ablation_brute );
+    ( "ablation-prefetch",
+      "Ablation A3 — prefetch-issue bandwidth sweep",
+      ablation_prefetch );
+    ( "ablation-permute",
+      "Ablation A4 — permutation pre-pass (Wolf–Maydan–Chen setting)",
+      ablation_permute );
+    ( "ablation-registers",
+      "Ablation A5 — register-file size sweep (future work, Sec. 6)",
+      ablation_registers );
+    ( "corpus",
+      "Engine.run_corpus throughput (synthetic corpus, bound 4)",
+      corpus_throughput );
+    ( "quick-matrix",
+      "Quick smoke — strategy matrix (shared context per kernel)",
+      quick_matrix );
+    ( "quick-corpus",
+      "Quick smoke — engine corpus (20 routines, 2 domains)",
+      quick_corpus );
+    ("speed", "Bechamel micro-benchmarks", speed) ]
 
-(* Strip "--seed S" out of the argument list before dispatching. *)
-let rec extract_seed = function
+let all_names =
+  [ "table1"; "table2"; "fig8"; "fig9"; "ablation-model"; "ablation-brute";
+    "ablation-prefetch"; "ablation-permute"; "ablation-registers"; "corpus";
+    "speed" ]
+
+let run_experiment name =
+  let _, title, f =
+    List.find (fun (n, _, _) -> String.equal n name) experiments
+  in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let t0 = Unix.gettimeofday () in
+  let items, metrics = f ppf in
+  Format.pp_print_flush ppf ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { name; title; wall_s; items; metrics; body = Buffer.contents buf }
+
+let section title =
+  Format.printf "@.=============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "=============================================================@."
+
+let print_report r =
+  section r.title;
+  print_string r.body
+
+let report_to_json r =
+  Json.Obj
+    [ ("name", Json.Str r.name);
+      ("wall_s", Json.Float r.wall_s);
+      ("items", Json.Int r.items);
+      ("throughput", Json.Float (throughput r));
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.metrics))
+    ]
+
+let trajectory_to_json reports =
+  Json.Obj
+    [ ("schema_version", Json.Int schema_version);
+      ("bench", Json.Int bench_generation);
+      ("seed", Json.Int !seed);
+      ("experiments", Json.List (List.map report_to_json reports)) ]
+
+(* ------------------------------------------------------------------ *)
+(* --compare: the regression gate over two trajectory files.           *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_trajectory path =
+  let content =
+    try read_file path
+    with Sys_error e ->
+      Format.eprintf "compare: cannot read %s: %s@." path e;
+      exit 2
+  in
+  match Json.of_string content with
+  | Error e ->
+      Format.eprintf "compare: %s is not valid JSON: %s@." path e;
+      exit 2
+  | Ok json ->
+      (match Json.member "schema_version" json with
+      | Some (Json.Int v) when v = schema_version -> ()
+      | Some (Json.Int v) ->
+          Format.eprintf "compare: %s has schema_version %d, expected %d@." path
+            v schema_version;
+          exit 2
+      | _ ->
+          Format.eprintf "compare: %s lacks a schema_version field@." path;
+          exit 2);
+      (match Json.member "experiments" json with
+      | Some (Json.List l) ->
+          List.filter_map
+            (fun e ->
+              match (Json.member "name" e, Json.member "throughput" e) with
+              | Some (Json.Str n), Some v ->
+                  Option.map (fun f -> (n, f)) (Json.to_float_opt v)
+              | _ -> None)
+            l
+      | _ ->
+          Format.eprintf "compare: %s lacks an experiments list@." path;
+          exit 2)
+
+let compare_trajectories old_path new_path threshold =
+  let old_t = load_trajectory old_path in
+  let new_t = load_trajectory new_path in
+  let failed = ref false in
+  List.iter
+    (fun (name, old_tp) ->
+      match List.assoc_opt name new_t with
+      | None ->
+          failed := true;
+          Format.printf "%-20s %.1f -> MISSING  REGRESSION@." name old_tp
+      | Some new_tp ->
+          let delta = (new_tp -. old_tp) /. Float.max 1e-9 old_tp in
+          let regressed = delta < -.threshold in
+          if regressed then failed := true;
+          Format.printf "%-20s %.1f -> %.1f items/s (%+.1f%%)  %s@." name old_tp
+            new_tp (100.0 *. delta)
+            (if regressed then "REGRESSION" else "OK"))
+    old_t;
+  if !failed then begin
+    Format.printf "compare: throughput regression beyond %.0f%% threshold@."
+      (100.0 *. threshold);
+    exit 1
+  end
+  else Format.printf "compare: no regression beyond %.0f%% threshold@."
+      (100.0 *. threshold)
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing and dispatch.                                      *)
+
+let json_mode = ref false
+let out_file = ref (Printf.sprintf "BENCH_%d.json" bench_generation)
+let threshold = ref 0.10
+let compare_files = ref None
+
+let usage () =
+  Format.eprintf
+    "usage: bench [EXPERIMENT...] [--quick] [--seed S] [--json] [--out FILE]@.\
+    \       bench --compare OLD.json NEW.json [--threshold T]@.\
+     experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
+    \             ablation-prefetch ablation-permute ablation-registers@.\
+    \             corpus speed quick-matrix quick-corpus all@.";
+  exit 2
+
+(* Strip global options out of the argument list before dispatching. *)
+let rec extract_options = function
   | [] -> []
   | "--seed" :: v :: rest ->
       (match int_of_string_opt v with
@@ -444,34 +636,53 @@ let rec extract_seed = function
       | None ->
           Format.eprintf "--seed: expected an integer, got %S@." v;
           exit 2);
-      extract_seed rest
-  | arg :: rest -> arg :: extract_seed rest
+      extract_options rest
+  | "--json" :: rest ->
+      json_mode := true;
+      extract_options rest
+  | "--out" :: v :: rest ->
+      out_file := v;
+      extract_options rest
+  | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> threshold := t
+      | _ ->
+          Format.eprintf "--threshold: expected a non-negative float, got %S@." v;
+          exit 2);
+      extract_options rest
+  | "--compare" :: a :: b :: rest ->
+      compare_files := Some (a, b);
+      extract_options rest
+  | arg :: rest -> arg :: extract_options rest
+
+let names_of_arg = function
+  | "--quick" | "quick" -> [ "quick-matrix"; "quick-corpus" ]
+  | "all" -> all_names
+  | name when List.exists (fun (n, _, _) -> String.equal n name) experiments ->
+      [ name ]
+  | other ->
+      Format.eprintf "unknown experiment %S@." other;
+      usage ()
 
 let () =
-  match extract_seed (Array.to_list Sys.argv) with
-  | [ _ ] -> all ()
-  | _ :: args ->
-      List.iter
-        (function
-          | "table1" -> table1 ()
-          | "table2" -> table2 ()
-          | "fig8" -> fig8 ()
-          | "fig9" -> fig9 ()
-          | "ablation-model" -> ablation_model ()
-          | "ablation-brute" -> ablation_brute ()
-          | "ablation-prefetch" -> ablation_prefetch ()
-          | "ablation-permute" -> ablation_permute ()
-          | "ablation-registers" -> ablation_registers ()
-          | "corpus" -> corpus_throughput ()
-          | "speed" -> speed ()
-          | "--quick" | "quick" -> quick ()
-          | "all" -> all ()
-          | other ->
-              Format.eprintf
-                "unknown experiment %S (table1 table2 fig8 fig9 ablation-model \
-                 ablation-brute ablation-prefetch ablation-permute ablation-registers \
-                 corpus speed all --quick)@."
-                other;
-              exit 2)
-        args
-  | [] -> all ()
+  let args =
+    match extract_options (Array.to_list Sys.argv) with
+    | _ :: args -> args
+    | [] -> []
+  in
+  match !compare_files with
+  | Some (a, b) -> compare_trajectories a b !threshold
+  | None ->
+      let names =
+        match args with [] -> all_names | args -> List.concat_map names_of_arg args
+      in
+      let reports = List.map run_experiment names in
+      if !json_mode then begin
+        let oc = open_out !out_file in
+        output_string oc (Json.to_string (trajectory_to_json reports));
+        output_string oc "\n";
+        close_out oc;
+        Format.printf "wrote %s (%d experiments, schema v%d)@." !out_file
+          (List.length reports) schema_version
+      end
+      else List.iter print_report reports

@@ -8,6 +8,7 @@ open Cmdliner
 open Ujam_linalg
 open Ujam_core
 open Ujam_engine
+module Obs = Ujam_obs.Obs
 
 let machine_conv =
   let parse s =
@@ -571,12 +572,112 @@ let fuzz_cmd =
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
           $ machine_arg $ domains_arg $ layers_arg $ shrink_flag $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* ujc trace: run any subcommand with the observability sink enabled
+   and export the recorded spans as Chrome trace_event JSON.  The
+   emitted file is read back and validated before we report success,
+   so a malformed trace can never be pinned as "written". *)
+
+(* Forward reference to the assembled command group, so trace can
+   re-dispatch its operands through the normal command line. *)
+let dispatch_ref : (string array -> int) ref = ref (fun _ -> 2)
+
+let validate_trace path =
+  let content = read_file path in
+  match Json.of_string content with
+  | Error e -> Error (Printf.sprintf "not valid JSON: %s" e)
+  | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List events) ->
+          let is_str = function Some (Json.Str _) -> true | _ -> false in
+          let is_int = function Some (Json.Int _) -> true | _ -> false in
+          let well_formed e =
+            is_str (Json.member "name" e)
+            && Json.member "ph" e = Some (Json.Str "X")
+            && is_int (Json.member "ts" e)
+            && is_int (Json.member "dur" e)
+            && is_int (Json.member "pid" e)
+            && is_int (Json.member "tid" e)
+          in
+          if List.for_all well_formed events then Ok events
+          else Error "an event lacks name/ph/ts/dur/pid/tid"
+      | Some _ -> Error "traceEvents is not a list"
+      | None -> Error "missing traceEvents")
+
+let span_count events name =
+  List.length
+    (List.filter (fun e -> Json.member "name" e = Some (Json.Str name)) events)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Trace output file.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Also dump the metrics registry (counters, gauges, histogram               summaries) as JSON.")
+  in
+  let cmd_args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMD"
+          ~doc:"Subcommand to trace; a leading $(b,engine) word is accepted               sugar (`ujc trace engine corpus'). Pass the subcommand's own               options after $(b,--).")
+  in
+  let run out metrics args =
+    let args = match args with "engine" :: rest -> rest | rest -> rest in
+    if args = [] then begin
+      Format.eprintf "ujc trace: missing CMD (try `ujc trace engine corpus')@.";
+      exit 2
+    end;
+    Obs.enable ();
+    let code = !dispatch_ref (Array.of_list ("ujc" :: args)) in
+    let json = Obs.Span.to_chrome () in
+    let oc = open_out out in
+    output_string oc (Json.to_string json);
+    close_out oc;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string (Obs.dump ()));
+        close_out oc;
+        Format.printf "trace: wrote metrics to %s@." path);
+    (match validate_trace out with
+    | Error e ->
+        Format.eprintf "trace: %s is NOT a well-formed Chrome trace: %s@." out e;
+        exit 1
+    | Ok events ->
+        let stages =
+          [ "graph"; "tables"; "search"; "sim"; "corpus" ]
+          |> List.filter_map (fun n ->
+                 let c = span_count events n in
+                 if c > 0 then Some (Printf.sprintf "%s=%d" n c) else None)
+        in
+        Format.printf "trace: wrote %s (%d events; %s)@." out
+          (List.length events)
+          (String.concat " " stages);
+        Format.printf "trace: %s is well-formed Chrome trace JSON@." out);
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a subcommand with span tracing enabled and write a Chrome              trace_event JSON file (open in chrome://tracing or Perfetto).")
+    Term.(const run $ out_arg $ metrics_arg $ cmd_args)
+
 let () =
   let doc = "unroll-and-jam using uniformly generated sets" in
   let info = Cmd.info "ujc" ~version:"1.0.0" ~doc in
   (* cmdliner reserves single-dash spellings for one-letter names; accept
      the documented "--n" as sugar for "-n". *)
-  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
-  exit (Cmd.eval ~argv (Cmd.group info
-    [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
-      compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd ]))
+  let remap argv = Array.map (fun a -> if a = "--n" then "-n" else a) argv in
+  let group =
+    Cmd.group info
+      [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
+        compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd;
+        trace_cmd ]
+  in
+  dispatch_ref := (fun argv -> Cmd.eval ~argv:(remap argv) group);
+  exit (Cmd.eval ~argv:(remap Sys.argv) group)

@@ -29,6 +29,12 @@ type t = {
 
 let zero_timings () = { graph_s = 0.0; tables_s = 0.0; search_s = 0.0; sim_s = 0.0 }
 
+let stage_name = function
+  | Graph -> "graph"
+  | Tables -> "tables"
+  | Search -> "search"
+  | Sim -> "sim"
+
 let record timings stage dt =
   match stage with
   | Graph -> timings.graph_s <- timings.graph_s +. dt
@@ -36,9 +42,17 @@ let record timings stage dt =
   | Search -> timings.search_s <- timings.search_s +. dt
   | Sim -> timings.sim_s <- timings.sim_s +. dt
 
+(* Each stage timer is also a span: the same [t0]/[dt] pair feeds both
+   the timing counter and the trace event, so the sum of span durations
+   per stage equals the counter exactly (a golden test pins this). *)
 let timed_into timings stage f =
   let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record timings stage (Unix.gettimeofday () -. t0)) f
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      record timings stage dt;
+      Ujam_obs.Obs.Span.emit ~name:(stage_name stage) ~t0 ~dur:dt)
+    f
 
 let create ?(bound = 10) ?(max_loops = 2) ~machine nest =
   let timings = zero_timings () in

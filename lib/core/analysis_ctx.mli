@@ -12,6 +12,10 @@
 
 type stage = Graph | Tables | Search | Sim
 
+val stage_name : stage -> string
+(** The span / report name of a stage: ["graph"], ["tables"],
+    ["search"], ["sim"]. *)
+
 type timings = {
   mutable graph_s : float;   (** dependence graphs + safety *)
   mutable tables_s : float;  (** UGS tables (GTS/GSS/RRS) *)

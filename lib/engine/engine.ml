@@ -1,6 +1,19 @@
 open Ujam_linalg
 open Ujam_ir
 open Ujam_core
+module Obs = Ujam_obs.Obs
+
+(* Engine metrics: no-ops until the observability sink is enabled. *)
+let m_nests_ok = Obs.counter "engine.nests.ok"
+let m_nests_failed = Obs.counter "engine.nests.failed"
+let m_routines = Obs.counter "engine.jobs.claimed"
+let g_queue = Obs.gauge "engine.queue.remaining"
+let h_routine = Obs.histogram "engine.routine_s"
+
+let h_graph = Obs.histogram "engine.stage.graph_s"
+let h_tables = Obs.histogram "engine.stage.tables_s"
+let h_search = Obs.histogram "engine.stage.search_s"
+let h_sim = Obs.histogram "engine.stage.sim_s"
 
 type nest_report = {
   nest_name : string;
@@ -71,6 +84,16 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
           speedup }
     in
     Option.iter (fun acc -> add_timings acc (Analysis_ctx.timings ctx)) into;
+    if Obs.enabled () then begin
+      let t = Analysis_ctx.timings ctx in
+      Obs.Histogram.record h_graph t.Analysis_ctx.graph_s;
+      Obs.Histogram.record h_tables t.Analysis_ctx.tables_s;
+      Obs.Histogram.record h_search t.Analysis_ctx.search_s;
+      Obs.Histogram.record h_sim t.Analysis_ctx.sim_s;
+      match result with
+      | Ok _ -> Obs.Counter.incr m_nests_ok
+      | Error _ -> Obs.Counter.incr m_nests_failed
+    end;
     result
   in
   outcome
@@ -98,6 +121,11 @@ let parallel_map ?(domains = 1) ~f jobs =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        (* work-queue occupancy: jobs claimed and jobs still unclaimed *)
+        if Obs.enabled () then begin
+          Obs.Counter.incr m_routines;
+          Obs.Gauge.set g_queue (float_of_int (max 0 (n - i - 1)))
+        end;
         out.(i) <- Some (f ~domain:dom jobs.(i));
         loop ()
       end
@@ -124,16 +152,27 @@ let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
   let per_domain = Array.init domains (fun _ -> Analysis_ctx.zero_timings ()) in
   let t0 = Unix.gettimeofday () in
   let out =
-    parallel_map ~domains
-      ~f:(fun ~domain (r : Ujam_workload.Generator.routine) ->
-        { routine = r.Ujam_workload.Generator.name;
-          nests =
-            List.map
-              (fun nest ->
-                analyze_into ~into:per_domain.(domain) ~bound ~max_loops ~model
-                  ~machine ~routine:r.Ujam_workload.Generator.name nest)
-              r.Ujam_workload.Generator.nests })
-      jobs
+    Obs.Span.with_ "corpus" (fun () ->
+        parallel_map ~domains
+          ~f:(fun ~domain (r : Ujam_workload.Generator.routine) ->
+            let work () =
+              { routine = r.Ujam_workload.Generator.name;
+                nests =
+                  List.map
+                    (fun nest ->
+                      analyze_into ~into:per_domain.(domain) ~bound ~max_loops
+                        ~model ~machine
+                        ~routine:r.Ujam_workload.Generator.name nest)
+                    r.Ujam_workload.Generator.nests }
+            in
+            if not (Obs.enabled ()) then work ()
+            else
+              Obs.Span.with_ r.Ujam_workload.Generator.name (fun () ->
+                  let rt0 = Unix.gettimeofday () in
+                  let report = work () in
+                  Obs.Histogram.record h_routine (Unix.gettimeofday () -. rt0);
+                  report))
+          jobs)
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let timings = Analysis_ctx.zero_timings () in

@@ -1,69 +1,8 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
+(* The JSON representation now lives in [Ujam_obs.Json] (the
+   observability layer sits below every other library and needs it for
+   traces and metric dumps); re-export it here so engine/oracle callers
+   and the pinned CLI formats are untouched. *)
 
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let float_repr f =
-  (* JSON has no Infinity/NaN literals; the balance of a flop-free nest
-     is infinite, so render non-finite values as null. *)
-  if Float.is_finite f then
-    let s = Printf.sprintf "%.6g" f in
-    (* "%.6g" may yield "1e+06"-style exponents, valid JSON as-is. *)
-    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
-    then s
-    else s ^ ".0"
-  else "null"
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_repr f)
-  | Str s ->
-      Buffer.add_char buf '"';
-      escape buf s;
-      Buffer.add_char buf '"'
-  | List xs ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          emit buf x)
-        xs;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          escape buf k;
-          Buffer.add_string buf "\":";
-          emit buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string t =
-  let buf = Buffer.create 256 in
-  emit buf t;
-  Buffer.contents buf
+include Ujam_obs.Json
 
 let of_vec v = List (List.map (fun x -> Int x) (Ujam_linalg.Vec.to_list v))

@@ -1,11 +1,12 @@
 (** Minimal JSON emitter for machine-readable batch output.
 
-    Only construction and compact serialisation — the CLI pins its
-    output format with cram tests, so stability matters more than
-    features.  Non-finite floats render as [null] (JSON has no
-    [Infinity] literal). *)
+    An alias of {!Ujam_obs.Json} (the representation moved down with
+    the observability layer) plus the engine-level vector helper.  The
+    CLI pins its output format with cram tests, so stability matters
+    more than features.  Non-finite floats render as [null] (JSON has
+    no [Infinity] literal). *)
 
-type t =
+type t = Ujam_obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -15,4 +16,7 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+val of_string : string -> (t, string) result
+val member : string -> t -> t option
+val to_float_opt : t -> float option
 val of_vec : Ujam_linalg.Vec.t -> t

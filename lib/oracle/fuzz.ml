@@ -2,6 +2,13 @@ open Ujam_ir
 open Ujam_machine
 open Ujam_engine
 open Ujam_workload
+module Obs = Ujam_obs.Obs
+
+(* Oracle metrics: no-ops until the observability sink is enabled. *)
+let m_nests = Obs.counter "oracle.nests"
+let m_mismatches = Obs.counter "oracle.mismatches"
+let m_unexplained = Obs.counter "oracle.unexplained"
+let m_failures = Obs.counter "oracle.failures"
 
 type layer = Recount | Sim | Cross_model
 
@@ -180,6 +187,10 @@ let run ?perturb cfg =
       (fun acc f -> acc + List.length (unexplained_of f.mismatches))
       0 failures
   in
+  Obs.Counter.add m_nests (Array.length jobs);
+  Obs.Counter.add m_mismatches total_mismatches;
+  Obs.Counter.add m_unexplained unexplained;
+  Obs.Counter.add m_failures (List.length failures);
   { config = cfg;
     nests = Array.length jobs;
     routines = !idx;

@@ -219,8 +219,13 @@ let candidates nest =
 
 (* ---- the greedy descent ---------------------------------------------- *)
 
+let m_steps = Ujam_obs.Obs.counter "oracle.shrink.steps"
+
 let run ?(max_steps = 300) ~still_fails nest =
-  let fails n = match still_fails n with ok -> ok | exception _ -> false in
+  let fails n =
+    Ujam_obs.Obs.Counter.incr m_steps;
+    match still_fails n with ok -> ok | exception _ -> false
+  in
   let steps = ref 0 in
   let rec go nest =
     let next =

@@ -1,3 +1,12 @@
+(* Optional process-wide counters: no-ops (one atomic flag read) until
+   the observability sink is enabled, so the simulator hot loop pays
+   ~nothing by default. *)
+module Obs = Ujam_obs.Obs
+
+let m_accesses = Obs.counter "sim.cache.accesses"
+let m_misses = Obs.counter "sim.cache.misses"
+let m_evictions = Obs.counter "sim.cache.evictions"
+
 type t = {
   line : int;
   sets : int;
@@ -43,6 +52,7 @@ let access t addr =
        end
      done
    with Exit -> ());
+  let evicted = ref false in
   if not !hit then begin
     t.misses <- t.misses + 1;
     (* Fill the LRU way. *)
@@ -50,8 +60,16 @@ let access t addr =
     for w = base + 1 to base + t.assoc - 1 do
       if t.ages.(w) < t.ages.(!victim) then victim := w
     done;
+    evicted := t.tags.(!victim) >= 0;
     t.tags.(!victim) <- block;
     t.ages.(!victim) <- t.clock
+  end;
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_accesses;
+    if not !hit then begin
+      Obs.Counter.incr m_misses;
+      if !evicted then Obs.Counter.incr m_evictions
+    end
   end;
   !hit
 

@@ -13,7 +13,11 @@ val of_machine : Ujam_machine.Machine.t -> t
 
 val access : t -> int -> bool
 (** [access t addr] touches the element at [addr]; returns [true] on a
-    hit.  Misses fill the line (LRU eviction). *)
+    hit.  Misses fill the line (LRU eviction).  When the observability
+    sink is enabled ({!Ujam_obs.Obs.enable}), every access also bumps
+    the process-wide [sim.cache.accesses] / [sim.cache.misses] /
+    [sim.cache.evictions] counters (an eviction is a miss that
+    displaces a valid line). *)
 
 val accesses : t -> int
 val misses : t -> int

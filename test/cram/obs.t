@@ -1,0 +1,80 @@
+Observability: the perf-trajectory JSON, the regression gate, and the
+trace subcommand.
+
+The --quick trajectory schema is pinned with the measured values
+scrubbed: every measurement is emitted as a JSON float (the emitter
+guarantees a '.' or an 'e'), while structural integers — schema
+version, bench generation, seed, item counts — stay exact.
+
+  $ ujam-bench --quick --json --seed 1997 --out B.json
+  wrote B.json (2 experiments, schema v1)
+  $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' B.json
+  {"schema_version":1,"bench":3,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
+
+The compare gate diffs two trajectory files by experiment name.  A
+synthetic pair keeps the verdicts deterministic: "a" loses 5% (inside
+the default 10% threshold), "b" loses half its throughput.
+
+  $ cat > OLD.json << 'EOF'
+  > {"schema_version":1,"bench":3,"seed":1997,"experiments":[{"name":"a","wall_s":1.0,"items":100,"throughput":100.0,"metrics":{}},{"name":"b","wall_s":1.0,"items":100,"throughput":100.0,"metrics":{}}]}
+  > EOF
+  $ cat > NEW.json << 'EOF'
+  > {"schema_version":1,"bench":3,"seed":1997,"experiments":[{"name":"a","wall_s":1.0,"items":100,"throughput":95.0,"metrics":{}},{"name":"b","wall_s":1.0,"items":100,"throughput":50.0,"metrics":{}}]}
+  > EOF
+  $ ujam-bench --compare OLD.json NEW.json
+  a                    100.0 -> 95.0 items/s (-5.0%)  OK
+  b                    100.0 -> 50.0 items/s (-50.0%)  REGRESSION
+  compare: throughput regression beyond 10% threshold
+  [1]
+
+A generous threshold waves the same pair through:
+
+  $ ujam-bench --compare OLD.json NEW.json --threshold 0.6
+  a                    100.0 -> 95.0 items/s (-5.0%)  OK
+  b                    100.0 -> 50.0 items/s (-50.0%)  OK
+  compare: no regression beyond 60% threshold
+
+Experiments missing from the new file are regressions, and files
+without the pinned schema version are rejected up front:
+
+  $ cat > SHORT.json << 'EOF'
+  > {"schema_version":1,"bench":3,"seed":1997,"experiments":[{"name":"a","wall_s":1.0,"items":100,"throughput":100.0,"metrics":{}}]}
+  > EOF
+  $ ujam-bench --compare OLD.json SHORT.json
+  a                    100.0 -> 100.0 items/s (+0.0%)  OK
+  b                    100.0 -> MISSING  REGRESSION
+  compare: throughput regression beyond 10% threshold
+  [1]
+  $ echo '{"schema_version":99}' > BAD.json
+  $ ujam-bench --compare OLD.json BAD.json
+  compare: BAD.json has schema_version 99, expected 1
+  [2]
+
+ujc trace runs any subcommand with the span sink enabled and writes a
+Chrome trace_event file; the summary counts are structural (one span
+per pipeline stage invocation plus the corpus envelope), so they pin
+exactly.  The file is re-read and validated before success is
+reported.
+
+  $ ujc trace -o trace.json engine corpus -- --count 2 --seed 7
+  routine0000  nest0: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  routine0001  nest3: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  routine0001  nest4: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  corpus: 2 routines, 3 nests ok, 0 failed (model ugs)
+  trace: wrote trace.json (15 events; graph=6 tables=3 search=3 corpus=1)
+  trace: trace.json is well-formed Chrome trace JSON
+
+The optional --metrics dump snapshots the whole registry; counter
+values are structural, latency summaries are scrubbed like any other
+measurement.
+
+  $ ujc trace -o t2.json --metrics m.json engine corpus -- --count 2 --seed 7
+  routine0000  nest0: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  routine0001  nest3: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  routine0001  nest4: u=(4,0) balance 75.000->31.800 regs 15 V_M 15 V_F 5 speedup 2.36
+  corpus: 2 routines, 3 nests ok, 0 failed (model ugs)
+  trace: wrote metrics to m.json
+  trace: wrote t2.json (15 events; graph=6 tables=3 search=3 corpus=1)
+  trace: t2.json is well-formed Chrome trace JSON
+  $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' m.json
+  {"counters":{"engine.jobs.claimed":2,"engine.nests.failed":0,"engine.nests.ok":3,"oracle.failures":0,"oracle.mismatches":0,"oracle.nests":0,"oracle.shrink.steps":0,"oracle.unexplained":0,"sim.cache.accesses":0,"sim.cache.evictions":0,"sim.cache.misses":0},"gauges":{"engine.queue.remaining":<f>},"histograms":{"engine.routine_s":{"count":2,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.graph_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.search_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.sim_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.tables_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>}}}

@@ -22,5 +22,6 @@ let () =
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("invariants", Test_invariants.suite) ]

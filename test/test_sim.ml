@@ -206,8 +206,89 @@ let test_model_vs_simulator_misses () =
         (measured <= (model *. 1.4) +. 0.1 && measured >= (model *. 0.6) -. 0.1))
     [ "dmxpy1"; "dmxpy0"; "mmjki" ]
 
+(* ---- property tests: random access traces through the cache -------- *)
+
+let geom_gen =
+  let open QCheck2.Gen in
+  let* line = oneofl [ 1; 2; 4; 8 ] in
+  let* assoc = oneofl [ 1; 2; 4 ] in
+  let* sets = oneofl [ 1; 2; 4; 8 ] in
+  return (line * assoc * sets, line, assoc)
+
+let trace_gen =
+  let open QCheck2.Gen in
+  let* geom = geom_gen in
+  let* trace = list_size (int_range 1 200) (int_range 0 511) in
+  return (geom, trace)
+
+let trace_print ((size, line, assoc), trace) =
+  Printf.sprintf "size=%d line=%d assoc=%d trace=[%s]" size line assoc
+    (String.concat ";" (List.map string_of_int trace))
+
+let prop_misses_bounded =
+  QCheck2.Test.make ~name:"property: misses <= accesses" ~count:100
+    ~print:trace_print trace_gen
+    (fun ((size, line, assoc), trace) ->
+      let c = Cache.create ~size ~line ~assoc in
+      List.iter (fun a -> ignore (Cache.access c a)) trace;
+      Cache.misses c <= Cache.accesses c
+      && Cache.accesses c = List.length trace)
+
+let prop_same_line_hits =
+  QCheck2.Test.make
+    ~name:"property: immediate re-access within the same line hits" ~count:100
+    ~print:trace_print trace_gen
+    (fun ((size, line, assoc), trace) ->
+      let c = Cache.create ~size ~line ~assoc in
+      List.for_all
+        (fun a ->
+          ignore (Cache.access c a);
+          (* the line was just touched: its first element must be resident *)
+          Cache.access c (a / line * line))
+        trace)
+
+let prop_reset_is_fresh =
+  QCheck2.Test.make ~name:"property: reset behaves like a fresh cache"
+    ~count:100 ~print:trace_print trace_gen
+    (fun ((size, line, assoc), trace) ->
+      let replay c = List.map (fun a -> Cache.access c a) trace in
+      let warm = Cache.create ~size ~line ~assoc in
+      ignore (replay warm);
+      Cache.reset warm;
+      let after_reset = replay warm in
+      let fresh = Cache.create ~size ~line ~assoc in
+      let from_fresh = replay fresh in
+      after_reset = from_fresh
+      && Cache.accesses warm = Cache.accesses fresh
+      && Cache.misses warm = Cache.misses fresh)
+
+let prop_full_assoc_only_compulsory =
+  (* fully associative, working set <= size: after the warm-up pass every
+     later pass hits, so misses stay at the compulsory line count *)
+  QCheck2.Test.make
+    ~name:"property: fully-associative fit has only compulsory misses"
+    ~count:100
+    ~print:(fun ws -> Printf.sprintf "working set = %d" ws)
+    QCheck2.Gen.(int_range 1 64)
+    (fun ws ->
+      let c = Cache.create ~size:64 ~line:4 ~assoc:16 in
+      for a = 0 to ws - 1 do
+        ignore (Cache.access c a)
+      done;
+      let compulsory = Cache.misses c in
+      for _pass = 1 to 3 do
+        for a = 0 to ws - 1 do
+          ignore (Cache.access c a)
+        done
+      done;
+      Cache.misses c = compulsory && compulsory = ((ws + 3) / 4))
+
 let suite =
   [ Alcotest.test_case "cache basics" `Quick test_cache_basics;
+    Gen.to_alcotest prop_misses_bounded;
+    Gen.to_alcotest prop_same_line_hits;
+    Gen.to_alcotest prop_reset_is_fresh;
+    Gen.to_alcotest prop_full_assoc_only_compulsory;
     Alcotest.test_case "direct-mapped conflicts" `Quick test_cache_conflict_directmapped;
     Alcotest.test_case "associativity + LRU" `Quick test_cache_associativity;
     Alcotest.test_case "capacity" `Quick test_cache_capacity_sweep;
