@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- ablation-permute   permutation pre-pass
      dune exec bench/main.exe -- ablation-registers register-file sweep
      dune exec bench/main.exe -- corpus    Engine.run_corpus throughput
+     dune exec bench/main.exe -- table-build  sweep vs per-cell table builds
+     dune exec bench/main.exe -- search    pruned vs exhaustive unroll search
      dune exec bench/main.exe -- speed     Bechamel micro-benchmarks
      dune exec bench/main.exe -- --quick   deterministic smoke subset
 
@@ -31,7 +33,7 @@ open Ujam_core
 open Ujam_engine
 
 let schema_version = 1
-let bench_generation = 3
+let bench_generation = 4
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
@@ -466,6 +468,119 @@ let speed ppf =
   (List.length tests, List.rev !metrics)
 
 (* ------------------------------------------------------------------ *)
+(* The sweep-engine payoff in isolation: exact group-count tables on a *)
+(* depth-3 bound-8 space, built by the O(d*|U|) difference-array       *)
+(* sweeps and by the per-cell reference recurrence.  The gate is a     *)
+(* >= 10x gap (metric [speedup]); totals must agree.                   *)
+
+let table_build ppf =
+  let nest = Ujam_kernels.Kernels.mmjki ~n:16 () in
+  let d = Ujam_ir.Nest.depth nest in
+  let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
+  let space = Unroll_space.make ~bounds:[| 8; 8; 0 |] in
+  let groups = Ujam_reuse.Ugs.of_nest nest in
+  let time reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  (* parity first, outside the timed loops: the sweep-built tables and
+     the per-cell recurrence must report the same totals everywhere *)
+  let sweep_total =
+    List.fold_left
+      (fun acc g ->
+        let gt = Tables.gts_exact_table space ~localized g in
+        let gs = Tables.gss_exact_table space ~localized g in
+        Unroll_space.fold space acc (fun acc u ->
+            acc + Unroll_space.Table.get gt u + Unroll_space.Table.get gs u))
+      0 groups
+  in
+  let percell_total =
+    List.fold_left
+      (fun acc g ->
+        Unroll_space.fold space acc (fun acc u ->
+            acc
+            + Tables.gts_exact space ~localized g u
+            + Tables.gss_exact space ~localized g u))
+      0 groups
+  in
+  let sweep_reps = 50 and percell_reps = 3 in
+  let sweep_s =
+    time sweep_reps (fun () ->
+        List.iter
+          (fun g ->
+            ignore (Tables.gts_exact_table space ~localized g);
+            ignore (Tables.gss_exact_table space ~localized g))
+          groups)
+  in
+  let percell_s =
+    time percell_reps (fun () ->
+        List.iter
+          (fun g ->
+            Unroll_space.iter space (fun u ->
+                ignore (Tables.gts_exact space ~localized g u);
+                ignore (Tables.gss_exact space ~localized g u)))
+          groups)
+  in
+  let speedup = percell_s /. Float.max 1e-9 sweep_s in
+  Format.fprintf ppf "space 9x9x1 (%d cells), %d UGS groups@."
+    (Unroll_space.card space) (List.length groups);
+  Format.fprintf ppf "sweep    %.6fs/build (totals %d, %d reps)@." sweep_s
+    sweep_total sweep_reps;
+  Format.fprintf ppf "per-cell %.6fs/build (totals %d, %d reps)@." percell_s
+    percell_total percell_reps;
+  Format.fprintf ppf "agreement: %b, speedup %.1fx@."
+    (sweep_total = percell_total) speedup;
+  ( sweep_reps + percell_reps,
+    [ ("sweep_s", sweep_s); ("percell_s", percell_s); ("speedup", speedup);
+      ("agree", if sweep_total = percell_total then 1.0 else 0.0) ] )
+
+(* Pruned vs exhaustive unroll-vector search over the catalogue at     *)
+(* bound 6: identical choices, fewer cells evaluated.                  *)
+
+let search_bench ppf =
+  let machine = Ujam_machine.Presets.alpha in
+  let ctxs =
+    List.map
+      (fun (e : Ujam_kernels.Catalogue.entry) ->
+        let nest = e.Ujam_kernels.Catalogue.build ~n:12 () in
+        ( e.Ujam_kernels.Catalogue.name,
+          Analysis_ctx.create ~bound:6 ~machine nest ))
+      Ujam_kernels.Catalogue.all
+  in
+  (* warm the balance tables so the loop times the search alone *)
+  List.iter (fun (_, ctx) -> ignore (Analysis_ctx.balance ctx)) ctxs;
+  let agree =
+    List.for_all
+      (fun (_, ctx) ->
+        let b = Analysis_ctx.balance ctx in
+        Search.best ~prune:true ~cache:true b
+        = Search.best ~prune:false ~cache:true b)
+      ctxs
+  in
+  let reps = 30 in
+  let time prune =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter
+        (fun (_, ctx) ->
+          ignore (Search.best ~prune ~cache:true (Analysis_ctx.balance ctx)))
+        ctxs
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let pruned_s = time true in
+  let full_s = time false in
+  let speedup = full_s /. Float.max 1e-9 pruned_s in
+  Format.fprintf ppf "%d kernels, bound 6, %d reps@." (List.length ctxs) reps;
+  Format.fprintf ppf "pruned     %.6fs/sweep@." pruned_s;
+  Format.fprintf ppf "exhaustive %.6fs/sweep@." full_s;
+  Format.fprintf ppf "choices identical: %b, speedup %.2fx@." agree speedup;
+  ( reps * 2,
+    [ ("pruned_s", pruned_s); ("full_s", full_s); ("speedup", speedup);
+      ("agree", if agree then 1.0 else 0.0) ] )
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, runner, and JSON trajectory.                   *)
 
 let experiments =
@@ -491,6 +606,12 @@ let experiments =
     ( "corpus",
       "Engine.run_corpus throughput (synthetic corpus, bound 4)",
       corpus_throughput );
+    ( "table-build",
+      "Sweep-built exact tables vs per-cell reference (bound-8 space)",
+      table_build );
+    ( "search",
+      "Pruned vs exhaustive unroll search (catalogue, bound 6)",
+      search_bench );
     ( "quick-matrix",
       "Quick smoke — strategy matrix (shared context per kernel)",
       quick_matrix );
@@ -502,7 +623,7 @@ let experiments =
 let all_names =
   [ "table1"; "table2"; "fig8"; "fig9"; "ablation-model"; "ablation-brute";
     "ablation-prefetch"; "ablation-permute"; "ablation-registers"; "corpus";
-    "speed" ]
+    "table-build"; "search"; "speed" ]
 
 let run_experiment name =
   let _, title, f =
@@ -624,7 +745,7 @@ let usage () =
     \       bench --compare OLD.json NEW.json [--threshold T]@.\
      experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
     \             ablation-prefetch ablation-permute ablation-registers@.\
-    \             corpus speed quick-matrix quick-corpus all@.";
+    \             corpus table-build search speed quick-matrix quick-corpus all@.";
   exit 2
 
 (* Strip global options out of the argument list before dispatching. *)

@@ -527,6 +527,12 @@ let fuzz_cmd =
       value & opt int 4
       & info [ "b"; "bound" ] ~docv:"B" ~doc:"Unroll-space bound per loop.")
   in
+  let deep_flag =
+    Arg.(
+      value & flag
+      & info [ "deep-space" ]
+          ~doc:"Stress the sweep engine on deep spaces: admit 4-deep               generated nests and raise the unroll bound to at least 8               and the depth limit to at least 4.")
+  in
   let shrink_flag =
     Arg.(
       value & flag
@@ -550,15 +556,16 @@ let fuzz_cmd =
       & info [ "layers" ] ~docv:"LAYERS"
           ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model).")
   in
-  let run n seed max_depth bound machine domains layers shrink json =
+  let run n seed max_depth bound machine domains layers deep shrink json =
     let cfg =
       { (Fuzz.default_config ~machine ()) with
         Fuzz.n = max 0 n;
         seed;
-        max_depth;
-        bound;
+        max_depth = (if deep then max max_depth 4 else max_depth);
+        bound = (if deep then max bound 8 else bound);
         domains;
         layers;
+        deep;
         shrink }
     in
     let report = Fuzz.run cfg in
@@ -570,7 +577,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential oracle: fuzz the UGS tables against materialized              unrolls, the cache simulator, and the other selection              strategies; shrink any failure to a minimal reproducer.")
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
-          $ machine_arg $ domains_arg $ layers_arg $ shrink_flag $ json_arg)
+          $ machine_arg $ domains_arg $ layers_arg $ deep_flag $ shrink_flag
+          $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ujc trace: run any subcommand with the observability sink enabled

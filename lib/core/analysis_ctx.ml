@@ -54,7 +54,7 @@ let timed_into timings stage f =
       Ujam_obs.Obs.Span.emit ~name:(stage_name stage) ~t0 ~dur:dt)
     f
 
-let create ?(bound = 10) ?(max_loops = 2) ~machine nest =
+let create ?(bound = 10) ?(max_loops = 2) ?(table_domains = 1) ~machine nest =
   let timings = zero_timings () in
   let table_builds = ref 0 in
   let graph =
@@ -98,7 +98,8 @@ let create ?(bound = 10) ?(max_loops = 2) ~machine nest =
       (incr table_builds;
        timed_into timings Tables (fun () ->
            let _, space = Lazy.force levels_and_space in
-           Balance.prepare ~groups:(Lazy.force ugs) ~machine space nest))
+           Balance.prepare ~domains:table_domains ~groups:(Lazy.force ugs)
+             ~machine space nest))
   in
   { nest; machine; bound; max_loops; timings; table_builds; graph;
     graph_with_input; safety; ugs; sites; ranked; levels_and_space; balance }

@@ -28,12 +28,16 @@ type t
 val create :
   ?bound:int ->
   ?max_loops:int ->
+  ?table_domains:int ->
   machine:Ujam_machine.Machine.t ->
   Ujam_ir.Nest.t ->
   t
 (** Defaults match {!Driver.optimize}: [bound] 10, [max_loops] 2.
     Nothing is computed until the corresponding accessor is first
-    called. *)
+    called.  [table_domains] (default 1) fans the balance-table builds
+    out over {!Balance.prepare}'s Domain work queue — meant for
+    single-nest callers; corpus runners already parallelise across
+    nests and should leave it at 1. *)
 
 val nest : t -> Ujam_ir.Nest.t
 val machine : t -> Ujam_machine.Machine.t

@@ -1,6 +1,12 @@
 open Ujam_linalg
 open Ujam_reuse
 open Ujam_machine
+module Obs = Ujam_obs.Obs
+
+(* Wall time of one [prepare]: the whole analytic cost of a nest is
+   table construction, so this histogram is the before/after evidence
+   for the sweep engine. *)
+let h_build = Obs.histogram "tables.build_s"
 
 type ugs_tables = {
   ugs : Ugs.t;
@@ -18,37 +24,63 @@ type t = {
   groups : ugs_tables list;
 }
 
-let prepare ?groups ~machine space nest =
+(* The per-UGS exact tables and the fused stream-summary tables are
+   independent, so they form a job queue: one job per UGS plus one for
+   the Rrs summaries (queued first — it is the heaviest).  [Par.map]
+   keeps the output slot-ordered, so [domains] > 1 changes nothing but
+   wall time. *)
+let prepare ?(domains = 1) ?groups ~machine space nest =
+  let t0 = Unix.gettimeofday () in
   let d = Ujam_ir.Nest.depth nest in
   let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
   let partition =
     match groups with Some gs -> gs | None -> Ugs.of_nest nest
   in
-  let groups =
-    List.map
-      (fun (g : Ugs.t) ->
-        let stream =
-          (Locality.ugs_cost ~line:machine.Machine.cache_line ~localized g).Locality.stream
-        in
-        { ugs = g;
-          stream;
-          gts = Tables.gts_exact_table space ~localized g;
-          gss = Tables.gss_exact_table space ~localized g })
-      partition
+  let build_group (g : Ugs.t) =
+    let stream =
+      (Locality.ugs_cost ~line:machine.Machine.cache_line ~localized g).Locality.stream
+    in
+    { ugs = g;
+      stream;
+      gts = Tables.gts_exact_table space ~localized g;
+      gss = Tables.gss_exact_table space ~localized g }
   in
-  { space;
+  let jobs =
+    Array.of_list (`Summary :: List.map (fun g -> `Group g) partition)
+  in
+  let outs =
+    Par.map ~domains
+      ~f:(fun ~domain:_ -> function
+        | `Summary ->
+            let _, mem, reg =
+              Rrs.summary_tables ~groups:partition space ~localized nest
+            in
+            `Summary (mem, reg)
+        | `Group g -> `Group (build_group g))
+      jobs
+  in
+  let mem_table, reg_table =
+    match outs.(0) with `Summary (m, r) -> (m, r) | `Group _ -> assert false
+  in
+  let groups =
+    Array.to_list outs
+    |> List.filter_map (function `Group g -> Some g | `Summary _ -> None)
+  in
+  let t = {
+    space;
     machine;
     flops_body = Ujam_ir.Nest.flops_per_iteration nest;
-    mem_table = Rrs.memory_table ~groups:partition space ~localized nest;
-    reg_table = Rrs.register_table ~groups:partition space ~localized nest;
+    mem_table;
+    reg_table;
     groups }
+  in
+  Obs.Histogram.record h_build (Unix.gettimeofday () -. t0);
+  t
 
 let space t = t.space
 let machine t = t.machine
 
-let copies u = Vec.fold (fun acc x -> acc * (x + 1)) 1 u
-
-let flops t u = t.flops_body * copies u
+let flops t u = t.flops_body * Unroll_space.copies u
 let memory_ops t u = Unroll_space.Table.get t.mem_table u
 let registers t u = Unroll_space.Table.get t.reg_table u
 

@@ -46,7 +46,7 @@ let metrics ~machine nest u =
     balance_cache;
     balance_nocache }
 
-let copies u = Vec.fold (fun acc x -> acc * (x + 1)) 1 u
+let copies = Unroll_space.copies
 
 let best ~cache ~machine space nest =
   let beta_m = Machine.balance machine in

@@ -41,7 +41,7 @@ let optimize ?(bound = 10) ?(cache = true) ?(max_loops = 2) ?ctx ~machine nest =
    unrolled body plus unhidden miss stalls, normalised by the number of
    body copies. *)
 let cycles_per_orig_iteration (machine : Machine.t) (c : Search.choice) misses =
-  let copies = Vec.fold (fun acc x -> acc * (x + 1)) 1 c.Search.u in
+  let copies = Unroll_space.copies c.Search.u in
   let issue =
     Float.max
       (float_of_int c.Search.memory_ops /. float_of_int machine.Machine.mem_issue)

@@ -1,0 +1,38 @@
+(* Deterministic parallel work queue.
+
+   A lock-free queue over an atomic index: each domain claims the next
+   unprocessed job and writes its result into that job's slot, so the
+   result ordering is the input ordering no matter how many domains run
+   or how the scheduler interleaves them.  Lives in core so that
+   [Balance.prepare] can fan its table builds out without depending on
+   the engine layer; [Engine.parallel_map] delegates here and layers its
+   queue metrics on via [on_claim]. *)
+
+let clamp_domains domains n = max 1 (min domains (max 1 n))
+
+let map ?(domains = 1) ?(on_claim = fun ~remaining:_ -> ()) ~f jobs =
+  let n = Array.length jobs in
+  let out = Array.make n None in
+  let domains = clamp_domains domains n in
+  let next = Atomic.make 0 in
+  let worker dom () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        on_claim ~remaining:(max 0 (n - i - 1));
+        out.(i) <- Some (f ~domain:dom jobs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains = 1 then worker 0 ()
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () -> worker (k + 1) ()))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end;
+  Array.map (fun slot -> Option.get slot) out

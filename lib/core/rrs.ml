@@ -4,33 +4,49 @@ open Ujam_reuse
 
 let partition ~localized nest = Streams.of_body ~localized nest
 
-let totals_table space f =
-  let t = Unroll_space.Table.create space 0 in
-  Unroll_space.iter space (fun u -> Unroll_space.Table.set t u (f u));
-  t
-
 let groups_of ?groups nest =
   match groups with Some gs -> gs | None -> Ugs.of_nest nest
 
-let nest_fn ?groups space ~localized nest =
+(* One pass over the space fills all three summaries, and the summary
+   closures skip stream materialisation entirely (one full-box
+   partition per UGS, then an allocation-free walk per cell) — asking
+   for the tables separately used to pay the per-[u] stream build three
+   times. *)
+let summary_tables ?groups space ~localized nest =
   let fns =
     List.map
-      (fun g -> Streams.unrolled_fn space ~localized g)
+      (fun g -> Streams.unrolled_summary_fn space ~localized g)
       (groups_of ?groups nest)
   in
-  fun u -> List.concat_map (fun f -> f u) fns
+  let streams = Unroll_space.Table.create space 0 in
+  let mem = Unroll_space.Table.create space 0 in
+  let reg = Unroll_space.Table.create space 0 in
+  Unroll_space.iter space (fun u ->
+      let st, m, r =
+        List.fold_left
+          (fun (st, m, r) fn ->
+            let s = fn u in
+            ( st + s.Streams.streams,
+              m + s.Streams.memory_ops,
+              r + s.Streams.registers ))
+          (0, 0, 0) fns
+      in
+      Unroll_space.Table.set streams u st;
+      Unroll_space.Table.set mem u m;
+      Unroll_space.Table.set reg u r);
+  (streams, mem, reg)
 
 let stream_table ?groups space ~localized nest =
-  let fn = nest_fn ?groups space ~localized nest in
-  totals_table space (fun u -> (Streams.summarize (fn u)).Streams.streams)
+  let s, _, _ = summary_tables ?groups space ~localized nest in
+  s
 
 let memory_table ?groups space ~localized nest =
-  let fn = nest_fn ?groups space ~localized nest in
-  totals_table space (fun u -> (Streams.summarize (fn u)).Streams.memory_ops)
+  let _, m, _ = summary_tables ?groups space ~localized nest in
+  m
 
 let register_table ?groups space ~localized nest =
-  let fn = nest_fn ?groups space ~localized nest in
-  totals_table space (fun u -> (Streams.summarize (fn u)).Streams.registers)
+  let _, _, r = summary_tables ?groups space ~localized nest in
+  r
 
 (* Figure 5: the number of register-reuse sets after unrolling, without
    materialising the body.  Every definition copy always generates its
@@ -126,7 +142,7 @@ let incremental_rrs_table space ~localized nest =
       let leader_absorbers = List.map (fun l -> (l, absorbers l)) leaders in
       Unroll_space.iter space (fun u ->
           let count = ref 0 in
-          let copies = Vec.fold (fun acc x -> acc * (x + 1)) 1 u in
+          let copies = Unroll_space.copies u in
           List.iter
             (fun (((j : Streams.member), invariant_j), abs_list) ->
               if j.Streams.is_def && not invariant_j then count := !count + copies

@@ -23,6 +23,16 @@ val partition :
   localized:Subspace.t -> Ujam_ir.Nest.t -> Streams.stream list
 (** Figure 4, [ComputeRRS], on the original body. *)
 
+val summary_tables :
+  ?groups:Ujam_reuse.Ugs.t list ->
+  Unroll_space.t ->
+  localized:Subspace.t ->
+  Ujam_ir.Nest.t ->
+  Unroll_space.Table.t * Unroll_space.Table.t * Unroll_space.Table.t
+(** [(streams, memory_ops, registers)] from one pass over the space —
+    building the unrolled stream closure dominates, so fused callers
+    (e.g. {!Balance.prepare}) pay it once instead of per table. *)
+
 val stream_table :
   ?groups:Ujam_reuse.Ugs.t list ->
   Unroll_space.t -> localized:Subspace.t -> Ujam_ir.Nest.t -> Unroll_space.Table.t

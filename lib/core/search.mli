@@ -19,6 +19,11 @@ type choice = {
   flops : int;
 }
 
-val best : cache:bool -> Balance.t -> choice
+val best : ?prune:bool -> cache:bool -> Balance.t -> choice
+(** [prune] (default true) skips the upward box above any [u] whose
+    register count already exceeds the register file — sound because
+    [R] is pointwise monotone — and records the number of skipped cells
+    in the [search.pruned_cells] histogram.  [~prune:false] forces the
+    exhaustive scan; both return the same choice. *)
 
 val evaluate : cache:bool -> Balance.t -> Vec.t -> choice

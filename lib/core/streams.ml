@@ -108,7 +108,7 @@ let iter_box u f =
    its members there, time-shifted by its key delta.  The component
    decomposition and per-member offsets depend only on the UGS, so
    [unrolled_fn] computes them once and returns a per-[u] closure. *)
-let unrolled_fn space ~localized (ugs : Ugs.t) =
+let unrolled_parts space ~localized (ugs : Ugs.t) =
   let h = ugs.Ugs.h in
   let solver =
     Solvers.temporal ~h ~localized ~unroll_levels:(Unroll_space.unroll_levels space)
@@ -154,6 +154,11 @@ let unrolled_fn space ~localized (ugs : Ugs.t) =
     resolved_classes;
   let invariant = Selfreuse.has_self_temporal ~localized h in
   let equiv = Solvers.temporal_point_equiv ~h ~localized in
+  (comps, invariant, equiv)
+
+let unrolled_fn space ~localized (ugs : Ugs.t) =
+  let h = ugs.Ugs.h in
+  let comps, invariant, equiv = unrolled_parts space ~localized ugs in
   fun u ->
     if not (Unroll_space.mem space u) then
       invalid_arg "Streams.of_ugs_unrolled: unroll vector out of space";
@@ -162,6 +167,10 @@ let unrolled_fn space ~localized (ugs : Ugs.t) =
         (* Points of the union of shifted boxes, modulo the unroll-space
            kernel directions; copies at equivalent points pool into the
            representative's member set, time-shifted by the witness. *)
+        (* Newest rep first; classes are pairwise inequivalent, so at
+           most one rep can match a point and the scan order is
+           irrelevant — a final reverse restores discovery order
+           without the quadratic append-per-rep. *)
         let reps : (Vec.t * member list ref) list ref = ref [] in
         List.iter
           (fun (members, { Solvers.m; delta }) ->
@@ -174,7 +183,7 @@ let unrolled_fn space ~localized (ugs : Ugs.t) =
                 let rec find = function
                   | [] ->
                       let cell = ref [] in
-                      reps := !reps @ [ (p, cell) ];
+                      reps := (p, cell) :: !reps;
                       (cell, 0)
                   | (r, cell) :: rest -> (
                       match equiv p r with
@@ -195,7 +204,7 @@ let unrolled_fn space ~localized (ugs : Ugs.t) =
         List.concat_map
           (fun (_, cell) ->
             split_at_defs ~base:ugs.Ugs.base ~h ~invariant (time_sort (List.rev !cell)))
-          !reps)
+          (List.rev !reps))
       !comps
 
 let of_ugs_unrolled space ~localized ugs u = unrolled_fn space ~localized ugs u
@@ -215,3 +224,128 @@ let summarize ss =
         registers = acc.registers + registers s })
     { streams = 0; memory_ops = 0; registers = 0 }
     ss
+
+(* [summarize (unrolled_fn u)] without building streams per [u].
+
+   Every ingredient of the per-[u] stream decomposition is independent
+   of [u] once computed over the full space box: the class partition of
+   the deposit points (equivalence classes restrict to sub-boxes), each
+   deposit's time offset, and the total time order — [time_sort]'s key
+   is (delta desc, body-copy rank, stmt, def, site id), and the copy
+   rank of offset [o] within any box [0..u] orders exactly as lex([o]).
+   So we partition and sort once, and each query walks the sorted
+   deposit arrays, skipping entries whose offset lies outside [0..u],
+   splitting at definitions and accumulating spans — no allocation, no
+   hashing, no sorting per [u]. *)
+type deposit = { off : int array; d_delta : int; d_stmt : int; d_def : bool; d_id : int }
+
+let unrolled_summary_fn space ~localized (ugs : Ugs.t) =
+  let comps, invariant, equiv = unrolled_parts space ~localized ugs in
+  let compare_deposit a b =
+    let c = compare b.d_delta a.d_delta in
+    if c <> 0 then c
+    else
+      let c = compare a.off b.off in
+      if c <> 0 then c
+      else
+        compare
+          (a.d_stmt, a.d_def, a.d_id)
+          (b.d_stmt, b.d_def, b.d_id)
+  in
+  (* One full-box partition per component cell (the analogue of one
+     [unrolled_fn] query at the maximal vector). *)
+  let cells =
+    List.map
+      (fun (_, cell) ->
+        let reps : (Vec.t * deposit list ref) list ref = ref [] in
+        List.iter
+          (fun (members, { Solvers.m; delta }) ->
+            Unroll_space.iter space (fun o ->
+                let p = Vec.add m o in
+                let rec find = function
+                  | [] ->
+                      let bucket = ref [] in
+                      reps := (p, bucket) :: !reps;
+                      (bucket, 0)
+                  | (r, bucket) :: rest -> (
+                      match equiv p r with
+                      | Some shift -> (bucket, shift)
+                      | None -> find rest)
+                in
+                let bucket, shift = find !reps in
+                let off = Vec.to_array o in
+                List.iter
+                  (fun ((s : Site.t), d_rel, is_def) ->
+                    bucket :=
+                      { off;
+                        d_delta = delta + d_rel + shift;
+                        d_stmt = s.Site.stmt;
+                        d_def = is_def;
+                        d_id = s.Site.id }
+                      :: !bucket)
+                  members))
+          !cell;
+        List.map
+          (fun (_, bucket) ->
+            let a = Array.of_list !bucket in
+            Array.sort compare_deposit a;
+            a)
+          !reps)
+      !comps
+  in
+  let dim = Unroll_space.depth space in
+  fun u ->
+    if not (Unroll_space.mem space u) then
+      invalid_arg "Streams.of_ugs_unrolled: unroll vector out of space";
+    let ub = Vec.to_array u in
+    let inside off =
+      let ok = ref true in
+      for k = 0 to dim - 1 do
+        if off.(k) > ub.(k) then ok := false
+      done;
+      !ok
+    in
+    let streams = ref 0 and mem = ref 0 and regs = ref 0 in
+    List.iter
+      (List.iter (fun deposits ->
+           if invariant then begin
+             if Array.exists (fun e -> inside e.off) deposits then begin
+               incr streams;
+               incr regs
+             end
+           end
+           else begin
+             (* walk in time order, splitting at defs: mirrors
+                [split_at_defs] + [summarize] on the filtered list *)
+             let open_ = ref false and mn = ref 0 and mx = ref 0 in
+             let close () =
+               if !open_ then begin
+                 incr streams;
+                 incr mem;
+                 regs := !regs + (!mx - !mn + 1);
+                 open_ := false
+               end
+             in
+             Array.iter
+               (fun e ->
+                 if inside e.off then
+                   if e.d_def then begin
+                     close ();
+                     open_ := true;
+                     mn := e.d_delta;
+                     mx := e.d_delta
+                   end
+                   else if not !open_ then begin
+                     open_ := true;
+                     mn := e.d_delta;
+                     mx := e.d_delta
+                   end
+                   else begin
+                     if e.d_delta < !mn then mn := e.d_delta;
+                     if e.d_delta > !mx then mx := e.d_delta
+                   end)
+               deposits;
+             close ()
+           end))
+      cells;
+    { streams = !streams; memory_ops = !mem; registers = !regs }

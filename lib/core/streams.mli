@@ -64,3 +64,12 @@ val of_nest_unrolled :
 type summary = { streams : int; memory_ops : int; registers : int }
 
 val summarize : stream list -> summary
+
+val unrolled_summary_fn :
+  Unroll_space.t -> localized:Subspace.t -> Ugs.t -> Vec.t -> summary
+(** [summarize (unrolled_fn space ~localized ugs u)] without building
+    the streams: the deposit partition and its time order are computed
+    once over the full space box (they are independent of [u]), and each
+    query is an allocation-free walk that filters offsets outside
+    [0..u].  Table fills ({!Rrs.summary_tables}) run on this; the test
+    suite pins its agreement with the materialised construction. *)

@@ -62,10 +62,9 @@ let compute_table space ~solver ~kernel_gens leaders =
           let merge_points =
             List.concat_map (fun ki -> variants (Vec.sub ki kj)) keys
           in
-          if merge_points <> [] then
-            Unroll_space.iter space (fun u ->
-                if List.exists (fun d -> Vec.leq_pointwise d u) merge_points
-                then Unroll_space.Table.add t u (-1)))
+          (* -1 on the union of the upward boxes of the merge points:
+             one sweep (or corner update) instead of a per-cell scan. *)
+          Unroll_space.Table.add_cover t merge_points (-1))
         keys)
     (components ~dim ~solver leaders);
   t
@@ -163,26 +162,37 @@ let gts_applicable space ~localized ugs =
          ~unroll_levels:(Unroll_space.unroll_levels space))
     (gts_leaders ~localized ugs)
 
+(* Exact totals without the per-[u] rescan.  [equiv] is an equivalence
+   (membership of the difference in a lattice), so the copy points
+   [m + o] partition into classes independently of which box they are
+   observed in: restricting to the box [o <= u] just restricts each
+   class to its offsets inside the box.  Hence the table value at [u]
+   is the number of classes with at least one offset [<= u] — each
+   class contributes +1 on the union of the upward boxes of its
+   offsets ([add_cover]).  One partition of the full space per
+   component replaces |U| partitions of sub-boxes. *)
 let exact_totals_table space ~solver ~equiv leaders =
   let comps = components ~dim:(Unroll_space.depth space) ~solver leaders in
   let t = Unroll_space.Table.create space 0 in
-  Unroll_space.iter space (fun u ->
-      let count = ref 0 in
+  List.iter
+    (fun members ->
+      let reps : (Vec.t * Vec.t list ref) list ref = ref [] in
       List.iter
-        (fun members ->
-          let reps : Vec.t list ref = ref [] in
-          List.iter
-            (fun (_, m) ->
-              iter_box u (fun o ->
-                  let p = Vec.add m o in
-                  if not (List.exists (fun r -> Option.is_some (equiv p r)) !reps)
-                  then begin
-                    reps := p :: !reps;
-                    incr count
-                  end))
-            members)
-        comps;
-      Unroll_space.Table.set t u !count);
+        (fun (_, m) ->
+          Unroll_space.iter space (fun o ->
+              let p = Vec.add m o in
+              let rec place = function
+                | [] -> reps := (p, ref [ o ]) :: !reps
+                | (r, offsets) :: rest ->
+                    if Option.is_some (equiv p r) then offsets := o :: !offsets
+                    else place rest
+              in
+              place !reps))
+        members;
+      List.iter
+        (fun (_, offsets) -> Unroll_space.Table.add_cover t !offsets 1)
+        !reps)
+    comps;
   t
 
 let gts_exact_table space ~localized ugs =

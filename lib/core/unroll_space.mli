@@ -5,7 +5,15 @@
     The space is the pointwise box [0 <= u <= bounds].  Tables indexed by
     unroll vectors are the paper's central data structure: they are
     filled once from the UGS structure and then answer every candidate
-    [u] during the search. *)
+    [u] during the search.
+
+    Tables are backed by a flat array plus a pending difference layer:
+    region writes ([add_from]/[add_region]/[add_cover]) cost O(corners)
+    and are folded into per-cell values by d running-sum sweeps
+    (O(d·card) total) on the first read after a write; prefix sums are
+    answered in O(1) from a cached summed-area table.  The pre-sweep
+    per-cell implementation survives as {!Reference} for differential
+    testing and benchmarking. *)
 
 open Ujam_linalg
 
@@ -25,8 +33,23 @@ val mem : t -> Vec.t -> bool
 val unroll_levels : t -> int list
 (** Levels with a non-zero bound. *)
 
+val copies : Vec.t -> int
+(** Body copies made by unroll vector [u]: product of [u_k + 1]. *)
+
 val iter : t -> (Vec.t -> unit) -> unit
 (** Lexicographic enumeration of all vectors in the space. *)
+
+val fold : t -> 'a -> ('a -> Vec.t -> 'a) -> 'a
+(** [fold t init f] folds [f] over the space in lexicographic order. *)
+
+val iter_pruned : t -> prune:(Vec.t -> bool) -> (Vec.t -> unit) -> int
+(** Lexicographic enumeration with monotone subtree pruning.  At each
+    enumeration node the pointwise-minimal completion of the current
+    prefix is offered to [prune]; if it answers [true], the node's
+    subtree and all later siblings at that level (whose minimal
+    completions are pointwise above it) are skipped.  Sound whenever
+    [prune] is upward-closed: [prune u && u <= u'] implies [prune u'].
+    Returns the number of vectors skipped. *)
 
 val vectors : t -> Vec.t list
 
@@ -41,17 +64,49 @@ module Table : sig
   val add : t -> Vec.t -> int -> unit
 
   val add_from : t -> Vec.t -> int -> unit
-  (** [add_from t lo delta] adds [delta] at every [u >= lo] pointwise. *)
+  (** [add_from t lo delta] adds [delta] at every [u >= lo] pointwise.
+      O(1): a single corner update on the pending difference layer. *)
 
   val add_region : t -> from_:Vec.t -> excluding:Vec.t option -> int -> unit
   (** Adds on [{u >= from_} \ {u >= excluding}]: the paper's "between the
-      newly computed merge point and the previous superleader's". *)
+      newly computed merge point and the previous superleader's".  At
+      most two corner updates. *)
+
+  val add_cover : t -> Vec.t list -> int -> unit
+  (** [add_cover t points delta] adds [delta] once at every [u] above at
+      least one of [points] (the union of their upward boxes).  One or
+      two corner updates for antichains of size <= 2, otherwise a single
+      O(d·card) OR-sweep — never a per-point scan. *)
 
   val prefix_sum : t -> Vec.t -> int
-  (** [sum over 0 <= u' <= u of t[u']] — the paper's [Sum] function. *)
+  (** [sum over 0 <= u' <= u of t[u']] — the paper's [Sum] function.
+      O(1) per query after a one-time summed-area sweep. *)
 
   val merge_add : t -> t -> t
   (** Pointwise sum; spaces must agree. *)
 
+  val fold : t -> 'a -> ('a -> Vec.t -> int -> 'a) -> 'a
+  (** Folds over [(vector, value)] pairs in lexicographic order. *)
+
+  val to_alist : t -> (Vec.t * int) list
+end
+
+module Reference : sig
+  (** The original per-cell table semantics: every region write and every
+      prefix sum is a full-space scan.  Kept as the differential-testing
+      oracle for the sweep engine above and as the benchmark baseline. *)
+
+  type space = t
+  type t
+
+  val create : space -> int -> t
+  val space : t -> space
+  val get : t -> Vec.t -> int
+  val set : t -> Vec.t -> int -> unit
+  val add : t -> Vec.t -> int -> unit
+  val add_from : t -> Vec.t -> int -> unit
+  val add_region : t -> from_:Vec.t -> excluding:Vec.t option -> int -> unit
+  val add_cover : t -> Vec.t list -> int -> unit
+  val prefix_sum : t -> Vec.t -> int
   val to_alist : t -> (Vec.t * int) list
 end

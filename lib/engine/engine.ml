@@ -102,46 +102,22 @@ let analyze ?bound ?max_loops ?model ~machine ?(routine = "<nest>") nest =
   analyze_into ?bound ?max_loops ?model ~machine ~routine nest
 
 (* ------------------------------------------------------------------ *)
-(* Deterministic parallel work queue.
+(* Deterministic parallel work queue: the slot-ordered atomic queue now
+   lives in core ([Par], so [Balance.prepare] can use it too); the
+   engine layers its queue-occupancy metrics on via the claim hook.
+   [run_corpus] and the oracle's fuzz loop both run on this. *)
 
-   A lock-free queue over an atomic index: each domain claims the next
-   unprocessed job and writes its result into that job's slot, so the
-   result ordering is the input ordering no matter how many domains run
-   or how the scheduler interleaves them.  [run_corpus] and the oracle's
-   fuzz loop both run on this. *)
-
-let clamp_domains domains n = max 1 (min domains (max 1 n))
+let clamp_domains = Par.clamp_domains
 
 let parallel_map ?(domains = 1) ~f jobs =
-  let n = Array.length jobs in
-  let out = Array.make n None in
-  let domains = clamp_domains domains n in
-  let next = Atomic.make 0 in
-  let worker dom () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (* work-queue occupancy: jobs claimed and jobs still unclaimed *)
-        if Obs.enabled () then begin
-          Obs.Counter.incr m_routines;
-          Obs.Gauge.set g_queue (float_of_int (max 0 (n - i - 1)))
-        end;
-        out.(i) <- Some (f ~domain:dom jobs.(i));
-        loop ()
-      end
-    in
-    loop ()
-  in
-  if domains = 1 then worker 0 ()
-  else begin
-    let spawned =
-      List.init (domains - 1) (fun k ->
-          Domain.spawn (fun () -> worker (k + 1) ()))
-    in
-    worker 0 ();
-    List.iter Domain.join spawned
-  end;
-  Array.map (fun slot -> Option.get slot) out
+  Par.map ~domains
+    ~on_claim:(fun ~remaining ->
+      (* work-queue occupancy: jobs claimed and jobs still unclaimed *)
+      if Obs.enabled () then begin
+        Obs.Counter.incr m_routines;
+        Obs.Gauge.set g_queue (float_of_int remaining)
+      end)
+    ~f jobs
 
 let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
     ?(model = default_model) ~machine

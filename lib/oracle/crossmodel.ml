@@ -6,7 +6,6 @@ open Ujam_engine
 let dep_note =
   "dependence-based reuse is a coarser approximation than the UGS tables"
 
-let copies u = Ujam_linalg.Vec.fold (fun acc x -> acc * (x + 1)) 1 u
 
 let check ?(bound = 4) ?(max_loops = 2) ?(eps = 1e-6) ~machine nest =
   let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
@@ -16,8 +15,9 @@ let check ?(bound = 4) ?(max_loops = 2) ?(eps = 1e-6) ~machine nest =
      of the measured objective, and both exhaustive reference choices. *)
   let sweep =
     lazy
-      (Unroll_space.vectors space
-      |> List.map (fun u -> (u, Bruteforce.metrics ~machine nest u)))
+      (List.rev
+         (Unroll_space.fold space [] (fun acc u ->
+              (u, Bruteforce.metrics ~machine nest u) :: acc)))
   in
   (* Measured objective of a candidate: materialize, recount, evaluate.
      A register-infeasible choice is infinitely bad — the search is
@@ -53,7 +53,7 @@ let check ?(bound = 4) ?(max_loops = 2) ?(eps = 1e-6) ~machine nest =
                 let wins =
                   if c <> 0 then c < 0
                   else
-                    let c = compare (copies u) (copies bu) in
+                    let c = compare (Unroll_space.copies u) (Unroll_space.copies bu) in
                     if c <> 0 then c < 0 else Ujam_linalg.Vec.compare u bu < 0
                 in
                 if wins then Some (u, o) else best)

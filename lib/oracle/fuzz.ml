@@ -29,6 +29,7 @@ type config = {
   domains : int;
   layers : layer list;
   shrink : bool;
+  deep : bool;  (** deep-space mode: 4-deep generator nests admitted *)
 }
 
 let default_config ?(machine = Presets.alpha) () =
@@ -40,7 +41,8 @@ let default_config ?(machine = Presets.alpha) () =
     machine;
     domains = 1;
     layers = all_layers;
-    shrink = true }
+    shrink = true;
+    deep = false }
 
 type failure = {
   routine : string;
@@ -157,7 +159,7 @@ let run ?perturb cfg =
   let count = ref 0 and idx = ref 0 and skipped_depth = ref 0 in
   let max_draws = (cfg.n * 8) + 16 in
   while !count < cfg.n && !idx < max_draws do
-    let r = Generator.routine ~stats st !idx in
+    let r = Generator.routine ~deep:cfg.deep ~stats st !idx in
     incr idx;
     List.iter
       (fun nest ->
@@ -212,9 +214,10 @@ let ok r = r.unexplained = 0 && List.for_all (fun f -> f.error = None) r.failure
 let pp ppf r =
   let c = r.config in
   Format.fprintf ppf
-    "differential oracle: seed=%d machine=%s bound=%d depth<=%d layers=%s@."
+    "differential oracle: seed=%d machine=%s bound=%d depth<=%d layers=%s%s@."
     c.seed c.machine.Machine.name c.bound c.max_depth
-    (String.concat "," (List.map layer_name c.layers));
+    (String.concat "," (List.map layer_name c.layers))
+    (if c.deep then " deep-space" else "");
   Format.fprintf ppf
     "nests: %d checked (%d routines, %d draws, %d out-of-class re-rolls, %d over depth limit)@."
     r.nests r.routines r.draws r.rejected r.skipped_depth;
@@ -281,6 +284,7 @@ let to_json r =
       ("machine", Json.Str c.machine.Machine.name);
       ("bound", Json.Int c.bound);
       ("max_depth", Json.Int c.max_depth);
+      ("deep", Json.Bool c.deep);
       ( "layers",
         Json.List (List.map (fun l -> Json.Str (layer_name l)) c.layers) );
       ("nests", Json.Int r.nests);

@@ -27,11 +27,15 @@ type config = {
   domains : int;
   layers : layer list;
   shrink : bool;
+  deep : bool;
+      (** deep-space mode: the generator also draws 4-deep nests;
+          combine with a raised [bound]/[max_depth] (the CLI's
+          [--deep-space] sets bound >= 8, max_depth >= 4) *)
 }
 
 val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
 (** n 200, seed 1997, max_depth 3, bound 4, max_loops 2, machine alpha,
-    domains 1, all layers, shrinking on. *)
+    domains 1, all layers, shrinking on, deep-space off. *)
 
 type failure = {
   routine : string;

@@ -22,12 +22,12 @@ let check ?(bound = 4) ?(max_loops = 2) ?(candidates = 4) ?(rel_tol = 0.5)
       let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
       let bal = Analysis_ctx.balance ctx in
       let space = Analysis_ctx.space ctx in
-      let copies u = Ujam_linalg.Vec.fold (fun acc x -> acc * (x + 1)) 1 u in
-      let rate u = Balance.misses bal u /. float_of_int (copies u) in
+      let rate u =
+        Balance.misses bal u /. float_of_int (Unroll_space.copies u)
+      in
       let ranked =
-        Unroll_space.vectors space
-        |> List.filter (Unroll.divides nest)
-        |> List.map (fun u -> (u, rate u))
+        Unroll_space.fold space [] (fun acc u ->
+            if Unroll.divides nest u then (u, rate u) :: acc else acc)
         |> List.sort (fun (ua, ra) (ub, rb) ->
                let c = Float.compare ra rb in
                if c <> 0 then c else Ujam_linalg.Vec.compare ua ub)
@@ -45,7 +45,7 @@ let check ?(bound = 4) ?(max_loops = 2) ?(candidates = 4) ?(rel_tol = 0.5)
               let unrolled = Unroll.unroll_and_jam nest u in
               let plan = Scalar_replace.plan unrolled in
               let accesses =
-                iterations / copies u * List.length plan.Scalar_replace.kept
+                iterations / Unroll_space.copies u * List.length plan.Scalar_replace.kept
               in
               if accesses > max_accesses then None
               else

@@ -264,8 +264,14 @@ let supported_nest ?stats st ~idx gen =
   in
   attempt 0
 
-let routine ?stats st idx =
-  let depth = weighted st [ (20, 1); (52, 2); (28, 3) ] in
+let routine ?(deep = false) ?stats st idx =
+  (* [deep] widens the depth distribution to 4-deep nests for the
+     oracle's deep-space mode; the default draw sequence is untouched
+     (pinned corpora depend on it). *)
+  let depth =
+    if deep then weighted st [ (12, 1); (36, 2); (32, 3); (20, 4) ]
+    else weighted st [ (20, 1); (52, 2); (28, 3) ]
+  in
   let kind =
     weighted st
       [ (44, `Streaming); (5, `Recurrence); (9, `Light); (15, `Stencil);

@@ -22,10 +22,13 @@ type stats = { mutable generated : int; mutable rejected : int }
 val stats : unit -> stats
 val rejection_rate : stats -> float
 
-val routine : ?stats:stats -> Random.State.t -> int -> routine
+val routine : ?deep:bool -> ?stats:stats -> Random.State.t -> int -> routine
 (** [routine st idx] generates one routine.  Emitted nests are always
     inside the supported class; out-of-class draws are re-rolled and
-    counted in [stats]. *)
+    counted in [stats].  [deep] (default false) widens the depth
+    distribution to include 4-deep nests — the oracle's deep-space
+    mode; leaving it off preserves the exact draw sequence the pinned
+    corpora depend on. *)
 
 val corpus : ?seed:int -> ?stats:stats -> count:int -> unit -> routine list
 (** [count] routines from the given [seed] (default 1997). *)

@@ -242,6 +242,27 @@ let prop_incremental_rrs_matches_streams =
             ok := false);
       !ok)
 
+let prop_summary_fn_matches_streams =
+  QCheck2.Test.make
+    ~name:"tables: summary closure == summarised stream construction" ~count:60
+    ~print:(fun (nest, space) ->
+      Printf.sprintf "%s\nbounds=%s" (Gen.nest_print nest)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (Unroll_space.bounds space)))))
+    (Gen.nest_and_space_gen ())
+    (fun (nest, space) ->
+      let d = Nest.depth nest in
+      let localized = innermost d in
+      let ok = ref true in
+      List.iter
+        (fun g ->
+          let fast = Streams.unrolled_summary_fn space ~localized g in
+          let slow = Streams.unrolled_fn space ~localized g in
+          Unroll_space.iter space (fun u ->
+              if fast u <> Streams.summarize (slow u) then ok := false))
+        (Ugs.of_nest nest);
+      !ok)
+
 let suite =
   [ Alcotest.test_case "paper Figure 1 example" `Quick test_paper_example;
     Alcotest.test_case "kernel directions collapse" `Quick test_invariant_direction;
@@ -253,6 +274,7 @@ let suite =
     Alcotest.test_case "paper Figure 6 example" `Quick test_rrs_paper_figure6;
     Alcotest.test_case "register spans" `Quick test_register_table_spans;
     Gen.to_alcotest prop_streams_match_materialization;
+    Gen.to_alcotest prop_summary_fn_matches_streams;
     Gen.to_alcotest prop_groups_match_materialization;
     Gen.to_alcotest prop_incremental_matches_exact;
     Gen.to_alcotest prop_incremental_rrs_matches_streams ]

@@ -73,6 +73,192 @@ let test_merge_add () =
   let c = Unroll_space.Table.merge_add a b in
   Alcotest.(check int) "pointwise sum" 3 (Unroll_space.Table.get c (v [ 1; 0 ]))
 
+(* ------------------------------------------------------------------ *)
+(* QCheck parity: random write/read programs executed against the sweep
+   engine and the per-cell [Reference] oracle must agree exactly, at
+   every cell, for both [get] and [prefix_sum].  Region corners range
+   one step outside the box on both sides to exercise the clamping. *)
+
+type op =
+  | Set of Vec.t * int
+  | Add of Vec.t * int
+  | Add_from of Vec.t * int
+  | Add_region of Vec.t * Vec.t option * int
+  | Add_cover of Vec.t list * int
+  | Read of Vec.t  (** forces a materialisation mid-program *)
+
+let vec_to_string u =
+  "["
+  ^ String.concat ";" (List.map string_of_int (Array.to_list (Vec.to_array u)))
+  ^ "]"
+
+let op_to_string = function
+  | Set (u, x) -> Printf.sprintf "set %s %d" (vec_to_string u) x
+  | Add (u, x) -> Printf.sprintf "add %s %d" (vec_to_string u) x
+  | Add_from (u, x) -> Printf.sprintf "add_from %s %d" (vec_to_string u) x
+  | Add_region (f, e, x) ->
+      Printf.sprintf "add_region %s %s %d" (vec_to_string f)
+        (match e with None -> "-" | Some e -> vec_to_string e)
+        x
+  | Add_cover (ps, x) ->
+      Printf.sprintf "add_cover [%s] %d"
+        (String.concat " " (List.map vec_to_string ps))
+        x
+  | Read u -> Printf.sprintf "read %s" (vec_to_string u)
+
+let program_to_string (space, init, ops) =
+  Printf.sprintf "bounds=%s init=%d\n%s"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Unroll_space.bounds space))))
+    init
+    (String.concat "\n" (List.map op_to_string ops))
+
+let space_gen =
+  let open QCheck2.Gen in
+  let* d = int_range 2 4 in
+  let* bs = flatten_l (List.init (d - 1) (fun _ -> int_range 0 3)) in
+  return (Unroll_space.make ~bounds:(Array.of_list (bs @ [ 0 ])))
+
+let program_gen =
+  let open QCheck2.Gen in
+  let* space = space_gen in
+  let bounds = Unroll_space.bounds space in
+  let axis_gen lo_pad hi_pad =
+    flatten_a (Array.map (fun b -> int_range (-lo_pad) (b + hi_pad)) bounds)
+  in
+  let in_space = map Vec.make (axis_gen 0 0) in
+  let near_space = map Vec.make (axis_gen 1 1) in
+  let delta = int_range (-3) 5 in
+  let op =
+    frequency
+      [ (2, map2 (fun u x -> Set (u, x)) in_space delta);
+        (2, map2 (fun u x -> Add (u, x)) in_space delta);
+        (4, map2 (fun u x -> Add_from (u, x)) near_space delta);
+        ( 4,
+          map3
+            (fun f e x -> Add_region (f, e, x))
+            near_space (option near_space) delta );
+        ( 3,
+          map2
+            (fun ps x -> Add_cover (ps, x))
+            (list_size (int_range 0 5) near_space)
+            delta );
+        (3, map (fun u -> Read u) in_space) ]
+  in
+  let* init = int_range (-2) 2 in
+  let* ops = list_size (int_range 1 20) op in
+  return (space, init, ops)
+
+let prop_table_parity =
+  QCheck2.Test.make
+    ~name:"unroll-space: sweep engine == per-cell reference (random programs)"
+    ~count:1000 ~print:program_to_string program_gen
+    (fun (space, init, ops) ->
+      let t = Unroll_space.Table.create space init in
+      let r = Unroll_space.Reference.create space init in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Set (u, x) ->
+              Unroll_space.Table.set t u x;
+              Unroll_space.Reference.set r u x
+          | Add (u, x) ->
+              Unroll_space.Table.add t u x;
+              Unroll_space.Reference.add r u x
+          | Add_from (u, x) ->
+              Unroll_space.Table.add_from t u x;
+              Unroll_space.Reference.add_from r u x
+          | Add_region (from_, excluding, x) ->
+              Unroll_space.Table.add_region t ~from_ ~excluding x;
+              Unroll_space.Reference.add_region r ~from_ ~excluding x
+          | Add_cover (ps, x) ->
+              Unroll_space.Table.add_cover t ps x;
+              Unroll_space.Reference.add_cover r ps x
+          | Read u ->
+              if
+                Unroll_space.Table.get t u <> Unroll_space.Reference.get r u
+                || Unroll_space.Table.prefix_sum t u
+                   <> Unroll_space.Reference.prefix_sum r u
+              then ok := false)
+        ops;
+      Unroll_space.iter space (fun u ->
+          if
+            Unroll_space.Table.get t u <> Unroll_space.Reference.get r u
+            || Unroll_space.Table.prefix_sum t u
+               <> Unroll_space.Reference.prefix_sum r u
+          then ok := false);
+      !ok)
+
+(* [iter_pruned] with an upward-closed predicate must visit exactly the
+   non-pruned cells, in lexicographic order, and account for every
+   skipped cell.  Monotone tables come from positive [add_from]s. *)
+let pruned_gen =
+  let open QCheck2.Gen in
+  let* space = space_gen in
+  let bounds = Unroll_space.bounds space in
+  let corner =
+    map Vec.make
+      (flatten_a (Array.map (fun b -> int_range (-1) (b + 1)) bounds))
+  in
+  let* ops = list_size (int_range 0 6) (pair corner (int_range 1 3)) in
+  let* threshold = int_range 0 8 in
+  return (space, ops, threshold)
+
+let prop_iter_pruned =
+  QCheck2.Test.make
+    ~name:"unroll-space: pruned iteration == monotone filter" ~count:500
+    ~print:(fun (space, ops, thr) ->
+      Printf.sprintf "bounds=%s thr=%d\n%s"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (Unroll_space.bounds space))))
+        thr
+        (String.concat "\n"
+           (List.map
+              (fun (lo, x) -> Printf.sprintf "add_from %s %d" (vec_to_string lo) x)
+              ops)))
+    pruned_gen
+    (fun (space, ops, thr) ->
+      let t = Unroll_space.Table.create space 0 in
+      List.iter (fun (lo, x) -> Unroll_space.Table.add_from t lo x) ops;
+      let visited = ref [] in
+      let pruned =
+        Unroll_space.iter_pruned space
+          ~prune:(fun u -> Unroll_space.Table.get t u > thr)
+          (fun u -> visited := u :: !visited)
+      in
+      let expected =
+        List.filter
+          (fun u -> Unroll_space.Table.get t u <= thr)
+          (Unroll_space.vectors space)
+      in
+      List.rev !visited = expected
+      && List.length expected + pruned = Unroll_space.card space)
+
+(* Pruning soundness end to end: on every catalogue kernel and both
+   machine presets the pruned search returns the choice of the
+   exhaustive scan, bit for bit. *)
+let test_search_prune_sound () =
+  List.iter
+    (fun (machine : Ujam_machine.Machine.t) ->
+      List.iter
+        (fun (e : Ujam_kernels.Catalogue.entry) ->
+          let nest = e.Ujam_kernels.Catalogue.build ~n:8 () in
+          let ctx = Analysis_ctx.create ~bound:4 ~machine nest in
+          let b = Analysis_ctx.balance ctx in
+          List.iter
+            (fun cache ->
+              let fast = Search.best ~prune:true ~cache b in
+              let slow = Search.best ~prune:false ~cache b in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s cache=%b"
+                   machine.Ujam_machine.Machine.name e.Ujam_kernels.Catalogue.name
+                   cache)
+                true (fast = slow))
+            [ true; false ])
+        Ujam_kernels.Catalogue.all)
+    [ Ujam_machine.Presets.alpha; Ujam_machine.Presets.hppa ]
+
 let suite =
   [ Alcotest.test_case "make" `Quick test_make;
     Alcotest.test_case "uniform" `Quick test_uniform;
@@ -80,4 +266,8 @@ let suite =
     Alcotest.test_case "table basics" `Quick test_table;
     Alcotest.test_case "table regions" `Quick test_table_regions;
     Alcotest.test_case "prefix sum" `Quick test_prefix_sum;
-    Alcotest.test_case "merge add" `Quick test_merge_add ]
+    Alcotest.test_case "merge add" `Quick test_merge_add;
+    Gen.to_alcotest prop_table_parity;
+    Gen.to_alcotest prop_iter_pruned;
+    Alcotest.test_case "search pruning sound (19 kernels x 2 machines)" `Quick
+      test_search_prune_sound ]
