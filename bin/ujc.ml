@@ -546,7 +546,8 @@ let fuzz_cmd =
         | "recount" -> Ok Fuzz.Recount
         | "sim" -> Ok Fuzz.Sim
         | "cross-model" | "cross" -> Ok Fuzz.Cross_model
-        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model)" s))
+        | "verify" -> Ok Fuzz.Verify
+        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model|verify)" s))
       in
       Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Fuzz.layer_name l))
     in
@@ -554,7 +555,7 @@ let fuzz_cmd =
       value
       & opt (list layer_conv) Fuzz.all_layers
       & info [ "layers" ] ~docv:"LAYERS"
-          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model).")
+          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify).")
   in
   let run n seed max_depth bound machine domains layers deep shrink json =
     let cfg =
@@ -579,6 +580,210 @@ let fuzz_cmd =
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
           $ machine_arg $ domains_arg $ layers_arg $ deep_flag $ shrink_flag
           $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis subcommands: lint / explain / dot take either a kernel name
+   or a loop-nest file in the Fortran-style syntax. *)
+
+type target_nest =
+  | T_nest of Ujam_ir.Nest.t
+  | T_parse_error of string * Ujam_ir.Parse.error
+
+let resolve_target s n =
+  if Sys.file_exists s && not (Sys.is_directory s) then
+    match
+      Ujam_ir.Parse.nest
+        ~name:(Filename.remove_extension (Filename.basename s))
+        (read_file s)
+    with
+    | Ok nest -> Some (T_nest nest)
+    | Error e -> Some (T_parse_error (s, e))
+  else
+    match Ujam_kernels.Catalogue.find s with
+    | Some e -> Some (T_nest (build e n))
+    | None -> (
+        match List.assoc_opt s Ujam_kernels.Extras.all with
+        | Some b ->
+            Some (T_nest (match n with Some n -> b ~n () | None -> b ()))
+        | None -> None)
+
+let require_target s n =
+  match resolve_target s n with
+  | Some (T_nest nest) -> nest
+  | Some (T_parse_error (path, e)) ->
+      Format.eprintf "%s: %a@." path Ujam_ir.Parse.pp_error e;
+      exit 1
+  | None ->
+      Format.eprintf "ujc: unknown kernel or file %S; see `ujc list'@." s;
+      exit 2
+
+let target_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"TARGET"
+        ~doc:"Kernel name from Table 2 or a loop-nest file (see `ujc show').")
+
+let lint_cmd =
+  let open Ujam_analysis in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Lint every Table-2 kernel.")
+  in
+  let fuzz_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N" ~doc:"Also lint $(docv) generated nests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1997 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:"Only report these rule ids (e.g. UJ005,UJ008).")
+  in
+  let run target all fuzz seed n machine bound json rules =
+    (match rules with
+    | None -> ()
+    | Some ids ->
+        List.iter
+          (fun id ->
+            if not (List.exists (fun (r, _, _) -> r = id) Lint.rules) then begin
+              Format.eprintf "ujc lint: unknown rule id %S (known: %s)@." id
+                (String.concat ", "
+                   (List.map (fun (r, _, _) -> r) Lint.rules));
+              exit 2
+            end)
+          ids);
+    let lint_nest nest =
+      (Ujam_ir.Nest.name nest, Lint.run ?rules ~bound ~machine nest)
+    in
+    let targeted =
+      match target with
+      | None -> []
+      | Some s -> (
+          match resolve_target s n with
+          | Some (T_nest nest) -> [ lint_nest nest ]
+          | Some (T_parse_error (path, e)) ->
+              [ (path, [ Lint.of_parse_error e ]) ]
+          | None ->
+              Format.eprintf
+                "ujc: unknown kernel or file %S; see `ujc list'@." s;
+              exit 2)
+    in
+    let catalogue =
+      if not all then []
+      else
+        List.map
+          (fun e -> lint_nest (build e n))
+          Ujam_kernels.Catalogue.all
+    in
+    let fuzzed =
+      if fuzz <= 0 then []
+      else
+        Ujam_workload.Generator.corpus ~seed ~count:fuzz ()
+        |> List.concat_map (fun r -> r.Ujam_workload.Generator.nests)
+        |> List.map lint_nest
+    in
+    let results = targeted @ catalogue @ fuzzed in
+    if results = [] then begin
+      Format.eprintf "ujc lint: missing TARGET (or pass --all / --fuzz N)@.";
+      exit 2
+    end;
+    let all_ds = List.concat_map snd results in
+    let errors, warnings, infos = Diagnostic.count all_ds in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("machine", Json.Str machine.Ujam_machine.Machine.name);
+                ("bound", Json.Int bound);
+                ( "nests",
+                  Json.List
+                    (List.map
+                       (fun (name, ds) ->
+                         Json.Obj
+                           [ ("nest", Json.Str name);
+                             ( "diagnostics",
+                               Json.List (List.map Diagnostic.to_json ds) ) ])
+                       results) );
+                ("errors", Json.Int errors);
+                ("warnings", Json.Int warnings);
+                ("infos", Json.Int infos);
+                ("ok", Json.Bool (errors = 0)) ]))
+    else begin
+      List.iter
+        (fun (_, ds) ->
+          List.iter
+            (fun d -> Format.printf "@[<v>%a@]@." Diagnostic.pp d)
+            ds)
+        results;
+      Format.printf "lint: %d nest%s, %d error%s, %d warning%s, %d info%s@."
+        (List.length results)
+        (if List.length results = 1 then "" else "s")
+        errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+        infos
+        (if infos = 1 then "" else "s")
+    end;
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the rule-based static analyzer over a kernel, a loop-nest              file, the whole catalogue ($(b,--all)), or generated nests              ($(b,--fuzz)); exit 1 on any Error-severity diagnostic.")
+    Term.(const run $ target_arg $ all_flag $ fuzz_arg $ seed_arg $ size_arg
+          $ machine_arg $ bound_arg $ json_arg $ rules_arg)
+
+let explain_cmd =
+  let open Ujam_analysis in
+  let target_req =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Kernel name from Table 2 or a loop-nest file.")
+  in
+  let run target n machine bound json =
+    let nest = require_target target n in
+    let e = Explain.run ~bound ~machine nest in
+    if json then print_endline (Json.to_string (Explain.to_json e))
+    else Format.printf "%a@." Explain.pp e
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain which selection path applies to a nest and why: the              supported-class verdict, legality caps, search-box clamping,              the monotonicity guard, and what the cache term changed.")
+    Term.(const run $ target_req $ size_arg $ machine_arg $ bound_arg
+          $ json_arg)
+
+let dot_cmd =
+  let input_flag =
+    Arg.(
+      value & flag
+      & info [ "no-input" ]
+          ~doc:"Exclude input (read-read) dependences, as the UGS model does.")
+  in
+  let target_req =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Kernel name from Table 2 or a loop-nest file.")
+  in
+  let run target n no_input =
+    let nest = require_target target n in
+    let g = Ujam_depend.Graph.build ~include_input:(not no_input) nest in
+    print_string (Ujam_depend.Graph.to_dot g)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit a nest's dependence graph as Graphviz DOT (kernel name or              loop-nest file).")
+    Term.(const run $ target_req $ size_arg $ input_flag)
 
 (* ------------------------------------------------------------------ *)
 (* ujc trace: run any subcommand with the observability sink enabled
@@ -685,7 +890,7 @@ let () =
     Cmd.group info
       [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
         compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd;
-        trace_cmd ]
+        lint_cmd; explain_cmd; dot_cmd; trace_cmd ]
   in
   dispatch_ref := (fun argv -> Cmd.eval ~argv:(remap argv) group);
   exit (Cmd.eval ~argv:(remap Sys.argv) group)

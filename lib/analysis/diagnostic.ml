@@ -1,0 +1,81 @@
+open Ujam_ir
+module Json = Ujam_obs.Json
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+let make ~rule ~severity ?(loc = Loc.none) ?(notes = []) message =
+  { rule; severity; loc; message; notes }
+
+let is_error d = d.severity = Error
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else String.compare (Loc.to_string a.loc) (Loc.to_string b.loc)
+
+let pp ppf d =
+  if Loc.is_none d.loc then
+    Format.fprintf ppf "%s %s: %s" (severity_name d.severity) d.rule d.message
+  else
+    Format.fprintf ppf "%s %s %a: %s" (severity_name d.severity) d.rule Loc.pp
+      d.loc d.message;
+  List.iter
+    (fun (loc, note) ->
+      if Loc.is_none loc then Format.fprintf ppf "@,  note: %s" note
+      else Format.fprintf ppf "@,  note %a: %s" Loc.pp loc note)
+    d.notes
+
+let loc_to_json loc =
+  let fields =
+    (match loc.Loc.nest with
+    | Some n -> [ ("nest", Json.Str n) ]
+    | None -> [])
+    @ List.map (fun (k, v) -> (k, Json.Int v)) (Loc.to_fields loc)
+  in
+  Json.Obj fields
+
+let to_json d =
+  let base =
+    [ ("rule", Json.Str d.rule);
+      ("severity", Json.Str (severity_name d.severity));
+      ("loc", loc_to_json d.loc);
+      ("message", Json.Str d.message) ]
+  in
+  let notes =
+    if d.notes = [] then []
+    else
+      [ ( "notes",
+          Json.List
+            (List.map
+               (fun (loc, m) ->
+                 Json.Obj [ ("loc", loc_to_json loc); ("message", Json.Str m) ])
+               d.notes) ) ]
+  in
+  Json.Obj (base @ notes)

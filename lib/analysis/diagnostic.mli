@@ -1,0 +1,50 @@
+(** Located diagnostics with stable rule ids.
+
+    Every finding the analyzer produces — a lint rule firing, a failed
+    transformation post-condition, a parse failure surfaced through the
+    lint front end — is one of these: a stable rule id ([UJ001]...), a
+    severity, a structured {!Ujam_ir.Loc.t} location, a message, and
+    optional related notes (each itself located).  The id is the
+    contract: tools filter and suppress by id, the rule catalogue in
+    DESIGN.md section 10 documents them, and the JSON rendering is
+    pinned by the cram suite. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_rank : severity -> int
+(** For ordering: [Error] 0, [Warning] 1, [Info] 2. *)
+
+type t = {
+  rule : string;  (** stable id, e.g. ["UJ005"] *)
+  severity : severity;
+  loc : Ujam_ir.Loc.t;
+  message : string;
+  notes : (Ujam_ir.Loc.t * string) list;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  ?loc:Ujam_ir.Loc.t ->
+  ?notes:(Ujam_ir.Loc.t * string) list ->
+  string ->
+  t
+
+val is_error : t -> bool
+
+val count : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val compare : t -> t -> int
+(** Severity rank, then rule id, then location rendering — a
+    deterministic report order independent of rule execution order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per diagnostic ([severity id loc: message]) plus one
+    indented line per note. *)
+
+val to_json : t -> Ujam_obs.Json.t
+val loc_to_json : Ujam_ir.Loc.t -> Ujam_obs.Json.t

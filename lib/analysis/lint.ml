@@ -1,0 +1,249 @@
+open Ujam_ir
+open Ujam_core
+module Obs = Ujam_obs.Obs
+
+let rules =
+  [ ("UJ000", Diagnostic.Error, "parse failure");
+    ("UJ001", Diagnostic.Error, "malformed IR: level order, bound depth, empty body");
+    ("UJ002", Diagnostic.Warning, "loop with a non-positive constant trip count");
+    ("UJ003", Diagnostic.Error, "subscript depth differs from the nest depth");
+    ("UJ004", Diagnostic.Error, "non-unit loop step");
+    ("UJ005", Diagnostic.Error, "subscript coefficient above the supported bound");
+    ("UJ006", Diagnostic.Warning, "coupled (non-separable-SIV) subscripts");
+    ("UJ007", Diagnostic.Info, "dependences with unknown (*) components");
+    ("UJ008", Diagnostic.Warning, "search box clamped by the legality cap");
+    ("UJ009", Diagnostic.Warning, "chosen unroll vector overflows the register file");
+    ("UJ010", Diagnostic.Warning, "register table not monotone; search degraded");
+    ("UJ011", Diagnostic.Info, "no floating-point work; balance undefined");
+    ("UJ020", Diagnostic.Error, "unroll-and-jam changed the access multiset");
+    ("UJ021", Diagnostic.Error, "interchange changed the access multiset");
+    ("UJ022", Diagnostic.Error, "tiling changed the access multiset") ]
+
+let error = Diagnostic.Error
+let warning = Diagnostic.Warning
+let info = Diagnostic.Info
+let diag ~rule ~severity ?loc ?notes fmt =
+  Format.kasprintf (fun m -> Diagnostic.make ~rule ~severity ?loc ?notes m) fmt
+
+let of_parse_error (e : Parse.error) =
+  Diagnostic.make ~rule:"UJ000" ~severity:error ~loc:e.Parse.loc e.Parse.message
+
+(* ---- structure phase --------------------------------------------------- *)
+
+let rule_structure nest =
+  let name = Nest.name nest in
+  let d = Nest.depth nest in
+  let ds = ref [] in
+  let emit x = ds := x :: !ds in
+  Array.iteri
+    (fun k (l : Loop.t) ->
+      if l.Loop.level <> k then
+        emit
+          (diag ~rule:"UJ001" ~severity:error ~loc:(Loc.level ~nest:name k)
+             "loop %s records level %d but sits at position %d" l.Loop.var
+             l.Loop.level k);
+      if Affine.depth l.Loop.lo <> d || Affine.depth l.Loop.hi <> d then
+        emit
+          (diag ~rule:"UJ001" ~severity:error ~loc:(Loc.level ~nest:name k)
+             "loop %s: bound expressions have depth %d/%d, nest depth %d"
+             l.Loop.var (Affine.depth l.Loop.lo) (Affine.depth l.Loop.hi) d))
+    (Nest.loops nest);
+  if Nest.body nest = [] then
+    emit
+      (diag ~rule:"UJ001" ~severity:error ~loc:(Loc.nest name)
+         "nest has an empty body");
+  List.rev !ds
+
+let rule_trip nest =
+  let name = Nest.name nest in
+  Array.to_list (Nest.loops nest)
+  |> List.filter_map (fun (l : Loop.t) ->
+         match Loop.trip_const l with
+         | Some t when t < 1 ->
+             Some
+               (diag ~rule:"UJ002" ~severity:warning
+                  ~loc:(Loc.level ~nest:name l.Loop.level)
+                  "loop %s runs %d iterations; the nest body is dead" l.Loop.var
+                  t)
+         | _ -> None)
+
+let rule_subscript_depth nest =
+  let name = Nest.name nest in
+  let d = Nest.depth nest in
+  List.filter_map
+    (fun (s : Site.t) ->
+      if Aref.depth s.Site.ref_ <> d then
+        Some
+          (diag ~rule:"UJ003" ~severity:error
+             ~loc:(Loc.stmt ~nest:name ~site:s.Site.id s.Site.stmt)
+             "%s subscripts range over %d loops, nest depth %d"
+             (Aref.base s.Site.ref_) (Aref.depth s.Site.ref_) d)
+      else None)
+    (Site.of_nest nest)
+
+let rule_supported nest =
+  let name = Nest.name nest in
+  let steps =
+    Array.to_list (Nest.loops nest)
+    |> List.filter_map (fun (l : Loop.t) ->
+           if l.Loop.step <> 1 then
+             Some
+               (diag ~rule:"UJ004" ~severity:error
+                  ~loc:(Loc.level ~nest:name l.Loop.level)
+                  "loop %s has step %d; the supported class is unit-step"
+                  l.Loop.var l.Loop.step)
+           else None)
+  in
+  let coefs =
+    List.concat_map
+      (fun (s : Site.t) ->
+        let (r : Aref.t) = s.Site.ref_ in
+        List.concat
+          (List.init (Aref.rank r) (fun i ->
+               let sub = r.Aref.subs.(i) in
+               Array.to_list sub.Affine.coefs
+               |> List.filteri (fun _ c -> abs c > Supported.max_coefficient)
+               |> List.map (fun c ->
+                      diag ~rule:"UJ005" ~severity:error
+                        ~loc:(Loc.stmt ~nest:name ~site:s.Site.id s.Site.stmt)
+                        "%s: subscript %d uses coefficient %d (supported class \
+                         allows |a| <= %d)"
+                        (Aref.base r) i c Supported.max_coefficient))))
+      (Site.of_nest nest)
+  in
+  steps @ coefs
+
+let rule_coupled nest =
+  let name = Nest.name nest in
+  List.filter_map
+    (fun (s : Site.t) ->
+      if not (Aref.is_separable_siv s.Site.ref_) then
+        Some
+          (diag ~rule:"UJ006" ~severity:warning
+             ~loc:(Loc.stmt ~nest:name ~site:s.Site.id s.Site.stmt)
+             "%s has coupled subscripts; dependence distances may be \
+              inconsistent (*) and over-constrain legality"
+             (Aref.base s.Site.ref_))
+      else None)
+    (Site.of_nest nest)
+
+let rule_flops nest =
+  if Nest.body nest <> [] && Nest.flops_per_iteration nest = 0 then
+    [ diag ~rule:"UJ011" ~severity:info ~loc:(Loc.nest (Nest.name nest))
+        "no floating-point work: loop balance is undefined and unroll-and-jam \
+         has nothing to improve" ]
+  else []
+
+let structure_phase nest =
+  rule_structure nest @ rule_trip nest @ rule_subscript_depth nest
+  @ rule_supported nest @ rule_coupled nest @ rule_flops nest
+
+let check_supported = rule_supported
+
+(* ---- analysis phase ---------------------------------------------------- *)
+
+let rule_star ctx =
+  let g = Analysis_ctx.graph ctx in
+  let star =
+    List.filter
+      (fun (e : Ujam_depend.Graph.edge) ->
+        Array.exists (fun c -> c = Ujam_depend.Depvec.Star) e.Ujam_depend.Graph.dvec)
+      g.Ujam_depend.Graph.edges
+  in
+  if star = [] then []
+  else
+    let arrays =
+      List.sort_uniq String.compare
+        (List.map
+           (fun (e : Ujam_depend.Graph.edge) ->
+             Aref.base e.Ujam_depend.Graph.src.Site.ref_)
+           star)
+    in
+    [ diag ~rule:"UJ007" ~severity:info
+        ~loc:(Loc.nest (Nest.name (Analysis_ctx.nest ctx)))
+        "%d dependence%s on %s carr%s unknown (*) components; legality uses \
+         direction information only"
+        (List.length star)
+        (if List.length star = 1 then "" else "s")
+        (String.concat ", " arrays)
+        (if List.length star = 1 then "ies" else "y") ]
+
+let rule_clamped ctx =
+  let nest = Analysis_ctx.nest ctx in
+  let name = Nest.name nest in
+  let bound = Analysis_ctx.bound ctx in
+  let safety = Analysis_ctx.safety ctx in
+  List.filter_map
+    (fun level ->
+      if safety.(level) < bound then
+        Some
+          (diag ~rule:"UJ008" ~severity:warning ~loc:(Loc.level ~nest:name level)
+             "search box at loop %s clamped to %d extra cop%s (requested %d) \
+              by a carried dependence"
+             (Nest.var_name nest level) safety.(level)
+             (if safety.(level) = 1 then "y" else "ies")
+             bound)
+      else None)
+    (Analysis_ctx.unroll_levels ctx)
+
+(* The guarded search, shared by UJ009/UJ010 so it runs once. *)
+let guarded_search ctx =
+  Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+      Monotone.search ~cache:true (Analysis_ctx.balance ctx))
+
+let rule_search ctx (choice, violation) =
+  let nest = Analysis_ctx.nest ctx in
+  let name = Nest.name nest in
+  let machine = Analysis_ctx.machine ctx in
+  let pressure =
+    if choice.Search.registers > machine.Ujam_machine.Machine.fp_registers then
+      [ diag ~rule:"UJ009" ~severity:warning ~loc:(Loc.nest name)
+          "chosen unroll vector %s wants %d floating-point registers; %s has \
+           %d — scalar replacement will spill"
+          (Ujam_linalg.Vec.to_string choice.Search.u)
+          choice.Search.registers machine.Ujam_machine.Machine.name
+          machine.Ujam_machine.Machine.fp_registers ]
+    else []
+  in
+  let monotone =
+    match violation with
+    | None -> []
+    | Some v -> [ Monotone.diagnostic ~nest:name v ]
+  in
+  pressure @ monotone
+
+let analysis_phase ctx =
+  rule_star ctx @ rule_clamped ctx @ rule_search ctx (guarded_search ctx)
+
+(* ---- driver ------------------------------------------------------------ *)
+
+let finish ?rules:selected ds =
+  let ds =
+    match selected with
+    | None -> ds
+    | Some ids -> List.filter (fun (d : Diagnostic.t) -> List.mem d.Diagnostic.rule ids) ds
+  in
+  if Obs.enabled () then
+    List.iter
+      (fun (d : Diagnostic.t) ->
+        Obs.Counter.incr (Obs.counter ("lint.rule." ^ d.Diagnostic.rule)))
+      ds;
+  List.stable_sort Diagnostic.compare ds
+
+let run_ctx ?rules ctx =
+  let structure = structure_phase (Analysis_ctx.nest ctx) in
+  let ds =
+    if List.exists Diagnostic.is_error structure then structure
+    else structure @ analysis_phase ctx
+  in
+  finish ?rules ds
+
+let run ?rules ?bound ?max_loops ~machine nest =
+  let structure = structure_phase nest in
+  let ds =
+    if List.exists Diagnostic.is_error structure then structure
+    else
+      let ctx = Analysis_ctx.create ?bound ?max_loops ~machine nest in
+      structure @ analysis_phase ctx
+  in
+  finish ?rules ds

@@ -1,0 +1,42 @@
+open Ujam_linalg
+open Ujam_core
+module Obs = Ujam_obs.Obs
+
+let m_checks = Obs.counter "analysis.monotone.checks"
+let m_degraded = Obs.counter "analysis.monotone.degraded"
+
+type violation = { u : Vec.t; axis : int; below : int; at : int }
+
+let check space f =
+  let found = ref None in
+  Unroll_space.iter space (fun u ->
+      if !found = None then
+        let d = Vec.dim u in
+        let at = f u in
+        for k = 0 to d - 1 do
+          if !found = None && Vec.get u k > 0 then begin
+            let below = f (Vec.set u k (Vec.get u k - 1)) in
+            if at < below then found := Some { u; axis = k; below; at }
+          end
+        done);
+  !found
+
+let check_registers b =
+  if Obs.enabled () then Obs.Counter.incr m_checks;
+  check (Balance.space b) (Balance.registers b)
+
+let diagnostic ~nest v =
+  Diagnostic.make ~rule:"UJ010" ~severity:Diagnostic.Warning
+    ~loc:(Ujam_ir.Loc.nest nest)
+    (Printf.sprintf
+       "register table is not pointwise non-decreasing: R%s = %d < R at the \
+        cell below along axis %d (%d); pruned search is unsound here — \
+        degraded to the exhaustive scan"
+       (Vec.to_string v.u) v.at v.axis v.below)
+
+let search ~cache b =
+  match check_registers b with
+  | None -> (Search.best ~prune:true ~cache b, None)
+  | Some v ->
+      if Obs.enabled () then Obs.Counter.incr m_degraded;
+      (Search.best ~prune:false ~cache b, Some v)

@@ -1,0 +1,39 @@
+(** Register-table monotonicity: the soundness guard behind the pruned
+    search.
+
+    [Search.best] prunes the upward box above any vector whose register
+    count exceeds the register file.  That is sound exactly when [R] is
+    pointwise non-decreasing over the unroll space — an invariant the
+    sweep-based table engine is supposed to deliver but that nothing
+    checked at the point of use.  [check] certifies it in O(d·|U|)
+    integer table lookups (compare each cell against its predecessor
+    along every axis); [search] is the guarded entry point: pruned on a
+    certified table, degraded to the exhaustive scan (with the
+    violation reported as a [UJ010] warning) otherwise, so a broken
+    table costs wall-clock time instead of returning a wrong vector. *)
+
+open Ujam_linalg
+open Ujam_core
+
+type violation = {
+  u : Vec.t;      (** the cell where monotonicity breaks *)
+  axis : int;     (** the axis along which it breaks *)
+  below : int;    (** value at [u - e_axis] *)
+  at : int;       (** value at [u]; [at < below] *)
+}
+
+val check : Unroll_space.t -> (Vec.t -> int) -> violation option
+(** First violation in lexicographic cell order (axes scanned in
+    order), or [None] when [f] is pointwise non-decreasing. *)
+
+val check_registers : Balance.t -> violation option
+(** [check] on the prepared register table. *)
+
+val diagnostic : nest:string -> violation -> Diagnostic.t
+(** The [UJ010] warning describing the violation and the degradation. *)
+
+val search : cache:bool -> Balance.t -> Search.choice * violation option
+(** Guarded unroll search: [Search.best ~prune:true] when the register
+    table certifies monotone, [Search.best ~prune:false] (plus the
+    violation) when it does not.  Either way the returned choice is the
+    true optimum of the table contents. *)

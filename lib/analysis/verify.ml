@@ -1,0 +1,254 @@
+open Ujam_ir
+open Ujam_linalg
+
+(* ---- shared helpers --------------------------------------------------- *)
+
+(* A reference with its access kind; multisets are compared per kind so
+   a read turning into a write cannot cancel out. *)
+let tagged_refs nest =
+  List.map
+    (fun (r, k) -> ((if k = `Write then 1 else 0), r))
+    (Nest.refs nest)
+
+let sort_refs rs =
+  List.sort
+    (fun (ka, a) (kb, b) ->
+      let c = Int.compare ka kb in
+      if c <> 0 then c else Aref.compare a b)
+    rs
+
+let pp_ref nest (kind, r) =
+  Format.asprintf "%s %a"
+    (if kind = 1 then "write" else "read")
+    (Aref.pp ~var_name:(Nest.var_name nest))
+    r
+
+(* Multiset difference: elements of [a] not matched in [b] (both sorted). *)
+let rec unmatched a b =
+  match (a, b) with
+  | [], _ -> []
+  | rest, [] -> rest
+  | x :: xs, y :: ys ->
+      let c =
+        let (kx, rx), (ky, ry) = (x, y) in
+        let c = Int.compare kx ky in
+        if c <> 0 then c else Aref.compare rx ry
+      in
+      if c = 0 then unmatched xs ys
+      else if c < 0 then x :: unmatched xs (y :: ys)
+      else unmatched (x :: xs) ys
+
+let fail ~rule ~nest ?(notes = []) fmt =
+  Format.kasprintf
+    (fun message ->
+      [ Diagnostic.make ~rule ~severity:Diagnostic.Error
+          ~loc:(Loc.nest (Nest.name nest)) ~notes message ])
+    fmt
+
+(* Compare transformed refs (mapped back into the original index space
+   by [map_back]) against an expected multiset over the original space. *)
+let check_multisets ~rule ~pp_nest ~label original_refs mapped =
+  let expected = sort_refs original_refs in
+  let actual = sort_refs mapped in
+  if List.equal (fun (ka, a) (kb, b) -> ka = kb && Aref.equal a b) expected actual
+  then []
+  else begin
+    let missing = unmatched expected actual
+    and extra = unmatched actual expected in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let notes =
+      List.map
+        (fun r -> (Loc.none, "missing " ^ pp_ref pp_nest r))
+        (take 3 missing)
+      @ List.map
+          (fun r -> (Loc.none, "unexpected " ^ pp_ref pp_nest r))
+          (take 3 extra)
+    in
+    fail ~rule ~nest:pp_nest ~notes
+      "%s does not preserve the per-array access multiset (%d expected, %d \
+       found; %d missing, %d unexpected)"
+      label (List.length expected) (List.length actual) (List.length missing)
+      (List.length extra)
+  end
+
+(* ---- unroll-and-jam --------------------------------------------------- *)
+
+let unroll ~original ~u transformed =
+  let rule = "UJ020" in
+  let d = Nest.depth original in
+  if Vec.dim u <> d then
+    fail ~rule ~nest:original "unroll vector has dimension %d, nest depth %d"
+      (Vec.dim u) d
+  else if Nest.depth transformed <> d then
+    fail ~rule ~nest:original
+      "unroll-and-jam changed the nest depth (%d -> %d)" d
+      (Nest.depth transformed)
+  else begin
+    let orig_loops = Nest.loops original and tr_loops = Nest.loops transformed in
+    let loop_problems =
+      List.concat
+        (List.init d (fun k ->
+             let o = orig_loops.(k) and t = tr_loops.(k) in
+             let want_step = o.Loop.step * (Vec.get u k + 1) in
+             if t.Loop.var <> o.Loop.var then
+               fail ~rule ~nest:original
+                 "loop %d renamed (%s -> %s) by unroll-and-jam" k o.Loop.var
+                 t.Loop.var
+             else if t.Loop.step <> want_step then
+               fail ~rule ~nest:original
+                 "loop %s: step %d after unrolling by %d copies (expected %d)"
+                 o.Loop.var t.Loop.step (Vec.get u k + 1) want_step
+             else if
+               not
+                 (Affine.equal t.Loop.lo o.Loop.lo
+                 && Affine.equal t.Loop.hi o.Loop.hi)
+             then
+               fail ~rule ~nest:original
+                 "loop %s: bounds changed by unroll-and-jam" o.Loop.var
+             else []))
+    in
+    if loop_problems <> [] then loop_problems
+    else begin
+      let copies = Ujam_core.Unroll_space.copies u in
+      let body_n = List.length (Nest.body original) in
+      if List.length (Nest.body transformed) <> copies * body_n then
+        fail ~rule ~nest:original
+          "body has %d statements after unrolling (expected %d copies x %d)"
+          (List.length (Nest.body transformed))
+          copies body_n
+      else begin
+        let expected =
+          List.concat_map
+            (fun o ->
+              let shift =
+                Array.init d (fun k -> Vec.get o k * orig_loops.(k).Loop.step)
+              in
+              List.map
+                (fun (kind, r) -> (kind, Aref.shift r shift))
+                (tagged_refs original))
+            (Unroll.offsets u)
+        in
+        check_multisets ~rule ~pp_nest:original ~label:"unroll-and-jam" expected
+          (tagged_refs transformed)
+      end
+    end
+  end
+
+(* ---- interchange ------------------------------------------------------ *)
+
+let interchange ~original ~perm transformed =
+  let rule = "UJ021" in
+  let d = Nest.depth original in
+  if Array.length perm <> d || Nest.depth transformed <> d then
+    fail ~rule ~nest:original
+      "permutation rank %d does not match nest depths (%d -> %d)"
+      (Array.length perm) d (Nest.depth transformed)
+  else begin
+    let orig_loops = Nest.loops original and tr_loops = Nest.loops transformed in
+    let renamed =
+      List.concat
+        (List.init d (fun k ->
+             let o = orig_loops.(perm.(k)) and t = tr_loops.(k) in
+             if t.Loop.var <> o.Loop.var || t.Loop.step <> o.Loop.step then
+               fail ~rule ~nest:original
+                 "new level %d should run loop %s (step %d); found %s (step %d)"
+                 k o.Loop.var o.Loop.step t.Loop.var t.Loop.step
+             else []))
+    in
+    if renamed <> [] then renamed
+    else begin
+      (* transformed coefs.(k) came from original coefs.(perm.(k)); undo *)
+      let unpermute (a : Affine.t) =
+        let coefs = Array.make d 0 in
+        Array.iteri (fun k old -> coefs.(old) <- a.Affine.coefs.(k)) perm;
+        Affine.make ~coefs ~const:a.Affine.const
+      in
+      let mapped =
+        List.map
+          (fun (kind, (r : Aref.t)) ->
+            (kind, { r with Aref.subs = Array.map unpermute r.Aref.subs }))
+          (tagged_refs transformed)
+      in
+      check_multisets ~rule ~pp_nest:original ~label:"interchange"
+        (tagged_refs original) mapped
+    end
+  end
+
+(* ---- tiling ----------------------------------------------------------- *)
+
+let tile ~original ~levels ~sizes transformed =
+  let rule = "UJ022" in
+  let d = Nest.depth original in
+  let m = List.length levels in
+  if List.length sizes <> m then
+    fail ~rule ~nest:original "levels and sizes do not pair up"
+  else if Nest.depth transformed <> d + m then
+    fail ~rule ~nest:original
+      "tiling %d levels should deepen the nest %d -> %d; found depth %d" m d
+      (d + m)
+      (Nest.depth transformed)
+  else begin
+    (* Controllers land first, in ascending original-level order; the
+       remaining positions run the original loops in order. *)
+    let pairs = List.sort compare (List.combine levels sizes) in
+    let orig_loops = Nest.loops original and tr_loops = Nest.loops transformed in
+    let ctrl_problems =
+      List.concat
+        (List.mapi
+           (fun i (level, size) ->
+             let o = orig_loops.(level) and t = tr_loops.(i) in
+             let want_var = Tile.controller_var o.Loop.var in
+             if t.Loop.var <> want_var then
+               fail ~rule ~nest:original
+                 "controller %d should be %s; found %s" i want_var t.Loop.var
+             else if t.Loop.step <> size * o.Loop.step then
+               fail ~rule ~nest:original
+                 "controller %s: step %d (expected tile size %d x step %d)"
+                 t.Loop.var t.Loop.step size o.Loop.step
+             else [])
+           pairs)
+    in
+    let elt_problems =
+      List.concat
+        (List.init d (fun j ->
+             let o = orig_loops.(j) and t = tr_loops.(m + j) in
+             if t.Loop.var <> o.Loop.var || t.Loop.step <> o.Loop.step then
+               fail ~rule ~nest:original
+                 "level %d should still run loop %s (step %d); found %s (step \
+                  %d)"
+                 (m + j) o.Loop.var o.Loop.step t.Loop.var t.Loop.step
+             else []))
+    in
+    if ctrl_problems <> [] || elt_problems <> [] then
+      ctrl_problems @ elt_problems
+    else begin
+      (* Subscripts must ignore the controllers; dropping the controller
+         dimensions recovers the original index space. *)
+      let bad_ctrl = ref [] in
+      let project (a : Affine.t) =
+        Array.iteri
+          (fun k c ->
+            if k < m && c <> 0 && not (List.mem k !bad_ctrl) then
+              bad_ctrl := k :: !bad_ctrl)
+          a.Affine.coefs;
+        Affine.make
+          ~coefs:(Array.init d (fun j -> a.Affine.coefs.(m + j)))
+          ~const:a.Affine.const
+      in
+      let mapped =
+        List.map
+          (fun (kind, (r : Aref.t)) ->
+            (kind, { r with Aref.subs = Array.map project r.Aref.subs }))
+          (tagged_refs transformed)
+      in
+      if !bad_ctrl <> [] then
+        fail ~rule ~nest:original
+          "a subscript references controller loop(s) %s — tiling must not \
+           change the accessed elements"
+          (String.concat ","
+             (List.map string_of_int (List.sort compare !bad_ctrl)))
+      else
+        check_multisets ~rule ~pp_nest:original ~label:"tiling"
+          (tagged_refs original) mapped
+    end
+  end

@@ -1,0 +1,31 @@
+(** Transformation post-condition verifiers.
+
+    Each verifier checks, symbolically (no interpretation, no
+    simulation), that a transformed nest preserves the per-array access
+    multisets of the original under the transformation's index map:
+
+    - {!unroll}: unroll-and-jam by [u] must multiply each step by
+      [u_k + 1], keep bounds, and replace the body by one shifted copy
+      per offset [0 <= o <= u] — so the transformed reference multiset
+      must equal the original's shifted by [o * step] for every offset.
+    - {!interchange}: permuting loops permutes subscript coefficient
+      columns and nothing else.
+    - {!tile}: controller loops must never appear in subscripts, and
+      deleting the controller dimensions must recover the original
+      multiset exactly.
+
+    A verified transform is the Huang–Meyer unrolling post-condition
+    made checkable: the paper's tables predict counts *without*
+    materialising code, and these checks certify that the code that
+    eventually is materialised agrees with the model's index algebra.
+    Failures are [UJ020]/[UJ021]/[UJ022] Error diagnostics; an empty
+    list means verified. *)
+
+open Ujam_ir
+
+val unroll : original:Nest.t -> u:Ujam_linalg.Vec.t -> Nest.t -> Diagnostic.t list
+val interchange : original:Nest.t -> perm:int array -> Nest.t -> Diagnostic.t list
+
+val tile :
+  original:Nest.t -> levels:int list -> sizes:int list -> Nest.t -> Diagnostic.t list
+(** [levels]/[sizes] as given to {!Ujam_ir.Tile.tile}. *)

@@ -80,6 +80,14 @@ let prepare ?(domains = 1) ?groups ~machine space nest =
 let space t = t.space
 let machine t = t.machine
 
+(* Fault-injection hook for the monotonicity-guard tests: rebuild the
+   register table pointwise through [f].  Everything else is shared. *)
+let map_registers t f =
+  let reg = Unroll_space.Table.create t.space 0 in
+  Unroll_space.iter t.space (fun u ->
+      Unroll_space.Table.set reg u (f u (Unroll_space.Table.get t.reg_table u)));
+  { t with reg_table = reg }
+
 let flops t u = t.flops_body * Unroll_space.copies u
 let memory_ops t u = Unroll_space.Table.get t.mem_table u
 let registers t u = Unroll_space.Table.get t.reg_table u

@@ -30,6 +30,11 @@ val prepare :
 val space : t -> Unroll_space.t
 val machine : t -> Ujam_machine.Machine.t
 
+val map_registers : t -> (Ujam_linalg.Vec.t -> int -> int) -> t
+(** [map_registers t f] rebuilds the register table with [f u r] at
+    every cell, sharing all other tables — a fault-injection hook for
+    the analyzer's monotonicity guard and the differential oracle. *)
+
 val flops : t -> Vec.t -> int
 (** [V_F(u)]: floating-point operations per unrolled iteration. *)
 

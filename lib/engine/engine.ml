@@ -2,6 +2,7 @@ open Ujam_linalg
 open Ujam_ir
 open Ujam_core
 module Obs = Ujam_obs.Obs
+module Diagnostic = Ujam_analysis.Diagnostic
 
 (* Engine metrics: no-ops until the observability sink is enabled. *)
 let m_nests_ok = Obs.counter "engine.nests.ok"
@@ -26,6 +27,7 @@ type nest_report = {
   memory_ops : int;
   flops : int;
   speedup : float;
+  diagnostics : Diagnostic.t list;
 }
 
 type nest_outcome = (nest_report, Error.t) result
@@ -62,7 +64,21 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
     let result =
       let* _safety = guard Error.Graph (fun () -> Analysis_ctx.safety ctx) in
       let* balance = guard Error.Tables (fun () -> Analysis_ctx.balance ctx) in
-      let* choice = guard Error.Search (fun () -> M.analyze ctx) in
+      (* Monotonicity guard: strategies that prune the search box rely
+         on the register table being pointwise non-decreasing.  Certify
+         it (O(d*|U|) lookups); on failure degrade that strategy to the
+         exhaustive scan and surface the violation as a UJ010 warning
+         instead of risking a wrong vector. *)
+      let* violation =
+        if M.prunes then
+          guard Error.Search (fun () ->
+              Ujam_analysis.Monotone.check_registers balance)
+        else Ok None
+      in
+      let* choice =
+        guard Error.Search (fun () ->
+            M.analyze ~exhaustive:(violation <> None) ctx)
+      in
       let* original =
         guard Error.Search (fun () ->
             Search.evaluate ~cache:M.cache balance (Vec.zero (Nest.depth nest)))
@@ -81,7 +97,12 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
           registers = choice.Search.registers;
           memory_ops = choice.Search.memory_ops;
           flops = choice.Search.flops;
-          speedup }
+          speedup;
+          diagnostics =
+            (match violation with
+            | Some v ->
+                [ Ujam_analysis.Monotone.diagnostic ~nest:(Nest.name nest) v ]
+            | None -> []) }
     in
     Option.iter (fun acc -> add_timings acc (Analysis_ctx.timings ctx)) into;
     if Obs.enabled () then begin
@@ -185,7 +206,10 @@ let pp_nest_outcome ppf = function
       Format.fprintf ppf
         "%s: u=%s balance %.3f->%.3f regs %d V_M %d V_F %d speedup %.2f"
         r.nest_name (Vec.to_string r.u) r.balance_before r.balance_after
-        r.registers r.memory_ops r.flops r.speedup
+        r.registers r.memory_ops r.flops r.speedup;
+      List.iter
+        (fun d -> Format.fprintf ppf "@,  %a" Diagnostic.pp d)
+        r.diagnostics
   | Error e -> Error.pp ppf e
 
 let pp_routine ppf r =
@@ -212,7 +236,7 @@ let to_string report = Format.asprintf "%a" pp report
 let nest_outcome_to_json = function
   | Ok r ->
       Json.Obj
-        [ ("nest", Json.Str r.nest_name);
+        ([ ("nest", Json.Str r.nest_name);
           ("model", Json.Str r.model);
           ("u", Json.of_vec r.u);
           ("balance_before", Json.Float r.balance_before);
@@ -222,13 +246,24 @@ let nest_outcome_to_json = function
           ("memory_ops", Json.Int r.memory_ops);
           ("flops", Json.Int r.flops);
           ("speedup", Json.Float r.speedup) ]
+         @
+         if r.diagnostics = [] then []
+         else
+           [ ( "diagnostics",
+               Json.List (List.map Diagnostic.to_json r.diagnostics) ) ])
   | Error e ->
       Json.Obj
         [ ("error",
            Json.Obj
-             [ ("stage", Json.Str (Error.stage_name e.Error.stage));
-               ("routine", Json.Str e.Error.routine);
-               ("message", Json.Str e.Error.message) ]) ]
+             ([ ("stage", Json.Str (Error.stage_name e.Error.stage));
+                ("routine", Json.Str e.Error.routine);
+                ("message", Json.Str e.Error.message) ]
+             @
+             if e.Error.diagnostics = [] then []
+             else
+               [ ( "diagnostics",
+                   Json.List
+                     (List.map Diagnostic.to_json e.Error.diagnostics) ) ])) ]
 
 let routine_to_json r =
   Json.Obj

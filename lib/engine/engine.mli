@@ -22,6 +22,10 @@ type nest_report = {
   memory_ops : int;
   flops : int;
   speedup : float;           (** modelled cycles before / after *)
+  diagnostics : Ujam_analysis.Diagnostic.t list;
+      (** analyzer findings attached to this nest (e.g. the [UJ010]
+          monotonicity-guard degradation); empty on a clean run and
+          omitted from {!pp}/JSON when empty *)
 }
 
 type nest_outcome = (nest_report, Error.t) result

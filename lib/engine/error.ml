@@ -1,10 +1,17 @@
 open Ujam_ir
+module Diagnostic = Ujam_analysis.Diagnostic
 
 type stage = Validate | Parse | Graph | Tables | Search | Transform | Sim
 
-type t = { stage : stage; routine : string; message : string }
+type t = {
+  stage : stage;
+  routine : string;
+  message : string;
+  diagnostics : Diagnostic.t list;
+}
 
-let make ~stage ~routine message = { stage; routine; message }
+let make ~stage ~routine ?(diagnostics = []) message =
+  { stage; routine; message; diagnostics }
 
 let stage_name = function
   | Validate -> "validate"
@@ -16,7 +23,11 @@ let stage_name = function
   | Sim -> "sim"
 
 let pp ppf e =
-  Format.fprintf ppf "ERROR [%s] %s: %s" (stage_name e.stage) e.routine e.message
+  Format.fprintf ppf "ERROR [%s] %s: %s" (stage_name e.stage) e.routine
+    e.message;
+  List.iter
+    (fun d -> Format.fprintf ppf "@,  %a" Diagnostic.pp d)
+    e.diagnostics
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -38,4 +49,8 @@ let max_coefficient = Supported.max_coefficient
 let check_supported ~routine nest =
   match Supported.check nest with
   | Ok () -> Ok ()
-  | Error message -> Error (make ~stage:Validate ~routine message)
+  | Error message ->
+      (* The boolean fence stays the source of truth; the lint rules
+         re-locate each violation (UJ004/UJ005) for the report. *)
+      let diagnostics = Ujam_analysis.Lint.check_supported nest in
+      Error (make ~stage:Validate ~routine ~diagnostics message)

@@ -17,11 +17,30 @@ type stage =
   | Transform  (** unroll-and-jam / scalar replacement *)
   | Sim        (** cache/CPU simulation *)
 
-type t = { stage : stage; routine : string; message : string }
+type t = {
+  stage : stage;
+  routine : string;
+  message : string;
+  diagnostics : Ujam_analysis.Diagnostic.t list;
+      (** located findings behind the failure (empty when the stage has
+          no rule coverage); rendered by {!pp} and the JSON emitters
+          only when non-empty *)
+}
 
-val make : stage:stage -> routine:string -> string -> t
+val make :
+  stage:stage ->
+  routine:string ->
+  ?diagnostics:Ujam_analysis.Diagnostic.t list ->
+  string ->
+  t
+
 val stage_name : stage -> string
+
 val pp : Format.formatter -> t -> unit
+(** One line for the error itself, plus one indented line per attached
+    diagnostic — callers printing multiple errors should wrap in a
+    vertical box. *)
+
 val to_string : t -> string
 
 val guard : stage:stage -> routine:string -> (unit -> 'a) -> ('a, t) result
@@ -35,4 +54,6 @@ val check_supported : routine:string -> Ujam_ir.Nest.t -> (unit, t) result
 (** Reject nests the reuse model does not cover (non-unit loop steps and
     subscript coefficients beyond {!max_coefficient}) with a typed
     [Validate] error; the class itself is defined by
-    {!Ujam_ir.Supported.check}. *)
+    {!Ujam_ir.Supported.check}, and every violation is attached as a
+    located [UJ004]/[UJ005] diagnostic
+    ({!Ujam_analysis.Lint.check_supported}). *)

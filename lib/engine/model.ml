@@ -8,7 +8,11 @@ module type MODEL = sig
   (** Whether the strategy's balance includes the cache-miss term (used
       to evaluate the original loop under the same objective). *)
 
-  val analyze : Analysis_ctx.t -> Search.choice
+  val prunes : bool
+  (** Whether [analyze] uses the pruned register-bound search, i.e.
+      depends on the register table being pointwise monotone. *)
+
+  val analyze : ?exhaustive:bool -> Analysis_ctx.t -> Search.choice
 end
 
 (* The dependence-based and brute-force baselines report their own
@@ -30,30 +34,33 @@ module Ugs_tables = struct
   let name = "ugs"
   let description = "UGS tables + balance search (the paper's model)"
   let cache = true
+  let prunes = true
 
-  let analyze ctx =
+  let analyze ?(exhaustive = false) ctx =
     let balance = Analysis_ctx.balance ctx in
     Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
-        Search.best ~cache balance)
+        Search.best ~prune:(not exhaustive) ~cache balance)
 end
 
 module No_cache = struct
   let name = "no-cache"
   let description = "UGS tables under the all-hits Carr-Kennedy balance"
   let cache = false
+  let prunes = true
 
-  let analyze ctx =
+  let analyze ?(exhaustive = false) ctx =
     let balance = Analysis_ctx.balance ctx in
     Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
-        Search.best ~cache balance)
+        Search.best ~prune:(not exhaustive) ~cache balance)
 end
 
 module Dep_based = struct
   let name = "dep"
   let description = "dependence-graph reuse model (Carr PACT'96 baseline)"
   let cache = true
+  let prunes = false
 
-  let analyze ctx =
+  let analyze ?exhaustive:_ ctx =
     let machine = Analysis_ctx.machine ctx in
     let space = Analysis_ctx.space ctx in
     let nest = Analysis_ctx.nest ctx in
@@ -66,8 +73,9 @@ module Brute_force = struct
   let name = "brute"
   let description = "materialise every unrolled body (Wolf-Maydan-Chen)"
   let cache = true
+  let prunes = false
 
-  let analyze ctx =
+  let analyze ?exhaustive:_ ctx =
     let machine = Analysis_ctx.machine ctx in
     let space = Analysis_ctx.space ctx in
     let nest = Analysis_ctx.nest ctx in

@@ -13,7 +13,17 @@ module type MODEL = sig
   val cache : bool
   (** Whether the strategy's balance includes the cache-miss term. *)
 
-  val analyze : Ujam_core.Analysis_ctx.t -> Ujam_core.Search.choice
+  val prunes : bool
+  (** Whether [analyze] relies on the pruned register-bound search —
+      i.e. on the register table being pointwise monotone.  The engine
+      runs {!Ujam_analysis.Monotone.check_registers} for exactly these
+      strategies and forces [~exhaustive:true] when the certificate
+      fails. *)
+
+  val analyze :
+    ?exhaustive:bool -> Ujam_core.Analysis_ctx.t -> Ujam_core.Search.choice
+  (** [exhaustive] (default false) forces the unpruned scan; meaningful
+      only when {!prunes}, ignored by the other strategies. *)
 end
 
 module Ugs_tables : MODEL

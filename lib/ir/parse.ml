@@ -1,10 +1,13 @@
-type error = { line : int; message : string }
+type error = { loc : Loc.t; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  if Loc.is_none e.loc then Format.pp_print_string ppf e.message
+  else Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
 
 exception Fail of error
 
-let fail line fmt = Format.kasprintf (fun message -> raise (Fail { line; message })) fmt
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Fail { loc = Loc.line line; message })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                               *)
@@ -336,8 +339,8 @@ let nest ?(name = "parsed") text =
     | [] -> ());
     Ok (Nest.make ~name ~loops ~body)
   with
-  | Fail e -> Error e
-  | Invalid_argument m -> Error { line = 0; message = m }
+  | Fail e -> Error { e with loc = Loc.with_nest e.loc name }
+  | Invalid_argument m -> Error { loc = Loc.nest name; message = m }
 
 let nest_exn ?name text =
   match nest ?name text with

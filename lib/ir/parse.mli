@@ -17,7 +17,11 @@
     unary minus and parentheses.  Case-insensitive keywords; [!] starts a
     comment.  Subscripts must be affine in the loop variables. *)
 
-type error = { line : int; message : string }
+type error = { loc : Loc.t; message : string }
+(** A located parse failure: [loc] carries the source line (and the
+    nest name when one was supplied), in the same {!Loc.t} shape the
+    static analyzer's diagnostics use, so front ends report parse
+    failures and lint findings uniformly. *)
 
 val nest : ?name:string -> string -> (Nest.t, error) result
 (** Parse a complete nest from a string. *)

@@ -1,6 +1,8 @@
 let max_coefficient = 2
 
-type violation = Bad_step of Loop.t | Bad_coefficient of Aref.t
+type violation =
+  | Bad_step of Loop.t
+  | Bad_coefficient of { site : Site.t; dim : int; coef : int }
 
 let find_violation nest =
   match
@@ -9,25 +11,37 @@ let find_violation nest =
   | Some l -> Some (Bad_step l)
   | None ->
       List.find_map
-        (fun ((r : Aref.t), _) ->
-          if
-            Array.exists
-              (fun (s : Affine.t) ->
-                Array.exists (fun c -> abs c > max_coefficient) s.Affine.coefs)
-              r.Aref.subs
-          then Some (Bad_coefficient r)
-          else None)
-        (Nest.refs nest)
+        (fun (s : Site.t) ->
+          let subs = s.Site.ref_.Aref.subs in
+          let bad = ref None in
+          Array.iteri
+            (fun dim (sub : Affine.t) ->
+              if !bad = None then
+                Array.iter
+                  (fun c ->
+                    if !bad = None && abs c > max_coefficient then
+                      bad := Some (Bad_coefficient { site = s; dim; coef = c }))
+                  sub.Affine.coefs)
+            subs;
+          !bad)
+        (Site.of_nest nest)
 
 let message nest = function
   | Bad_step l ->
       Printf.sprintf "%s: loop %s has step %d; only unit-step loops are modelled"
         (Nest.name nest) l.Loop.var l.Loop.step
-  | Bad_coefficient r ->
+  | Bad_coefficient { site; dim; coef } ->
       Printf.sprintf
-        "%s: subscript of %s has a coefficient beyond the modelled stride \
+        "%s: subscript %d of %s has coefficient %d beyond the modelled stride \
          range (|c| <= %d)"
-        (Nest.name nest) (Aref.base r) max_coefficient
+        (Nest.name nest) dim
+        (Aref.base site.Site.ref_)
+        coef max_coefficient
+
+let locate nest = function
+  | Bad_step l -> Loc.level ~nest:(Nest.name nest) l.Loop.level
+  | Bad_coefficient { site; _ } ->
+      Loc.stmt ~nest:(Nest.name nest) ~site:site.Site.id site.Site.stmt
 
 let check nest =
   match find_violation nest with

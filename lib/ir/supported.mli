@@ -7,22 +7,30 @@
     both the engine (which wraps violations in typed pipeline errors)
     and the workload generator (which must never emit, or must tag,
     nests outside the class) — so the producers and consumers of nests
-    agree on one definition of "supported". *)
+    agree on one definition of "supported".  Violations are located:
+    a bad coefficient names the offending reference site and subscript
+    dimension, not just the nest. *)
 
 val max_coefficient : int
 (** Largest modelled subscript coefficient magnitude (2: the doubled
     multigrid stride, the largest the paper's subscript class uses). *)
 
 type violation =
-  | Bad_step of Loop.t          (** a loop with a non-unit step *)
-  | Bad_coefficient of Aref.t   (** a subscript coefficient beyond
-                                    {!max_coefficient} *)
+  | Bad_step of Loop.t
+      (** a loop with a non-unit step *)
+  | Bad_coefficient of { site : Site.t; dim : int; coef : int }
+      (** subscript [dim] of the reference at [site] has coefficient
+          [coef] with [|coef| > max_coefficient] *)
 
 val find_violation : Nest.t -> violation option
-(** First violation in loop order, then textual reference order. *)
+(** First violation in loop order, then textual site order. *)
 
 val message : Nest.t -> violation -> string
 (** Human-readable description, prefixed with the nest name. *)
+
+val locate : Nest.t -> violation -> Loc.t
+(** The violation's structured location: the loop level for
+    [Bad_step], the statement and site for [Bad_coefficient]. *)
 
 val check : Nest.t -> (unit, string) result
 (** [Ok ()] iff the nest is inside the modelled class. *)

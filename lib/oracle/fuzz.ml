@@ -9,15 +9,18 @@ let m_nests = Obs.counter "oracle.nests"
 let m_mismatches = Obs.counter "oracle.mismatches"
 let m_unexplained = Obs.counter "oracle.unexplained"
 let m_failures = Obs.counter "oracle.failures"
+let m_verify_checked = Obs.counter "oracle.verify.checked"
+let m_verify_failed = Obs.counter "oracle.verify.failed"
 
-type layer = Recount | Sim | Cross_model
+type layer = Recount | Sim | Cross_model | Verify
 
 let layer_name = function
   | Recount -> "recount"
   | Sim -> "sim"
   | Cross_model -> "cross-model"
+  | Verify -> "verify"
 
-let all_layers = [ Recount; Sim; Cross_model ]
+let all_layers = [ Recount; Sim; Cross_model; Verify ]
 
 type config = {
   n : int;
@@ -60,6 +63,8 @@ type report = {
   rejected : int;
   skipped_depth : int;
   sim_checked : int;
+  verify_checked : int;
+  verify_failed : int;
   total_mismatches : int;
   unexplained : int;
   failures : failure list;
@@ -70,15 +75,42 @@ type report = {
 type layer_result = {
   lr_mismatches : Mismatch.t list;
   lr_simulated : int;
+  lr_verified : int;
   lr_error : Error.t option;
 }
+
+(* The verify layer: materialise every unroll vector of the searched
+   space and check the transformed nest against the index algebra
+   ({!Ujam_analysis.Verify.unroll}); any diagnostic is a mismatch the
+   tables could never have caught (they never materialise code). *)
+let verify_check ~bound ~max_loops ~machine nest =
+  let ctx = Ujam_core.Analysis_ctx.create ~bound ~max_loops ~machine nest in
+  let space = Ujam_core.Analysis_ctx.space ctx in
+  let ms = ref [] and checked = ref 0 in
+  Ujam_core.Unroll_space.iter space (fun u ->
+      incr checked;
+      let transformed = Unroll.unroll_and_jam nest u in
+      List.iter
+        (fun (d : Ujam_analysis.Diagnostic.t) ->
+          ms :=
+            Mismatch.make ~nest:(Nest.name nest)
+              ~machine:machine.Machine.name
+              (Mismatch.Verify
+                 { u;
+                   rule = d.Ujam_analysis.Diagnostic.rule;
+                   detail = d.Ujam_analysis.Diagnostic.message })
+            :: !ms)
+        (Ujam_analysis.Verify.unroll ~original:nest ~u transformed));
+  (List.rev !ms, !checked)
 
 let check_layer ?perturb ~cfg ~routine layer nest =
   let { bound; max_loops; machine; _ } = cfg in
   let guard stage f =
     match Error.guard ~stage ~routine f with
     | Ok r -> r
-    | Error e -> { lr_mismatches = []; lr_simulated = 0; lr_error = Some e }
+    | Error e ->
+        { lr_mismatches = []; lr_simulated = 0; lr_verified = 0;
+          lr_error = Some e }
   in
   match layer with
   | Recount ->
@@ -86,17 +118,25 @@ let check_layer ?perturb ~cfg ~routine layer nest =
           let ms =
             Recount.check ~bound ~max_loops ?perturb ~machine nest
           in
-          { lr_mismatches = ms; lr_simulated = 0; lr_error = None })
+          { lr_mismatches = ms; lr_simulated = 0; lr_verified = 0;
+            lr_error = None })
   | Sim ->
       guard Error.Sim (fun () ->
           let o = Simcheck.check ~bound ~max_loops ~machine nest in
           { lr_mismatches = o.Simcheck.mismatches;
             lr_simulated = o.Simcheck.simulated;
+            lr_verified = 0;
             lr_error = None })
   | Cross_model ->
       guard Error.Search (fun () ->
           let ms = Crossmodel.check ~bound ~max_loops ~machine nest in
-          { lr_mismatches = ms; lr_simulated = 0; lr_error = None })
+          { lr_mismatches = ms; lr_simulated = 0; lr_verified = 0;
+            lr_error = None })
+  | Verify ->
+      guard Error.Transform (fun () ->
+          let ms, checked = verify_check ~bound ~max_loops ~machine nest in
+          { lr_mismatches = ms; lr_simulated = 0; lr_verified = checked;
+            lr_error = None })
 
 let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 
@@ -104,6 +144,7 @@ let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 
 type job_result = {
   jr_simulated : bool;
+  jr_verified : int;
   jr_failure : failure option;
 }
 
@@ -116,8 +157,12 @@ let check_nest ?perturb ~cfg ~routine nest =
   let simulated =
     List.exists (fun (_, r) -> r.lr_simulated > 0) results
   in
+  let verified =
+    List.fold_left (fun acc (_, r) -> acc + r.lr_verified) 0 results
+  in
   let bad = unexplained_of mismatches <> [] || error <> None in
-  if not bad then { jr_simulated = simulated; jr_failure = None }
+  if not bad then
+    { jr_simulated = simulated; jr_verified = verified; jr_failure = None }
   else
     let reduced =
       if not cfg.shrink then None
@@ -148,6 +193,7 @@ let check_nest ?perturb ~cfg ~routine nest =
         Some (Shrink.run ~still_fails nest)
     in
     { jr_simulated = simulated;
+      jr_verified = verified;
       jr_failure = Some { routine; nest; error; mismatches; reduced } }
 
 (* ---- the run ---------------------------------------------------------- *)
@@ -189,10 +235,23 @@ let run ?perturb cfg =
       (fun acc f -> acc + List.length (unexplained_of f.mismatches))
       0 failures
   in
+  let verify_checked =
+    Array.fold_left (fun acc r -> acc + r.jr_verified) 0 results
+  in
+  let verify_failed =
+    List.fold_left
+      (fun acc f ->
+        acc
+        + List.length
+            (List.filter (fun m -> Mismatch.layer m = "verify") f.mismatches))
+      0 failures
+  in
   Obs.Counter.add m_nests (Array.length jobs);
   Obs.Counter.add m_mismatches total_mismatches;
   Obs.Counter.add m_unexplained unexplained;
   Obs.Counter.add m_failures (List.length failures);
+  Obs.Counter.add m_verify_checked verify_checked;
+  Obs.Counter.add m_verify_failed verify_failed;
   { config = cfg;
     nests = Array.length jobs;
     routines = !idx;
@@ -203,6 +262,8 @@ let run ?perturb cfg =
       Array.fold_left
         (fun acc r -> if r.jr_simulated then acc + 1 else acc)
         0 results;
+    verify_checked;
+    verify_failed;
     total_mismatches;
     unexplained;
     failures }
@@ -223,6 +284,9 @@ let pp ppf r =
     r.nests r.routines r.draws r.rejected r.skipped_depth;
   Format.fprintf ppf "sim layer: %d nests replayed through the cache model@."
     r.sim_checked;
+  Format.fprintf ppf
+    "verify layer: %d unrolled bodies checked, %d rejected@."
+    r.verify_checked r.verify_failed;
   Format.fprintf ppf "mismatches: %d total, %d unexplained@."
     r.total_mismatches r.unexplained;
   List.iter
@@ -293,6 +357,8 @@ let to_json r =
       ("rejected", Json.Int r.rejected);
       ("skipped_depth", Json.Int r.skipped_depth);
       ("sim_checked", Json.Int r.sim_checked);
+      ("verify_checked", Json.Int r.verify_checked);
+      ("verify_failed", Json.Int r.verify_failed);
       ("mismatches", Json.Int r.total_mismatches);
       ("unexplained", Json.Int r.unexplained);
       ("ok", Json.Bool (ok r));

@@ -3,7 +3,8 @@
 
     A run draws routines from {!Ujam_workload.Generator} under a seed,
     checks each nest with the configured layers ({!Recount},
-    {!Simcheck}, {!Crossmodel}), and — when a check reports an
+    {!Simcheck}, {!Crossmodel}, and the transformation verifier
+    {!Ujam_analysis.Verify} over every materialised unroll vector), and — when a check reports an
     unexplained mismatch or an analysis crash — greedily shrinks the
     nest to a minimal reproducer ({!Shrink}) emitted as an OCaml
     snippet plus JSON.  Results are deterministic for a given config:
@@ -12,7 +13,7 @@
 
 open Ujam_linalg
 
-type layer = Recount | Sim | Cross_model
+type layer = Recount | Sim | Cross_model | Verify
 
 val layer_name : layer -> string
 val all_layers : layer list
@@ -35,7 +36,8 @@ type config = {
 
 val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
 (** n 200, seed 1997, max_depth 3, bound 4, max_loops 2, machine alpha,
-    domains 1, all layers, shrinking on, deep-space off. *)
+    domains 1, all layers (verify included), shrinking on, deep-space
+    off. *)
 
 type failure = {
   routine : string;
@@ -53,6 +55,8 @@ type report = {
   rejected : int;  (** out-of-class draws re-rolled by the generator *)
   skipped_depth : int;  (** nests over [max_depth], not checked *)
   sim_checked : int;  (** nests the simulator layer replayed *)
+  verify_checked : int;  (** unrolled bodies checked by the verifier *)
+  verify_failed : int;  (** verifier rejections (multiset mismatches) *)
   total_mismatches : int;
   unexplained : int;
   failures : failure list;

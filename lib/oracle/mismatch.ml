@@ -18,6 +18,7 @@ type kind =
       reference_u : Vec.t;
       reference_objective : float;
     }
+  | Verify of { u : Vec.t; rule : string; detail : string }
 
 type t = {
   nest : string;
@@ -34,6 +35,7 @@ let layer m =
   | Recount _ -> "recount"
   | Sim_order _ -> "sim"
   | Model_divergence _ -> "cross-model"
+  | Verify _ -> "verify"
 
 let pp_f ppf v =
   if Float.is_integer v && Float.abs v < 1e9 then
@@ -55,7 +57,10 @@ let pp ppf m =
       Format.fprintf ppf
         "%s [cross-model] %s chose u=%a (objective %a) but u=%a achieves %a"
         m.nest model Vec.pp u pp_f objective Vec.pp reference_u pp_f
-        reference_objective);
+        reference_objective
+  | Verify { u; rule; detail } ->
+      Format.fprintf ppf "%s [verify] %s at u=%a: %s" m.nest rule Vec.pp u
+        detail);
   match m.explained with
   | Some why -> Format.fprintf ppf " (explained: %s)" why
   | None -> ()
@@ -88,6 +93,11 @@ let to_json m =
           ("objective", json_f objective);
           ("reference_u", Json.of_vec reference_u);
           ("reference_objective", json_f reference_objective) ]
+    | Verify { u; rule; detail } ->
+        [ ("kind", Json.Str "verify");
+          ("rule", Json.Str rule);
+          ("u", Json.of_vec u);
+          ("detail", Json.Str detail) ]
   in
   Json.Obj
     (("nest", Json.Str m.nest) :: ("machine", Json.Str m.machine)

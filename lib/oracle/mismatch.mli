@@ -33,6 +33,11 @@ type kind =
     }
       (** A strategy's chosen vector lands measurably farther from
           machine balance than the exhaustive reference choice. *)
+  | Verify of { u : Vec.t; rule : string; detail : string }
+      (** The transformation verifier ({!Ujam_analysis.Verify})
+          rejected the materialised unroll-and-jam at [u]: the
+          transformed nest does not preserve the per-array access
+          multisets.  [rule] is the diagnostic id (UJ020). *)
 
 type t = {
   nest : string;
@@ -47,7 +52,7 @@ val make :
 val is_explained : t -> bool
 
 val layer : t -> string
-(** ["recount"], ["sim"] or ["cross-model"]. *)
+(** ["recount"], ["sim"], ["cross-model"] or ["verify"]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Ujam_engine.Json.t

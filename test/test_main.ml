@@ -10,6 +10,7 @@ let () =
       ("ir/interchange", Test_interchange.suite);
       ("ir/tile", Test_tile.suite);
       ("depend", Test_depend.suite);
+      ("depend/safety", Test_safety.suite);
       ("reuse", Test_reuse.suite);
       ("core/unroll-space", Test_unroll_space.suite);
       ("core/tables", Test_tables.suite);
@@ -22,6 +23,7 @@ let () =
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("engine", Test_engine.suite);
+      ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("invariants", Test_invariants.suite) ]

@@ -1,0 +1,98 @@
+(* Unroll-and-jam legality caps: [Safety.max_safe_unroll] edge cases on
+   hand-built dependence graphs — leading Stars, all-zero vectors,
+   negative and positive inner suffixes, and multi-edge minima.  The
+   graphs are fabricated directly (one self-edge per distance vector)
+   so each case pins exactly one rule of the cap computation. *)
+
+open Ujam_ir
+open Ujam_ir.Build
+open Ujam_depend
+
+let nest_d d =
+  let vars = List.init d (fun k -> var d k) in
+  let names = List.init d (fun k -> Printf.sprintf "K%d" k) in
+  let loops =
+    List.mapi (fun k name -> loop d name ~level:k ~lo:1 ~hi:10 ()) names
+  in
+  nest (Printf.sprintf "synth%d" d) loops
+    [ aref "A" vars <<- (rd "A" vars +: f 1.0) ]
+
+let graph_of nest dvecs =
+  let site = List.hd (Site.of_nest nest) in
+  { Graph.nest;
+    edges =
+      List.map
+        (fun dvec -> { Graph.src = site; dst = site; kind = Graph.Flow; dvec })
+        dvecs }
+
+let caps d dvecs = Safety.max_safe_unroll (graph_of (nest_d d) dvecs)
+
+let check name expect actual =
+  Alcotest.(check (array int)) name expect actual
+
+(* max_int prints badly in failures; map to -1 for comparison *)
+let norm = Array.map (fun c -> if c = max_int then -1 else c)
+
+let e x = Depvec.Exact x
+let star = Depvec.Star
+
+let test_no_edges () =
+  check "no dependences: only the innermost is pinned" [| -1; 0 |]
+    (norm (caps 2 []));
+  check "depth 3" [| -1; -1; 0 |] (norm (caps 3 []))
+
+let test_zero_vector () =
+  check "loop-independent dependence constrains nothing" [| -1; 0 |]
+    (norm (caps 2 [ [| e 0; e 0 |] ]))
+
+let test_exact_suffixes () =
+  check "distance 2, negative suffix: cap x-1 = 1" [| 1; 0 |]
+    (norm (caps 2 [ [| e 2; e (-1) |] ]));
+  check "distance 2, positive suffix: unconstrained" [| -1; 0 |]
+    (norm (caps 2 [ [| e 2; e 1 |] ]));
+  check "distance 2, zero suffix: unconstrained" [| -1; 0 |]
+    (norm (caps 2 [ [| e 2; e 0 |] ]))
+
+let test_star_suffix () =
+  check "(2,*): unknown suffix blocks, cap 1" [| 1; 0 |]
+    (norm (caps 2 [ [| e 2; star |] ]))
+
+let test_leading_star () =
+  check "(*,1): nonzero suffix pins the outer loop at 0" [| 0; 0 |]
+    (norm (caps 2 [ [| star; e 1 |] ]));
+  check "(*,0): zero suffix leaves the outer loop free" [| -1; 0 |]
+    (norm (caps 2 [ [| star; e 0 |] ]));
+  check "(*,*): star suffix pins at 0" [| 0; 0 |]
+    (norm (caps 2 [ [| star; star |] ]))
+
+let test_multi_edge_min () =
+  check "two edges: the tighter cap wins" [| 1; 0 |]
+    (norm (caps 2 [ [| e 3; e (-1) |]; [| e 2; e (-1) |] ]));
+  check "unconstrained edge does not loosen the cap" [| 2; 0 |]
+    (norm (caps 2 [ [| e 3; e (-1) |]; [| e 1; e 1 |] ]))
+
+let test_depth3_mixed () =
+  (* (1,*,0): level 0 sees a Star in its suffix -> cap 0; level 1 is a
+     Star whose own suffix is all-zero -> free. *)
+  check "star in suffix vs star with zero suffix" [| 0; -1; 0 |]
+    (norm (caps 3 [ [| e 1; star; e 0 |] ]));
+  (* (0,2,-1): only the middle loop is capped. *)
+  check "cap carried at the middle level" [| -1; 1; 0 |]
+    (norm (caps 3 [ [| e 0; e 2; e (-1) |] ]))
+
+let test_is_safe_consistency () =
+  let g = graph_of (nest_d 2) [ [| e 2; e (-1) |] ] in
+  Alcotest.(check bool) "u within caps is safe" true
+    (Safety.is_safe g (Ujam_linalg.Vec.of_list [ 1; 0 ]));
+  Alcotest.(check bool) "u above caps is unsafe" false
+    (Safety.is_safe g (Ujam_linalg.Vec.of_list [ 2; 0 ]))
+
+let suite =
+  [ Alcotest.test_case "no edges" `Quick test_no_edges;
+    Alcotest.test_case "all-zero vector" `Quick test_zero_vector;
+    Alcotest.test_case "exact suffixes" `Quick test_exact_suffixes;
+    Alcotest.test_case "star suffix" `Quick test_star_suffix;
+    Alcotest.test_case "leading star" `Quick test_leading_star;
+    Alcotest.test_case "multi-edge min" `Quick test_multi_edge_min;
+    Alcotest.test_case "depth-3 mixed" `Quick test_depth3_mixed;
+    Alcotest.test_case "is_safe consistency" `Quick test_is_safe_consistency ]
