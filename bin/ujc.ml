@@ -70,6 +70,12 @@ let domains_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let seq_arg =
+  Arg.(
+    value & flag
+    & info [ "seq" ]
+        ~doc:"Search short verified skew/retime prefixes that legalize             fenced unroll space before the unroll search; report the             chosen sequence and why each step was legal.")
+
 let timings_arg =
   Arg.(
     value & flag
@@ -244,6 +250,12 @@ let print_corpus_report ~json ~timings report =
     if timings then Format.printf "%a@." Engine.pp_timings report
   end
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Exit 1 if any nest fails analysis (the CI smoke gate).")
+
 let optimize_cmd =
   let kernel_opt_arg =
     let parse s =
@@ -273,14 +285,16 @@ let optimize_cmd =
       value & flag
       & info [ "all" ] ~doc:"Optimize every Table-2 kernel through the engine.")
   in
-  let run e_opt n machine bound no_cache model all domains json timings =
+  let run e_opt n machine bound no_cache model all domains json timings seq
+      check =
     let model = effective_model no_cache model in
     if all then begin
       let report =
-        Engine.run_corpus ~domains ~bound ~model ~machine
+        Engine.run_corpus ~domains ~bound ~model ~seq ~machine
           (Engine.routines_of_catalogue ?n ())
       in
-      print_corpus_report ~json ~timings report
+      print_corpus_report ~json ~timings report;
+      if check && report.Engine.failed > 0 then exit 1
     end
     else
       match e_opt with
@@ -292,7 +306,7 @@ let optimize_cmd =
           let mname = Model.name model in
           if json then
             let outcome =
-              Engine.analyze ~bound ~model ~machine
+              Engine.analyze ~bound ~model ~seq ~machine
                 ~routine:e.Ujam_kernels.Catalogue.name nest
             in
             print_endline
@@ -304,7 +318,7 @@ let optimize_cmd =
                       ("result", Engine.nest_outcome_to_json outcome) ]))
           else
             match mname with
-            | "ugs" | "no-cache" ->
+            | ("ugs" | "no-cache") when not seq ->
                 let r =
                   Driver.optimize ~bound ~cache:(mname = "ugs") ~machine nest
                 in
@@ -316,7 +330,7 @@ let optimize_cmd =
                   (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
             | _ ->
                 let outcome =
-                  Engine.analyze ~bound ~model ~machine
+                  Engine.analyze ~bound ~model ~seq ~machine
                     ~routine:e.Ujam_kernels.Catalogue.name nest
                 in
                 Format.printf "%a@." Engine.pp_nest_outcome outcome)
@@ -326,7 +340,7 @@ let optimize_cmd =
        ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel              (or batch-optimize the whole catalogue with $(b,--all)).")
     Term.(const run $ kernel_opt_arg $ size_arg $ machine_arg $ bound_arg
           $ cache_arg $ model_arg $ all_flag $ domains_arg $ json_arg
-          $ timings_arg)
+          $ timings_arg $ seq_arg $ check_arg)
 
 let simulate_cmd =
   let run e n machine bound no_cache =
@@ -487,16 +501,28 @@ let corpus_cmd =
       value & opt int 4
       & info [ "b"; "bound" ] ~docv:"B" ~doc:"Unroll-space bound per loop.")
   in
-  let run count seed machine bound no_cache model domains json timings stats =
+  let recurrent_flag =
+    Arg.(
+      value & flag
+      & info [ "recurrent" ]
+          ~doc:"Generate fence-binding recurrence nests (anti-diagonal and               cross-statement) instead of the corpus mix; combine with               $(b,--seq) to exercise the sequence legalizer.")
+  in
+  let run count seed machine bound no_cache model domains json timings stats
+      seq recurrent check =
     let count = max 0 count in
-    let routines = Ujam_workload.Generator.corpus ~seed ~count () in
+    let routines =
+      Ujam_workload.Generator.corpus ~seed ~recurrent ~count ()
+    in
     if stats then
       Format.printf "%a@." Ujam_workload.Corpus.pp
         (Ujam_workload.Corpus.measure routines)
     else begin
       let model = effective_model no_cache model in
-      let report = Engine.run_corpus ~domains ~bound ~model ~machine routines in
-      print_corpus_report ~json ~timings report
+      let report =
+        Engine.run_corpus ~domains ~bound ~model ~seq ~machine routines
+      in
+      print_corpus_report ~json ~timings report;
+      if check && report.Engine.failed > 0 then exit 1
     end
   in
   Cmd.v
@@ -504,7 +530,7 @@ let corpus_cmd =
        ~doc:"Run the selection pipeline over a synthetic corpus              (per-routine reports; $(b,--stats) for the Table-1              input-dependence statistics).")
     Term.(const run $ count_arg $ seed_arg $ machine_arg $ corpus_bound_arg
           $ cache_arg $ model_arg $ domains_arg $ json_arg $ timings_arg
-          $ stats_flag)
+          $ stats_flag $ seq_arg $ recurrent_flag $ check_arg)
 
 let fuzz_cmd =
   let open Ujam_oracle in
@@ -557,7 +583,14 @@ let fuzz_cmd =
       & info [ "layers" ] ~docv:"LAYERS"
           ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify).")
   in
-  let run n seed max_depth bound machine domains layers deep shrink json =
+  let recurrent_flag =
+    Arg.(
+      value & flag
+      & info [ "recurrent" ]
+          ~doc:"Draw fence-binding recurrence nests (anti-diagonal and               cross-statement) instead of the corpus mix.")
+  in
+  let run n seed max_depth bound machine domains layers deep shrink recurrent
+      json =
     let cfg =
       { (Fuzz.default_config ~machine ()) with
         Fuzz.n = max 0 n;
@@ -567,7 +600,8 @@ let fuzz_cmd =
         domains;
         layers;
         deep;
-        shrink }
+        shrink;
+        recurrent }
     in
     let report = Fuzz.run cfg in
     if json then print_endline (Json.to_string (Fuzz.to_json report))
@@ -579,7 +613,7 @@ let fuzz_cmd =
        ~doc:"Differential oracle: fuzz the UGS tables against materialized              unrolls, the cache simulator, and the other selection              strategies; shrink any failure to a minimal reproducer.")
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
           $ machine_arg $ domains_arg $ layers_arg $ deep_flag $ shrink_flag
-          $ json_arg)
+          $ recurrent_flag $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Analysis subcommands: lint / explain / dot take either a kernel name
@@ -749,17 +783,17 @@ let explain_cmd =
       & info [] ~docv:"TARGET"
           ~doc:"Kernel name from Table 2 or a loop-nest file.")
   in
-  let run target n machine bound json =
+  let run target n machine bound json seq =
     let nest = require_target target n in
-    let e = Explain.run ~bound ~machine nest in
+    let e = Explain.run ~bound ~seq ~machine nest in
     if json then print_endline (Json.to_string (Explain.to_json e))
     else Format.printf "%a@." Explain.pp e
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Explain which selection path applies to a nest and why: the              supported-class verdict, legality caps, search-box clamping,              the monotonicity guard, and what the cache term changed.")
+       ~doc:"Explain which selection path applies to a nest and why: the              supported-class verdict, legality caps, search-box clamping,              the monotonicity guard, what the cache term changed, and              ($(b,--seq)) the legalizing transformation sequence.")
     Term.(const run $ target_req $ size_arg $ machine_arg $ bound_arg
-          $ json_arg)
+          $ json_arg $ seq_arg)
 
 let dot_cmd =
   let input_flag =

@@ -20,6 +20,7 @@ type t = {
   choice : Search.choice option;
   choice_no_cache : Search.choice option;
   model : string;
+  sequence : Passes.step list;
   reasons : string list;
   diagnostics : Diagnostic.t list;
 }
@@ -27,7 +28,7 @@ type t = {
 let model_of t = t.model
 let choice_u t = Option.map (fun (c : Search.choice) -> c.Search.u) t.choice
 
-let run ?bound ?max_loops ~machine nest =
+let run ?bound ?max_loops ?(seq = false) ~machine nest =
   let name = Nest.name nest in
   let flops = Nest.flops_per_iteration nest in
   let coupled_sites =
@@ -56,6 +57,7 @@ let run ?bound ?max_loops ~machine nest =
       choice = None;
       choice_no_cache = None;
       model;
+      sequence = [];
       reasons;
       diagnostics = [];
     }
@@ -96,8 +98,23 @@ let run ?bound ?max_loops ~machine nest =
           (Analysis_ctx.balance ctx)
       in
       let trivial = Unroll_space.card space = 1 in
+      (* Sequence mode: when the fence binds, report the legalizing
+         skew/retime prefix the seq search would choose (and why each
+         step was legal) alongside the plain analysis. *)
+      let seq_outcome =
+        if seq && Seqsearch.fence_binds ctx then
+          let o = Seqsearch.search ?bound ?max_loops ~machine nest in
+          if o.Seqsearch.sequence = [] then None else Some o
+        else None
+      in
+      let sequence =
+        match seq_outcome with
+        | Some o -> o.Seqsearch.sequence
+        | None -> []
+      in
       let model =
-        if flops = 0 || trivial then "trivial"
+        if seq_outcome <> None then "ugs+seq"
+        else if flops = 0 || trivial then "trivial"
         else if monotone <> None then "ugs-exhaustive"
         else "ugs"
       in
@@ -142,6 +159,20 @@ let run ?bound ?max_loops ~machine nest =
                   (Vec.to_string v.Monotone.u) v.Monotone.axis v.Monotone.at
                   v.Monotone.below ]
           | None -> [ "register table certified monotone; pruned search is sound" ])
+        @ (match seq_outcome with
+          | Some o ->
+              List.map
+                (fun d -> d.Diagnostic.message)
+                o.Seqsearch.diagnostics
+          | None ->
+              if seq then
+                [ (if Seqsearch.fence_binds ctx then
+                     "seq search engaged: no verified prefix beat the \
+                      untransformed baseline"
+                   else
+                     "seq search not engaged: no outer loop is fully fenced")
+                ]
+              else [])
         @
         if not trivial then
           if Vec.equal choice.Search.u choice_no_cache.Search.u then
@@ -164,9 +195,16 @@ let run ?bound ?max_loops ~machine nest =
         box;
         clamped;
         monotone;
-        choice = Some choice;
+        choice =
+          (match seq_outcome with
+          | Some o -> Some o.Seqsearch.choice
+          | None -> Some choice);
         choice_no_cache = Some choice_no_cache;
-        diagnostics = Lint.run_ctx ctx;
+        sequence;
+        diagnostics =
+          (match seq_outcome with
+          | Some o -> o.Seqsearch.diagnostics @ Lint.run_ctx ctx
+          | None -> Lint.run_ctx ctx);
       }
 
 let pp_cap ppf c =
@@ -196,6 +234,15 @@ let pp ppf t =
            ^ String.concat "; " (Array.to_list (Array.map string_of_int t.box))
            ^ "]")
         (String.concat "," (List.map string_of_int t.unroll_levels));
+      if t.sequence <> [] then begin
+        fprintf ppf "@,  sequence:";
+        List.iter
+          (fun (st : Passes.step) ->
+            fprintf ppf "@,    - %s: %s"
+              (Ujam_ir.Transform.to_string st.Passes.transform)
+              st.Passes.note)
+          t.sequence
+      end;
       match t.choice with
       | Some c ->
           fprintf ppf "@,  chosen: u=%s balance %.3g, objective %.3g, %d regs"
@@ -244,6 +291,8 @@ let to_json t =
         ("monotone", Json.Bool (t.monotone = None)) ]
     @ opt "choice" choice_to_json t.choice
     @ opt "choice_no_cache" choice_to_json t.choice_no_cache
+    @ (if t.sequence = [] then []
+       else [ ("sequence", Seqsearch.steps_json t.sequence) ])
     @ [ ("reasons", Json.List (List.map (fun r -> Json.Str r) t.reasons));
         ( "diagnostics",
           Json.List (List.map Diagnostic.to_json t.diagnostics) ) ])

@@ -41,6 +41,9 @@ type t = {
   choice : Ujam_core.Search.choice option;          (** cache model *)
   choice_no_cache : Ujam_core.Search.choice option; (** cache-less model *)
   model : string;
+  sequence : Passes.step list;
+      (** legalizing prefix the seq search chose (with per-step
+          why-legal notes); non-empty only with [~seq:true] *)
   reasons : string list;
   diagnostics : Diagnostic.t list;
 }
@@ -48,9 +51,15 @@ type t = {
 val run :
   ?bound:int ->
   ?max_loops:int ->
+  ?seq:bool ->
   machine:Ujam_machine.Machine.t ->
   Ujam_ir.Nest.t ->
   t
+(** With [~seq:true] the report additionally runs
+    {!Seqsearch.search}: a winning prefix switches [model] to
+    ["ugs+seq"], fills [sequence], repoints [choice] at the legalized
+    nest's vector, and adds the [UJ026] certificate to [diagnostics];
+    otherwise a reason records why no prefix applied. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Ujam_obs.Json.t

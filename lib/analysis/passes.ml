@@ -1,0 +1,149 @@
+open Ujam_ir
+open Ujam_depend
+
+type step = { transform : Transform.t; after : Nest.t; note : string }
+
+(* ---- legality --------------------------------------------------------- *)
+
+let lex_nonneg_shifted ~src_stmt ~dst_stmt dvec diff =
+  (* Retimed distance d' = d + (r_dst - r_src); legal when it stays
+     lexicographically non-negative, with ties broken by textual order
+     (a zero distance needs the source to come first in the body). *)
+  if Array.for_all (fun x -> x = 0) diff then Ok ()
+  else if Array.exists (fun e -> e = Depvec.Star) dvec then
+    Error "an unknown (Star) distance component cannot be retimed safely"
+  else begin
+    let d' =
+      Array.mapi
+        (fun k e -> match e with Depvec.Exact v -> v + diff.(k) | Depvec.Star -> 0)
+        dvec
+    in
+    let rec scan k =
+      if k = Array.length d' then
+        if src_stmt <= dst_stmt then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "shifts make a dependence loop-independent against textual \
+                order (stmt %d before stmt %d)"
+               src_stmt dst_stmt)
+      else if d'.(k) > 0 then Ok ()
+      else if d'.(k) < 0 then
+        Error
+          (Printf.sprintf
+             "a shifted distance goes lexicographically negative at level %d" k)
+      else scan (k + 1)
+    in
+    scan 0
+  end
+
+let legality ~graph t =
+  match (t : Transform.t) with
+  | Transform.Unroll u ->
+      if Safety.is_safe graph u then
+        Ok
+          (Printf.sprintf
+             "unroll %s within every per-level safety cap: no carried \
+              dependence is reversed by jamming"
+             (Ujam_linalg.Vec.to_string u))
+      else
+        Error
+          (Printf.sprintf
+             "unroll %s exceeds a safety cap: a dependence carried by an \
+              unrolled loop has a lexicographically negative inner suffix"
+             (Ujam_linalg.Vec.to_string u))
+  | Transform.Interchange perm ->
+      if Safety.legal_permutation graph perm then
+        Ok "permutation keeps every distance vector lexicographically non-negative"
+      else Error "permutation would reverse a dependence"
+  | Transform.Tile { levels; sizes } -> (
+      (* Strip-mining never reorders iterations; the controller hoist is
+         the permutation Tile performs on the strip-mined nest. *)
+      match Tile.plan graph.Graph.nest ~levels ~sizes with
+      | exception Invalid_argument reason -> Error reason
+      | mined, hoist ->
+          let mined_graph = Graph.build ~include_input:false mined in
+          if Safety.legal_permutation mined_graph hoist then
+            Ok
+              "strip-mining preserves order; the controller hoist is a legal \
+               permutation of the strip-mined nest"
+          else Error "the controller hoist would reverse a dependence")
+  | Transform.Skew s ->
+      if Skew.is_unit_lower_triangular s then
+        Ok
+          "unit lower-triangular skew maps each distance d to S d, whose \
+           leading nonzero component is d's — lexicographic order is \
+           preserved by construction"
+      else Error "skew matrix is not unit lower triangular"
+  | Transform.Retime shifts ->
+      let body_n = List.length (Nest.body graph.Graph.nest) in
+      let d = Nest.depth graph.Graph.nest in
+      if
+        Array.length shifts <> body_n
+        || Array.exists (fun r -> Array.length r <> d) shifts
+      then Error "retiming needs one depth-sized shift vector per statement"
+      else begin
+        let bad =
+          List.find_map
+            (fun (e : Graph.edge) ->
+              match e.Graph.kind with
+              | Graph.Input -> None
+              | Graph.Flow | Graph.Anti | Graph.Output -> (
+                  let src_stmt = e.Graph.src.Site.stmt
+                  and dst_stmt = e.Graph.dst.Site.stmt in
+                  let diff =
+                    Array.init d (fun k ->
+                        shifts.(dst_stmt).(k) - shifts.(src_stmt).(k))
+                  in
+                  match
+                    lex_nonneg_shifted ~src_stmt ~dst_stmt e.Graph.dvec diff
+                  with
+                  | Ok () -> None
+                  | Error why -> Some why))
+            graph.Graph.edges
+        in
+        match bad with
+        | Some why -> Error why
+        | None ->
+            Ok
+              "every cross-statement distance plus its shift difference stays \
+               lexicographically non-negative"
+      end
+
+(* ---- the gated pipeline ----------------------------------------------- *)
+
+let rejected ~i ~t ~nest ?loc reason =
+  let loc = match loc with Some l -> l | None -> Loc.nest (Nest.name nest) in
+  [ Diagnostic.make ~rule:"UJ025" ~severity:Diagnostic.Error ~loc
+      (Printf.sprintf "sequence step %d (%s) rejected: %s" i
+         (Transform.to_string t) reason) ]
+
+let apply_seq ?graph nest steps =
+  let rec go i nest graph acc = function
+    | [] -> Ok (nest, List.rev acc)
+    | t :: rest -> (
+        let g =
+          match graph with
+          | Some g -> g
+          | None -> Graph.build ~include_input:false nest
+        in
+        match legality ~graph:g t with
+        | Error reason -> Error (rejected ~i ~t ~nest reason)
+        | Ok note -> (
+            match Transform.apply t nest with
+            | Error { Transform.loc; reason } ->
+                Error (rejected ~i ~t ~nest ~loc reason)
+            | Ok nest' ->
+                let diags = Verify.step ~original:nest t nest' in
+                if List.exists Diagnostic.is_error diags then Error diags
+                else
+                  go (i + 1) nest' None
+                    ({ transform = t; after = nest'; note } :: acc)
+                    rest))
+  in
+  go 0 nest graph [] steps
+
+let transform_to_json t =
+  Ujam_obs.Json.Obj
+    [ ("pass", Ujam_obs.Json.Str (Transform.name t));
+      ("spec", Ujam_obs.Json.Str (Transform.to_string t)) ]

@@ -1,0 +1,52 @@
+(** The gated transformation pipeline.
+
+    {!Ujam_ir.Transform} is purely structural; this module is where a
+    sequence of transforms meets the dependence analysis.  Each step of
+    {!apply_seq} runs three gates, in order:
+
+    + {b legality} — the step must preserve every data dependence of the
+      nest it is applied to: {!Ujam_depend.Safety.is_safe} for unroll,
+      {!Ujam_depend.Safety.legal_permutation} for interchange (and for
+      the controller hoist of tiling, on the strip-mined nest), the
+      unit-lower-triangular shape for skew (such a skew maps every
+      distance [d] to [S d] with the leading nonzero unchanged, so it is
+      legal by construction), and lexicographic non-negativity of every
+      shifted cross-statement distance for retiming;
+    + {b structure} — {!Ujam_ir.Transform.apply} must accept the step;
+    + {b post-condition} — {!Verify.step} must certify the result.
+
+    A step failing the legality or structure gate is a [UJ025] Error; a
+    failed post-condition keeps its own rule id ([UJ020]–[UJ024]).  On
+    success every step carries a human-readable note saying *why* it was
+    legal — `ujc explain` and the seq search surface these. *)
+
+open Ujam_ir
+
+type step = {
+  transform : Transform.t;
+  after : Nest.t;  (** nest state after this step *)
+  note : string;   (** why the step was legal *)
+}
+
+val legality :
+  graph:Ujam_depend.Graph.t -> Transform.t -> (string, string) result
+(** [Ok why] when the transform preserves every dependence of the graph's
+    nest, [Error reason] otherwise.  The graph must be of the nest the
+    transform is about to be applied to (flow/anti/output edges;
+    input edges are irrelevant to legality and merely tolerated). *)
+
+val apply_seq :
+  ?graph:Ujam_depend.Graph.t ->
+  Nest.t ->
+  Transform.t list ->
+  (Nest.t * step list, Diagnostic.t list) result
+(** Run the sequence left to right with all three gates per step.
+    [graph], if given, must be the dependence graph of the input nest
+    and saves rebuilding it for the first step (later steps always
+    rebuild on the intermediate nests).  The error payload is never
+    empty and always contains at least one [Error]-severity
+    diagnostic. *)
+
+val transform_to_json : Transform.t -> Ujam_obs.Json.t
+(** Structured rendering for reports:
+    [{"pass": name, "spec": printed-form}]. *)

@@ -1,0 +1,232 @@
+open Ujam_ir
+open Ujam_core
+open Ujam_depend
+module Obs = Ujam_obs.Obs
+
+let m_engaged = Obs.counter "seq.engaged"
+let m_candidates = Obs.counter "seq.candidates"
+let m_legalized = Obs.counter "seq.legalized"
+
+type outcome = {
+  baseline : Search.choice;
+  sequence : Passes.step list;
+  nest : Nest.t;
+  choice : Search.choice;
+  candidates : int;
+  diagnostics : Diagnostic.t list;
+}
+
+(* ---- candidate derivation from the dependence cone -------------------- *)
+
+let exact_dvec (e : Graph.edge) =
+  let ok = ref true in
+  let d =
+    Array.map
+      (function
+        | Depvec.Exact v -> v
+        | Depvec.Star ->
+            ok := false;
+            0)
+      e.Graph.dvec
+  in
+  if !ok then Some d else None
+
+(* An edge caps the unroll of its carried level [l] when some deeper
+   component is negative (the lexicographically negative suffix of the
+   safety rule).  Each such (l, k) corner of the dependence cone
+   suggests the elementary skew rotating the suffix up to non-negative:
+   level [k] by [ceil(-d_k / d_l)] copies of level [l]. *)
+let skew_candidates graph =
+  let depth = Nest.depth graph.Graph.nest in
+  let wanted = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Graph.edge) ->
+      match (e.Graph.kind, exact_dvec e) with
+      | Graph.Input, _ | _, None -> ()
+      | _, Some d -> (
+          match Depvec.carried_level e.Graph.dvec with
+          | None -> ()
+          | Some l ->
+              for k = l + 1 to depth - 1 do
+                if d.(k) < 0 && d.(l) > 0 then begin
+                  (* smallest factor making d_k + f*d_l >= 0 *)
+                  let f = (-d.(k) + d.(l) - 1) / d.(l) in
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt wanted (l, k))
+                  in
+                  Hashtbl.replace wanted (l, k) (max prev f)
+                end
+              done))
+    graph.Graph.edges;
+  Hashtbl.fold
+    (fun (l, k) f acc ->
+      (* Factors above the supported-class coefficient cap would push
+         the skewed subscripts out of the modelled class; skip them. *)
+      if f >= 1 && f <= Supported.max_coefficient then
+        Transform.Skew (Skew.elementary ~depth ~target:k ~source:l ~factor:f)
+        :: acc
+      else acc)
+    wanted []
+  |> List.sort (fun a b -> compare (Transform.to_string a) (Transform.to_string b))
+
+(* Per-statement shifts making every exact cross-statement distance
+   componentwise non-negative — stronger than the lexicographic
+   condition the gate checks, but a simple difference-constraint
+   fixpoint (Bellman–Ford on x_dst - x_src >= -d per level). *)
+let retime_candidate graph =
+  let nest = graph.Graph.nest in
+  let depth = Nest.depth nest in
+  let n = List.length (Nest.body nest) in
+  if n < 2 then None
+  else begin
+    let cross =
+      List.filter_map
+        (fun (e : Graph.edge) ->
+          match (e.Graph.kind, exact_dvec e) with
+          | Graph.Input, _ | _, None -> None
+          | _, Some d ->
+              let s = e.Graph.src.Site.stmt and t = e.Graph.dst.Site.stmt in
+              if s = t then None else Some (s, t, d))
+        graph.Graph.edges
+    in
+    if not (List.exists (fun (_, _, d) -> Array.exists (fun v -> v < 0) d) cross)
+    then None
+    else begin
+      let shifts = Array.init n (fun _ -> Array.make depth 0) in
+      let changed = ref true and rounds = ref 0 and cyclic = ref false in
+      while !changed && not !cyclic do
+        changed := false;
+        incr rounds;
+        List.iter
+          (fun (s, t, d) ->
+            for k = 0 to depth - 1 do
+              let need = shifts.(s).(k) - d.(k) in
+              if shifts.(t).(k) < need then begin
+                shifts.(t).(k) <- need;
+                changed := true
+              end
+            done)
+          cross;
+        if !rounds > n then cyclic := true
+      done;
+      if !cyclic || Array.for_all (Array.for_all (fun v -> v = 0)) shifts then
+        None
+      else Some (Transform.Retime shifts)
+    end
+  end
+
+let candidates graph =
+  skew_candidates graph @ Option.to_list (retime_candidate graph)
+
+(* ---- the search ------------------------------------------------------- *)
+
+(* Engage only when legality truncates the searchable space: some outer
+   level is fully fenced (zero legal copies).  Cheap — needs only the
+   dependence graph, no tables. *)
+let fence_binds ctx =
+  let safety = Analysis_ctx.safety ctx in
+  let d = Array.length safety in
+  d >= 2
+  &&
+  let binds = ref false in
+  for k = 0 to d - 2 do
+    if safety.(k) = 0 then binds := true
+  done;
+  !binds
+
+let cap_str c = if c = max_int then "inf" else string_of_int c
+let caps_str caps = String.concat "," (Array.to_list (Array.map cap_str caps))
+
+let search ?(bound = 10) ?(max_loops = 2) ?(cache = true) ?(max_candidates = 12)
+    ~machine nest =
+  let ctx0 = Analysis_ctx.create ~bound ~max_loops ~machine nest in
+  let baseline = Search.best ~cache (Analysis_ctx.balance ctx0) in
+  let unchanged =
+    { baseline; sequence = []; nest; choice = baseline; candidates = 0;
+      diagnostics = [] }
+  in
+  if not (fence_binds ctx0) then unchanged
+  else begin
+    Obs.Counter.incr m_engaged;
+    let graph0 = Analysis_ctx.graph ctx0 in
+    (* Depth 1: prefixes from the original cone; depth 2: extend each
+       structurally viable prefix with candidates derived from the
+       *transformed* nest's cone. *)
+    let singles = List.map (fun t -> [ t ]) (candidates graph0) in
+    let extend seq =
+      match Passes.apply_seq ~graph:graph0 nest seq with
+      | Error _ -> []
+      | Ok (nest', _) ->
+          let g' = Graph.build ~include_input:false nest' in
+          List.map (fun t -> seq @ [ t ]) (candidates g')
+    in
+    let pairs = List.concat_map extend singles in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let all = take max_candidates (singles @ pairs) in
+    let n_cands = List.length all in
+    Obs.Counter.add m_candidates n_cands;
+    (* Score each viable prefix: gate the whole sequence, keep the
+       result only if it stays in the supported class, then run the
+       pruned table search on the transformed nest. *)
+    let scored =
+      List.filter_map
+        (fun seq ->
+          match Passes.apply_seq ~graph:graph0 nest seq with
+          | Error _ -> None
+          | Ok (nest', trace) -> (
+              match Supported.check nest' with
+              | Error _ -> None
+              | Ok () -> (
+                  let ctx' =
+                    Analysis_ctx.create ~bound ~max_loops ~machine nest'
+                  in
+                  match Search.best ~cache (Analysis_ctx.balance ctx') with
+                  | choice -> Some (seq, nest', trace, choice)
+                  | exception _ -> None)))
+        all
+    in
+    let best =
+      List.fold_left
+        (fun acc ((_, _, _, choice) as cand) ->
+          match acc with
+          | Some (_, _, _, (b : Search.choice))
+            when b.Search.objective <= choice.Search.objective +. 1e-9 ->
+              acc
+          | _ -> Some cand)
+        None scored
+    in
+    match best with
+    | Some (seq, nest', trace, choice)
+      when choice.Search.objective +. 1e-9 < baseline.Search.objective ->
+        Obs.Counter.incr m_legalized;
+        let loc = Loc.nest (Nest.name nest) in
+        let notes =
+          List.map (fun (st : Passes.step) -> (loc, st.Passes.note)) trace
+        in
+        let caps_after =
+          Safety.max_safe_unroll (Graph.build ~include_input:false nest')
+        in
+        let info =
+          Diagnostic.make ~rule:"UJ026" ~severity:Diagnostic.Info ~loc ~notes
+            (Printf.sprintf
+               "legalized by %s: objective %.4f -> %.4f, safety caps %s -> %s"
+               (String.concat "; " (List.map Transform.to_string seq))
+               baseline.Search.objective choice.Search.objective
+               (caps_str (Analysis_ctx.safety ctx0))
+               (caps_str caps_after))
+        in
+        { baseline; sequence = trace; nest = nest'; choice;
+          candidates = n_cands; diagnostics = [ info ] }
+    | _ -> { unchanged with candidates = n_cands }
+  end
+
+let steps_json steps =
+  Ujam_obs.Json.List
+    (List.map
+       (fun (st : Passes.step) ->
+         match Passes.transform_to_json st.Passes.transform with
+         | Ujam_obs.Json.Obj fields ->
+             Ujam_obs.Json.Obj
+               (fields @ [ ("why", Ujam_obs.Json.Str st.Passes.note) ])
+         | other -> other)
+       steps)

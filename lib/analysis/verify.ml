@@ -3,34 +3,42 @@ open Ujam_linalg
 
 (* ---- shared helpers --------------------------------------------------- *)
 
-(* A reference with its access kind; multisets are compared per kind so
-   a read turning into a write cannot cancel out. *)
-let tagged_refs nest =
-  List.map
-    (fun (r, k) -> ((if k = `Write then 1 else 0), r))
-    (Nest.refs nest)
+(* A reference with its access kind and the location of the statement it
+   sits in; multisets are compared per kind so a read turning into a
+   write cannot cancel out, and every mismatch note can point at the
+   statement that produced the offending reference. *)
+let located_refs nest =
+  let name = Nest.name nest in
+  List.concat
+    (List.mapi
+       (fun j stmt ->
+         let loc = Loc.stmt ~nest:name j in
+         List.map (fun r -> (0, r, loc)) (Stmt.reads stmt)
+         @ List.map (fun r -> (1, r, loc)) (Stmt.writes stmt))
+       (Nest.body nest))
 
 let sort_refs rs =
   List.sort
-    (fun (ka, a) (kb, b) ->
+    (fun (ka, a, _) (kb, b, _) ->
       let c = Int.compare ka kb in
       if c <> 0 then c else Aref.compare a b)
     rs
 
-let pp_ref nest (kind, r) =
+let pp_ref nest (kind, r, _) =
   Format.asprintf "%s %a"
     (if kind = 1 then "write" else "read")
     (Aref.pp ~var_name:(Nest.var_name nest))
     r
 
-(* Multiset difference: elements of [a] not matched in [b] (both sorted). *)
+(* Multiset difference: elements of [a] not matched in [b] (both sorted);
+   locations ride along and do not take part in matching. *)
 let rec unmatched a b =
   match (a, b) with
   | [], _ -> []
   | rest, [] -> rest
   | x :: xs, y :: ys ->
       let c =
-        let (kx, rx), (ky, ry) = (x, y) in
+        let (kx, rx, _), (ky, ry, _) = (x, y) in
         let c = Int.compare kx ky in
         if c <> 0 then c else Aref.compare rx ry
       in
@@ -38,31 +46,35 @@ let rec unmatched a b =
       else if c < 0 then x :: unmatched xs (y :: ys)
       else unmatched (x :: xs) ys
 
-let fail ~rule ~nest ?(notes = []) fmt =
+let fail ~rule ~nest ?loc ?(notes = []) fmt =
+  let loc =
+    match loc with Some l -> l | None -> Loc.nest (Nest.name nest)
+  in
   Format.kasprintf
     (fun message ->
-      [ Diagnostic.make ~rule ~severity:Diagnostic.Error
-          ~loc:(Loc.nest (Nest.name nest)) ~notes message ])
+      [ Diagnostic.make ~rule ~severity:Diagnostic.Error ~loc ~notes message ])
     fmt
 
 (* Compare transformed refs (mapped back into the original index space
-   by [map_back]) against an expected multiset over the original space. *)
-let check_multisets ~rule ~pp_nest ~label original_refs mapped =
-  let expected = sort_refs original_refs in
+   by the caller) against an expected multiset over the original space.
+   Both sides carry statement locations: a missing reference points at
+   the original statement, an unexpected one at the transformed. *)
+let check_multisets ~rule ~pp_nest ~label expected_refs mapped =
+  let expected = sort_refs expected_refs in
   let actual = sort_refs mapped in
-  if List.equal (fun (ka, a) (kb, b) -> ka = kb && Aref.equal a b) expected actual
+  if
+    List.equal
+      (fun (ka, a, _) (kb, b, _) -> ka = kb && Aref.equal a b)
+      expected actual
   then []
   else begin
     let missing = unmatched expected actual
     and extra = unmatched actual expected in
     let take n l = List.filteri (fun i _ -> i < n) l in
+    let note tag ((_, _, loc) as r) = (loc, tag ^ " " ^ pp_ref pp_nest r) in
     let notes =
-      List.map
-        (fun r -> (Loc.none, "missing " ^ pp_ref pp_nest r))
-        (take 3 missing)
-      @ List.map
-          (fun r -> (Loc.none, "unexpected " ^ pp_ref pp_nest r))
-          (take 3 extra)
+      List.map (note "missing") (take 3 missing)
+      @ List.map (note "unexpected") (take 3 extra)
     in
     fail ~rule ~nest:pp_nest ~notes
       "%s does not preserve the per-array access multiset (%d expected, %d \
@@ -76,6 +88,7 @@ let check_multisets ~rule ~pp_nest ~label original_refs mapped =
 let unroll ~original ~u transformed =
   let rule = "UJ020" in
   let d = Nest.depth original in
+  let nest_name = Nest.name original in
   if Vec.dim u <> d then
     fail ~rule ~nest:original "unroll vector has dimension %d, nest depth %d"
       (Vec.dim u) d
@@ -89,13 +102,14 @@ let unroll ~original ~u transformed =
       List.concat
         (List.init d (fun k ->
              let o = orig_loops.(k) and t = tr_loops.(k) in
+             let loc = Loc.level ~nest:nest_name k in
              let want_step = o.Loop.step * (Vec.get u k + 1) in
              if t.Loop.var <> o.Loop.var then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc
                  "loop %d renamed (%s -> %s) by unroll-and-jam" k o.Loop.var
                  t.Loop.var
              else if t.Loop.step <> want_step then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc
                  "loop %s: step %d after unrolling by %d copies (expected %d)"
                  o.Loop.var t.Loop.step (Vec.get u k + 1) want_step
              else if
@@ -103,7 +117,7 @@ let unroll ~original ~u transformed =
                  (Affine.equal t.Loop.lo o.Loop.lo
                  && Affine.equal t.Loop.hi o.Loop.hi)
              then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc
                  "loop %s: bounds changed by unroll-and-jam" o.Loop.var
              else []))
     in
@@ -124,12 +138,12 @@ let unroll ~original ~u transformed =
                 Array.init d (fun k -> Vec.get o k * orig_loops.(k).Loop.step)
               in
               List.map
-                (fun (kind, r) -> (kind, Aref.shift r shift))
-                (tagged_refs original))
+                (fun (kind, r, loc) -> (kind, Aref.shift r shift, loc))
+                (located_refs original))
             (Unroll.offsets u)
         in
         check_multisets ~rule ~pp_nest:original ~label:"unroll-and-jam" expected
-          (tagged_refs transformed)
+          (located_refs transformed)
       end
     end
   end
@@ -139,6 +153,7 @@ let unroll ~original ~u transformed =
 let interchange ~original ~perm transformed =
   let rule = "UJ021" in
   let d = Nest.depth original in
+  let nest_name = Nest.name original in
   if Array.length perm <> d || Nest.depth transformed <> d then
     fail ~rule ~nest:original
       "permutation rank %d does not match nest depths (%d -> %d)"
@@ -150,7 +165,7 @@ let interchange ~original ~perm transformed =
         (List.init d (fun k ->
              let o = orig_loops.(perm.(k)) and t = tr_loops.(k) in
              if t.Loop.var <> o.Loop.var || t.Loop.step <> o.Loop.step then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc:(Loc.level ~nest:nest_name k)
                  "new level %d should run loop %s (step %d); found %s (step %d)"
                  k o.Loop.var o.Loop.step t.Loop.var t.Loop.step
              else []))
@@ -165,12 +180,12 @@ let interchange ~original ~perm transformed =
       in
       let mapped =
         List.map
-          (fun (kind, (r : Aref.t)) ->
-            (kind, { r with Aref.subs = Array.map unpermute r.Aref.subs }))
-          (tagged_refs transformed)
+          (fun (kind, (r : Aref.t), loc) ->
+            (kind, { r with Aref.subs = Array.map unpermute r.Aref.subs }, loc))
+          (located_refs transformed)
       in
       check_multisets ~rule ~pp_nest:original ~label:"interchange"
-        (tagged_refs original) mapped
+        (located_refs original) mapped
     end
   end
 
@@ -179,6 +194,7 @@ let interchange ~original ~perm transformed =
 let tile ~original ~levels ~sizes transformed =
   let rule = "UJ022" in
   let d = Nest.depth original in
+  let nest_name = Nest.name original in
   let m = List.length levels in
   if List.length sizes <> m then
     fail ~rule ~nest:original "levels and sizes do not pair up"
@@ -197,12 +213,13 @@ let tile ~original ~levels ~sizes transformed =
         (List.mapi
            (fun i (level, size) ->
              let o = orig_loops.(level) and t = tr_loops.(i) in
+             let loc = Loc.level ~nest:nest_name i in
              let want_var = Tile.controller_var o.Loop.var in
              if t.Loop.var <> want_var then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc
                  "controller %d should be %s; found %s" i want_var t.Loop.var
              else if t.Loop.step <> size * o.Loop.step then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc
                  "controller %s: step %d (expected tile size %d x step %d)"
                  t.Loop.var t.Loop.step size o.Loop.step
              else [])
@@ -213,7 +230,7 @@ let tile ~original ~levels ~sizes transformed =
         (List.init d (fun j ->
              let o = orig_loops.(j) and t = tr_loops.(m + j) in
              if t.Loop.var <> o.Loop.var || t.Loop.step <> o.Loop.step then
-               fail ~rule ~nest:original
+               fail ~rule ~nest:original ~loc:(Loc.level ~nest:nest_name (m + j))
                  "level %d should still run loop %s (step %d); found %s (step \
                   %d)"
                  (m + j) o.Loop.var o.Loop.step t.Loop.var t.Loop.step
@@ -237,9 +254,9 @@ let tile ~original ~levels ~sizes transformed =
       in
       let mapped =
         List.map
-          (fun (kind, (r : Aref.t)) ->
-            (kind, { r with Aref.subs = Array.map project r.Aref.subs }))
-          (tagged_refs transformed)
+          (fun (kind, (r : Aref.t), loc) ->
+            (kind, { r with Aref.subs = Array.map project r.Aref.subs }, loc))
+          (located_refs transformed)
       in
       if !bad_ctrl <> [] then
         fail ~rule ~nest:original
@@ -249,6 +266,138 @@ let tile ~original ~levels ~sizes transformed =
              (List.map string_of_int (List.sort compare !bad_ctrl)))
       else
         check_multisets ~rule ~pp_nest:original ~label:"tiling"
-          (tagged_refs original) mapped
+          (located_refs original) mapped
     end
   end
+
+(* ---- skewing ---------------------------------------------------------- *)
+
+let skew ~original ~s transformed =
+  let rule = "UJ023" in
+  let d = Nest.depth original in
+  let nest_name = Nest.name original in
+  if
+    Array.length s <> d
+    || not (Skew.is_unit_lower_triangular s)
+  then
+    fail ~rule ~nest:original
+      "skew matrix is not unit lower triangular of the nest depth (%d)" d
+  else if Nest.depth transformed <> d then
+    fail ~rule ~nest:original "skewing changed the nest depth (%d -> %d)" d
+      (Nest.depth transformed)
+  else begin
+    (* Substituting [i' = S i] must recover the original index algebra:
+       for subscripts exactly, for the bound of level [k] up to the skew
+       term [(row_k(S) - e_k) · i] that relabelling adds. *)
+    let rows_of_s =
+      Array.init d (fun k -> Affine.make ~coefs:(Array.copy s.(k)) ~const:0)
+    in
+    let back (a : Affine.t) = Affine.subst a rows_of_s in
+    let orig_loops = Nest.loops original and tr_loops = Nest.loops transformed in
+    let loop_problems =
+      List.concat
+        (List.init d (fun k ->
+             let o = orig_loops.(k) and t = tr_loops.(k) in
+             let loc = Loc.level ~nest:nest_name k in
+             let skew_term =
+               Affine.make
+                 ~coefs:(Array.init d (fun j -> s.(k).(j) - if j = k then 1 else 0))
+                 ~const:0
+             in
+             if t.Loop.var <> o.Loop.var then
+               fail ~rule ~nest:original ~loc "loop %d renamed (%s -> %s) by skewing"
+                 k o.Loop.var t.Loop.var
+             else if t.Loop.step <> o.Loop.step then
+               fail ~rule ~nest:original ~loc "loop %s: step changed by skewing"
+                 o.Loop.var
+             else if
+               not
+                 (Affine.equal (back t.Loop.lo) (Affine.add o.Loop.lo skew_term)
+                 && Affine.equal (back t.Loop.hi) (Affine.add o.Loop.hi skew_term))
+             then
+               fail ~rule ~nest:original ~loc
+                 "loop %s: bounds do not relabel the original iteration space \
+                  under the skew"
+                 o.Loop.var
+             else []))
+    in
+    if loop_problems <> [] then loop_problems
+    else begin
+      let mapped =
+        List.map
+          (fun (kind, (r : Aref.t), loc) ->
+            (kind, { r with Aref.subs = Array.map back r.Aref.subs }, loc))
+          (located_refs transformed)
+      in
+      check_multisets ~rule ~pp_nest:original ~label:"skewing"
+        (located_refs original) mapped
+    end
+  end
+
+(* ---- retiming --------------------------------------------------------- *)
+
+let retime ~original ~shifts transformed =
+  let rule = "UJ024" in
+  let d = Nest.depth original in
+  let nest_name = Nest.name original in
+  let body = Nest.body original and body' = Nest.body transformed in
+  if
+    Array.length shifts <> List.length body
+    || Array.exists (fun r -> Array.length r <> d) shifts
+  then
+    fail ~rule ~nest:original
+      "retiming needs one depth-%d shift vector per statement (%d given for \
+       %d statements)"
+      d (Array.length shifts) (List.length body)
+  else if Nest.depth transformed <> d then
+    fail ~rule ~nest:original "retiming changed the nest depth (%d -> %d)" d
+      (Nest.depth transformed)
+  else begin
+    let orig_loops = Nest.loops original and tr_loops = Nest.loops transformed in
+    let loop_problems =
+      List.concat
+        (List.init d (fun k ->
+             let o = orig_loops.(k) and t = tr_loops.(k) in
+             if
+               t.Loop.var <> o.Loop.var || t.Loop.step <> o.Loop.step
+               || not
+                    (Affine.equal t.Loop.lo o.Loop.lo
+                    && Affine.equal t.Loop.hi o.Loop.hi)
+             then
+               fail ~rule ~nest:original ~loc:(Loc.level ~nest:nest_name k)
+                 "loop %s changed by retiming (headers must be untouched)"
+                 o.Loop.var
+             else []))
+    in
+    if loop_problems <> [] then loop_problems
+    else if List.length body' <> List.length body then
+      fail ~rule ~nest:original
+        "retiming changed the statement count (%d -> %d)" (List.length body)
+        (List.length body')
+    else
+      List.concat
+        (List.mapi
+           (fun j (orig_stmt, tr_stmt) ->
+             (* Undo the shift: statement [j] moved by [-r_j] iterations,
+                so shifting the transformed statement by [+r_j * step]
+                must give back the original exactly. *)
+             let forward =
+               Array.init d (fun k -> shifts.(j).(k) * orig_loops.(k).Loop.step)
+             in
+             if Stmt.equal (Stmt.shift tr_stmt forward) orig_stmt then []
+             else
+               fail ~rule ~nest:original ~loc:(Loc.stmt ~nest:nest_name j)
+                 "statement %d is not the original delayed by its shift vector"
+                 j)
+           (List.combine body body'))
+  end
+
+(* ---- sequence-step dispatcher ----------------------------------------- *)
+
+let step ~original t transformed =
+  match (t : Transform.t) with
+  | Transform.Unroll u -> unroll ~original ~u transformed
+  | Transform.Interchange perm -> interchange ~original ~perm transformed
+  | Transform.Tile { levels; sizes } -> tile ~original ~levels ~sizes transformed
+  | Transform.Skew s -> skew ~original ~s transformed
+  | Transform.Retime shifts -> retime ~original ~shifts transformed

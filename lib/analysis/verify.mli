@@ -14,12 +14,23 @@
       deleting the controller dimensions must recover the original
       multiset exactly.
 
+    - {!skew}: substituting [i' = S i] into the skewed nest must
+      recover the original subscripts exactly and the original bounds
+      up to the skew relabelling term — an independent derivation, not
+      a re-run of the transformation.
+    - {!retime}: loop headers untouched, and each transformed statement
+      shifted *forward* by its shift vector must equal the original
+      statement.
+
     A verified transform is the Huang–Meyer unrolling post-condition
     made checkable: the paper's tables predict counts *without*
     materialising code, and these checks certify that the code that
     eventually is materialised agrees with the model's index algebra.
-    Failures are [UJ020]/[UJ021]/[UJ022] Error diagnostics; an empty
-    list means verified. *)
+    Failures are [UJ020]–[UJ024] Error diagnostics; an empty list means
+    verified.  Every diagnostic carries the most precise {!Loc.t} known:
+    loop-header problems point at the loop level, statement problems at
+    the statement, and multiset-mismatch notes at the statement holding
+    the missing (original) or unexpected (transformed) reference. *)
 
 open Ujam_ir
 
@@ -29,3 +40,13 @@ val interchange : original:Nest.t -> perm:int array -> Nest.t -> Diagnostic.t li
 val tile :
   original:Nest.t -> levels:int list -> sizes:int list -> Nest.t -> Diagnostic.t list
 (** [levels]/[sizes] as given to {!Ujam_ir.Tile.tile}. *)
+
+val skew : original:Nest.t -> s:int array array -> Nest.t -> Diagnostic.t list
+(** [s] as given to {!Ujam_ir.Skew.apply}; failures are [UJ023]. *)
+
+val retime : original:Nest.t -> shifts:int array array -> Nest.t -> Diagnostic.t list
+(** [shifts] as given to {!Ujam_ir.Retime.apply}; failures are [UJ024]. *)
+
+val step : original:Nest.t -> Transform.t -> Nest.t -> Diagnostic.t list
+(** Dispatch on the transform's constructor — the per-step gate
+    [Passes.apply_seq] runs after every step. *)

@@ -14,7 +14,7 @@ type metrics = {
 }
 
 let metrics ~machine nest u =
-  let unrolled = Unroll.unroll_and_jam nest u in
+  let unrolled = Transform.apply_exn (Transform.Unroll u) nest in
   let d = Nest.depth unrolled in
   let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
   let summary = Streams.summarize (Streams.of_body ~localized unrolled) in

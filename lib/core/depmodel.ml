@@ -120,7 +120,7 @@ let class_members (c : classes) n =
   List.rev_map (fun r -> List.rev !(Hashtbl.find tbl r)) !order
 
 let metrics ~machine nest u =
-  let unrolled = Unroll.unroll_and_jam nest u in
+  let unrolled = Transform.apply_exn (Transform.Unroll u) nest in
   let temporal, sites = classify unrolled in
   let n = Array.length sites in
   let spatial, _ = classify (truncate_nest unrolled) in
@@ -223,7 +223,7 @@ let best ~cache ~machine space nest =
       (u0, metrics ~machine nest u0)
 
 let graph_cost nest u =
-  let unrolled = Unroll.unroll_and_jam nest u in
+  let unrolled = Transform.apply_exn (Transform.Unroll u) nest in
   let with_input = List.length (Graph.build ~include_input:true unrolled).Graph.edges in
   let without = List.length (Graph.build ~include_input:false unrolled).Graph.edges in
   (with_input, without)

@@ -32,7 +32,7 @@ let optimize ?(bound = 10) ?(cache = true) ?(max_loops = 2) ?ctx ~machine nest =
   let balance = Analysis_ctx.balance ctx in
   let choice = Analysis_ctx.timed ctx Analysis_ctx.Search (fun () -> Search.best ~cache balance) in
   let original = Search.evaluate ~cache balance (Vec.zero (Nest.depth nest)) in
-  let transformed = Unroll.unroll_and_jam nest choice.Search.u in
+  let transformed = Transform.apply_exn (Transform.Unroll choice.Search.u) nest in
   let plan = Scalar_replace.plan transformed in
   { nest; machine; cache_model = cache; ctx; safety; ranked; unroll_levels;
     space; choice; original; transformed; plan }

@@ -22,7 +22,8 @@ let best_legal ~machine nest =
         else pick rest
   in
   let permutation, cost = pick ranked in
-  { permutation; cost; original_cost; permuted = Interchange.apply nest permutation }
+  { permutation; cost; original_cost;
+    permuted = Transform.apply_exn (Transform.Interchange permutation) nest }
 
 let optimize ?bound ?cache ~machine nest =
   let choice = best_legal ~machine nest in

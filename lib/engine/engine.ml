@@ -27,6 +27,7 @@ type nest_report = {
   memory_ops : int;
   flops : int;
   speedup : float;
+  sequence : Ujam_analysis.Passes.step list;
   diagnostics : Diagnostic.t list;
 }
 
@@ -54,13 +55,34 @@ let add_timings (acc : Analysis_ctx.timings) (t : Analysis_ctx.timings) =
   acc.Analysis_ctx.sim_s <- acc.Analysis_ctx.sim_s +. t.Analysis_ctx.sim_s
 
 let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
-    ~machine ~routine nest =
+    ?(seq = false) ~machine ~routine nest =
   let module M = (val model : Model.MODEL) in
   let ( let* ) = Result.bind in
   let outcome =
     let* () = Error.check_supported ~routine nest in
-    let ctx = Analysis_ctx.create ~bound ~max_loops ~machine nest in
     let guard stage f = Error.guard ~stage ~routine f in
+    (* Sequence mode: when the safety fence binds, look for a short
+       skew/retime prefix that legalizes more of the unroll space; the
+       rest of the pipeline then runs on the legalized nest, carrying
+       the chosen steps (and their UJ026 certificate) in the report. *)
+    let* legalized =
+      if not seq then Ok None
+      else
+        guard Error.Search (fun () ->
+            let o =
+              Ujam_analysis.Seqsearch.search ~bound ~max_loops ~machine nest
+            in
+            if o.Ujam_analysis.Seqsearch.sequence = [] then None else Some o)
+    in
+    let target, sequence, seq_diags =
+      match legalized with
+      | None -> (nest, [], [])
+      | Some o ->
+          ( o.Ujam_analysis.Seqsearch.nest,
+            o.Ujam_analysis.Seqsearch.sequence,
+            o.Ujam_analysis.Seqsearch.diagnostics )
+    in
+    let ctx = Analysis_ctx.create ~bound ~max_loops ~machine target in
     let result =
       let* _safety = guard Error.Graph (fun () -> Analysis_ctx.safety ctx) in
       let* balance = guard Error.Tables (fun () -> Analysis_ctx.balance ctx) in
@@ -81,7 +103,8 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
       in
       let* original =
         guard Error.Search (fun () ->
-            Search.evaluate ~cache:M.cache balance (Vec.zero (Nest.depth nest)))
+            Search.evaluate ~cache:M.cache balance
+              (Vec.zero (Nest.depth target)))
       in
       let* speedup =
         guard Error.Search (fun () ->
@@ -98,8 +121,11 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
           memory_ops = choice.Search.memory_ops;
           flops = choice.Search.flops;
           speedup;
+          sequence;
           diagnostics =
-            (match violation with
+            (seq_diags
+            @
+            match violation with
             | Some v ->
                 [ Ujam_analysis.Monotone.diagnostic ~nest:(Nest.name nest) v ]
             | None -> []) }
@@ -119,8 +145,8 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
   in
   outcome
 
-let analyze ?bound ?max_loops ?model ~machine ?(routine = "<nest>") nest =
-  analyze_into ?bound ?max_loops ?model ~machine ~routine nest
+let analyze ?bound ?max_loops ?model ?seq ~machine ?(routine = "<nest>") nest =
+  analyze_into ?bound ?max_loops ?model ?seq ~machine ~routine nest
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic parallel work queue: the slot-ordered atomic queue now
@@ -141,7 +167,7 @@ let parallel_map ?(domains = 1) ~f jobs =
     ~f jobs
 
 let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
-    ?(model = default_model) ~machine
+    ?(model = default_model) ?seq ~machine
     (routines : Ujam_workload.Generator.routine list) =
   let module M = (val model : Model.MODEL) in
   let jobs = Array.of_list routines in
@@ -158,7 +184,7 @@ let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
                   List.map
                     (fun nest ->
                       analyze_into ~into:per_domain.(domain) ~bound ~max_loops
-                        ~model ~machine
+                        ~model ?seq ~machine
                         ~routine:r.Ujam_workload.Generator.name nest)
                     r.Ujam_workload.Generator.nests }
             in
@@ -208,6 +234,12 @@ let pp_nest_outcome ppf = function
         r.nest_name (Vec.to_string r.u) r.balance_before r.balance_after
         r.registers r.memory_ops r.flops r.speedup;
       List.iter
+        (fun (st : Ujam_analysis.Passes.step) ->
+          Format.fprintf ppf "@,  seq %s: %s"
+            (Ujam_ir.Transform.to_string st.Ujam_analysis.Passes.transform)
+            st.Ujam_analysis.Passes.note)
+        r.sequence;
+      List.iter
         (fun d -> Format.fprintf ppf "@,  %a" Diagnostic.pp d)
         r.diagnostics
   | Error e -> Error.pp ppf e
@@ -246,6 +278,10 @@ let nest_outcome_to_json = function
           ("memory_ops", Json.Int r.memory_ops);
           ("flops", Json.Int r.flops);
           ("speedup", Json.Float r.speedup) ]
+         @ (if r.sequence = [] then []
+            else
+              [ ( "sequence",
+                  Ujam_analysis.Seqsearch.steps_json r.sequence ) ])
          @
          if r.diagnostics = [] then []
          else

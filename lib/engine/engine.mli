@@ -22,6 +22,11 @@ type nest_report = {
   memory_ops : int;
   flops : int;
   speedup : float;           (** modelled cycles before / after *)
+  sequence : Ujam_analysis.Passes.step list;
+      (** legalizing transformation prefix chosen by the [seq] search
+          (with per-step why-legal notes); empty unless [~seq:true]
+          found a strict improvement, and omitted from {!pp}/JSON when
+          empty *)
   diagnostics : Ujam_analysis.Diagnostic.t list;
       (** analyzer findings attached to this nest (e.g. the [UJ010]
           monotonicity-guard degradation); empty on a clean run and
@@ -47,12 +52,17 @@ val analyze :
   ?bound:int ->
   ?max_loops:int ->
   ?model:(module Model.MODEL) ->
+  ?seq:bool ->
   machine:Ujam_machine.Machine.t ->
   ?routine:string ->
   Ujam_ir.Nest.t ->
   nest_outcome
 (** Analyze one nest ([bound] defaults to 4, [model] to
-    {!Model.Ugs_tables}).  Never raises on unsupported input: the
+    {!Model.Ugs_tables}).  With [~seq:true], a binding safety fence
+    first triggers {!Ujam_analysis.Seqsearch}: if a short verified
+    skew/retime prefix strictly improves the objective, the pipeline
+    runs on the legalized nest and the report carries the sequence plus
+    its [UJ026] certificate.  Never raises on unsupported input: the
     outcome carries a typed {!Error.t} instead. *)
 
 val parallel_map :
@@ -69,6 +79,7 @@ val run_corpus :
   ?bound:int ->
   ?max_loops:int ->
   ?model:(module Model.MODEL) ->
+  ?seq:bool ->
   machine:Ujam_machine.Machine.t ->
   Ujam_workload.Generator.routine list ->
   corpus_report

@@ -29,6 +29,25 @@ let shift t o =
   Array.iteri (fun k c -> delta := !delta + (c * o.(k))) t.coefs;
   { t with const = t.const + !delta }
 
+let subst t images =
+  if Array.length images <> depth t then invalid_arg "Affine.subst: depth";
+  let out_depth =
+    if Array.length images = 0 then 0 else depth images.(0)
+  in
+  Array.iter
+    (fun im -> if depth im <> out_depth then invalid_arg "Affine.subst: image depth")
+    images;
+  let coefs = Array.make out_depth 0 in
+  let const = ref t.const in
+  Array.iteri
+    (fun k c ->
+      if c <> 0 then begin
+        Array.iteri (fun j cj -> coefs.(j) <- coefs.(j) + (c * cj)) images.(k).coefs;
+        const := !const + (c * images.(k).const)
+      end)
+    t.coefs;
+  { coefs; const = !const }
+
 let equal a b = a.const = b.const && Array.for_all2 ( = ) a.coefs b.coefs
 let compare a b = Stdlib.compare (a.coefs, a.const) (b.coefs, b.const)
 

@@ -25,6 +25,13 @@ val shift : t -> int array -> t
     peeling the body copy at iteration offset [o] (coefficients are
     unchanged, the constant absorbs [sum coefs.(k) * o.(k)]). *)
 
+val subst : t -> t array -> t
+(** [subst t images] substitutes [images.(k)] for every [i_k]: the
+    result is the composition [t ∘ images] over the index space of the
+    images (which must all share one depth).  Skewing rewrites every
+    subscript and bound this way, with the images the rows of the
+    inverse skew matrix. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

@@ -1,0 +1,21 @@
+let apply nest shifts =
+  let d = Nest.depth nest in
+  let body = Nest.body nest in
+  if Array.length shifts <> List.length body then
+    invalid_arg "Retime.apply: one shift vector per statement";
+  Array.iter
+    (fun r -> if Array.length r <> d then invalid_arg "Retime.apply: shift dimension")
+    shifts;
+  let loops = Nest.loops nest in
+  let body' =
+    List.mapi
+      (fun j stmt ->
+        (* Statement [j] at iteration [i] performs instance [i - r_j]:
+           shift its indices by [-r_j] iterations, i.e. [-r_j * step]. *)
+        let off =
+          Array.init d (fun k -> -shifts.(j).(k) * loops.(k).Loop.step)
+        in
+        Stmt.shift stmt off)
+      body
+  in
+  Nest.with_body nest body'

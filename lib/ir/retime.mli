@@ -1,0 +1,25 @@
+(** Statement-level retiming (index-set shifting).
+
+    Retiming delays each body statement by its own iteration offset: with
+    shift vector [r_j] for statement [j], the retimed nest executes, at
+    iteration [i], the instance [i - r_j] of statement [j] — every
+    subscript of statement [j] is shifted by [-r_j * step].  The set of
+    statement instances is unchanged up to a bounded prologue/epilogue at
+    the iteration-space boundary, which the library assumes away exactly
+    as it assumes divisibility for unroll-and-jam.
+
+    The payoff is on *cross-statement* dependences: an edge from
+    statement [a] to statement [b] with distance [d] becomes
+    [d + r_b - r_a], so shifts solving a small difference-constraint
+    system can make every carried distance lexicographically
+    non-negative where the original nest had a negative inner component
+    (the classic retiming legalization of arXiv:1205.4672, applied here
+    per statement rather than per DFG node).  Same-statement distances
+    are invariant — those need {!Skew}. *)
+
+val apply : Nest.t -> int array array -> Nest.t
+(** [apply nest shifts] with [shifts.(j)] the per-level iteration shift
+    of statement [j].
+
+    @raise Invalid_argument if the outer length differs from the number
+    of body statements or any inner length from the nest depth. *)

@@ -1,0 +1,81 @@
+let is_unit_lower_triangular s =
+  let d = Array.length s in
+  Array.for_all (fun row -> Array.length row = d) s
+  &&
+  let ok = ref true in
+  for k = 0 to d - 1 do
+    if s.(k).(k) <> 1 then ok := false;
+    for j = k + 1 to d - 1 do
+      if s.(k).(j) <> 0 then ok := false
+    done
+  done;
+  !ok
+
+let inverse s =
+  if not (is_unit_lower_triangular s) then
+    invalid_arg "Skew.inverse: not unit lower triangular";
+  let d = Array.length s in
+  let inv = Array.make_matrix d d 0 in
+  (* Column j of the inverse solves [s x = e_j] by forward substitution;
+     unit diagonal keeps everything integral. *)
+  for j = 0 to d - 1 do
+    inv.(j).(j) <- 1;
+    for i = j + 1 to d - 1 do
+      let acc = ref 0 in
+      for k = j to i - 1 do
+        acc := !acc + (s.(i).(k) * inv.(k).(j))
+      done;
+      inv.(i).(j) <- - !acc
+    done
+  done;
+  inv
+
+let elementary ~depth ~target ~source ~factor =
+  if source < 0 || target >= depth || source >= target then
+    invalid_arg "Skew.elementary: need 0 <= source < target < depth";
+  let s = Array.init depth (fun i -> Array.init depth (fun j -> if i = j then 1 else 0)) in
+  s.(target).(source) <- factor;
+  s
+
+let apply nest s =
+  let d = Nest.depth nest in
+  if Array.length s <> d || not (is_unit_lower_triangular s) then
+    invalid_arg "Skew.apply: matrix must be unit lower triangular of the nest depth";
+  let loops = Nest.loops nest in
+  Array.iter
+    (fun (l : Loop.t) ->
+      if l.Loop.step <> 1 then invalid_arg "Skew.apply: non-unit step")
+    loops;
+  let inv = inverse s in
+  (* Original indices in terms of the new ones: [i = S^{-1} i']. *)
+  let images =
+    Array.init d (fun k -> Affine.make ~coefs:(Array.copy inv.(k)) ~const:0)
+  in
+  let subst_back a = Affine.subst a images in
+  (* New bounds for level [k]: the original bound composed with [S^{-1}]
+     plus the skew term.  With [t_k = row_k(S) - e_k] the added term is
+     [t_k · i = (t_k S^{-1}) · i' = (e_k - row_k(S^{-1})) · i'], which
+     mentions only *outer* new indices since [S^{-1}] is unit lower
+     triangular — the result is again a valid affine bound. *)
+  let skew_term k =
+    Affine.make
+      ~coefs:(Array.init d (fun j -> (if j = k then 1 else 0) - inv.(k).(j)))
+      ~const:0
+  in
+  let loops' =
+    Array.mapi
+      (fun k (l : Loop.t) ->
+        let lo = Affine.add (subst_back l.Loop.lo) (skew_term k) in
+        let hi = Affine.add (subst_back l.Loop.hi) (skew_term k) in
+        Loop.make ~var:l.Loop.var ~level:k ~lo ~hi ~step:1)
+      loops
+  in
+  let body' =
+    List.map
+      (Stmt.map_refs (fun (r : Aref.t) ->
+           { r with Aref.subs = Array.map subst_back r.Aref.subs }))
+      (Nest.body nest)
+  in
+  Nest.make ~name:(Nest.name nest)
+    ~loops:(Array.to_list loops')
+    ~body:body'

@@ -1,0 +1,40 @@
+(** Loop skewing by a unimodular lower-triangular matrix.
+
+    Skewing relabels the iteration space: the new indices are
+    [i' = S i] for a unit lower-triangular integer matrix [S] (ones on
+    the diagonal, zeros above), so each new index adds multiples of
+    *outer* indices to an original one.  The transformation is always
+    legal — [S] maps every dependence distance [d] to [S d], whose
+    first nonzero component equals [d]'s, preserving lexicographic
+    order — and it is the standard way to turn an anti-diagonal
+    recurrence distance such as [(1, -1)] into the non-negative
+    [(1, 0)], lifting the unroll safety cap that the negative inner
+    component imposes (cf. Wolf–Lam; arXiv:1205.4672 uses the same
+    device to expose full parallelism in uniform nests).
+
+    Subscripts and bounds are rewritten with [S^{-1}] (computed exactly
+    — a unit lower-triangular integer matrix has a unit lower-triangular
+    integer inverse), so the set of accessed elements is untouched:
+    iteration [i'] of the skewed nest performs exactly the work of
+    iteration [S^{-1} i'] of the original. *)
+
+val is_unit_lower_triangular : int array array -> bool
+(** Square, ones on the diagonal, zeros strictly above. *)
+
+val inverse : int array array -> int array array
+(** Exact integer inverse of a unit lower-triangular matrix (forward
+    substitution).  @raise Invalid_argument if the matrix is not unit
+    lower triangular. *)
+
+val elementary : depth:int -> target:int -> source:int -> factor:int -> int array array
+(** The matrix skewing loop [target] by [factor] copies of the *outer*
+    loop [source] ([source < target]): identity plus [factor] at row
+    [target], column [source]. *)
+
+val apply : Nest.t -> int array array -> Nest.t
+(** [apply nest s] skews [nest] by [s].
+
+    @raise Invalid_argument if [s] is not unit lower triangular of the
+    nest's depth, or if any loop has a non-unit step (skewed bounds only
+    make sense over unit-step iteration spaces; the supported class is
+    unit-step anyway). *)

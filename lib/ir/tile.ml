@@ -59,7 +59,7 @@ let strip_mine nest ~level ~size =
   let body = List.map (Stmt.map_refs remap_ref) (Nest.body nest) in
   Nest.make ~name:(Nest.name nest) ~loops:new_loops ~body
 
-let tile nest ~levels ~sizes =
+let plan nest ~levels ~sizes =
   if List.length levels <> List.length sizes then
     invalid_arg "Tile.tile: levels and sizes must pair up";
   if List.sort_uniq compare levels <> List.sort compare levels then
@@ -84,4 +84,8 @@ let tile nest ~levels ~sizes =
   let d = Nest.depth nest in
   let ctrls = List.sort compare controllers in
   let rest = List.filter (fun k -> not (List.mem k ctrls)) (List.init d Fun.id) in
-  Interchange.apply nest (Array.of_list (ctrls @ rest))
+  (nest, Array.of_list (ctrls @ rest))
+
+let tile nest ~levels ~sizes =
+  let mined, hoist = plan nest ~levels ~sizes in
+  Interchange.apply mined hoist

@@ -22,6 +22,12 @@ val strip_mine : Nest.t -> level:int -> size:int -> Nest.t
     or a loop whose bounds other loops depend on in a way the split
     cannot express. *)
 
+val plan : Nest.t -> levels:int list -> sizes:int list -> Nest.t * int array
+(** The strip-mined (not yet hoisted) nest and the controller-hoisting
+    permutation [tile] applies to it — exposed so a legality gate can
+    run {!Ujam_depend.Safety.legal_permutation} on exactly the
+    permutation the transformation performs. *)
+
 val tile : Nest.t -> levels:int list -> sizes:int list -> Nest.t
 (** Strip-mine each listed level (outermost-first order) and move all
     controller loops to the outside, preserving their relative order.

@@ -1,0 +1,137 @@
+open Ujam_linalg
+
+type t =
+  | Unroll of Vec.t
+  | Interchange of int array
+  | Tile of { levels : int list; sizes : int list }
+  | Skew of int array array
+  | Retime of int array array
+
+type reject = { loc : Loc.t; reason : string }
+
+let name = function
+  | Unroll _ -> "unroll"
+  | Interchange _ -> "interchange"
+  | Tile _ -> "tile"
+  | Skew _ -> "skew"
+  | Retime _ -> "retime"
+
+let apply_exn t nest =
+  match t with
+  | Unroll u -> Unroll.unroll_and_jam nest u
+  | Interchange perm -> Interchange.apply nest perm
+  | Tile { levels; sizes } -> Tile.tile nest ~levels ~sizes
+  | Skew s -> Skew.apply nest s
+  | Retime shifts -> Retime.apply nest shifts
+
+let apply t nest =
+  match apply_exn t nest with
+  | nest' -> Ok nest'
+  | exception Invalid_argument reason ->
+      Error { loc = Loc.nest (Nest.name nest); reason }
+
+let apply_seq steps nest =
+  let rec go i nest = function
+    | [] -> Ok nest
+    | step :: rest -> (
+        match apply step nest with
+        | Ok nest' -> go (i + 1) nest' rest
+        | Error r -> Error (i, step, r))
+  in
+  go 0 nest steps
+
+let is_identity = function
+  | Unroll u -> Vec.is_zero u
+  | Interchange perm ->
+      let id = ref true in
+      Array.iteri (fun k p -> if p <> k then id := false) perm;
+      !id
+  | Tile { levels; sizes = _ } -> levels = []
+  | Skew s ->
+      let id = ref true in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j c -> if c <> (if i = j then 1 else 0) then id := false)
+            row)
+        s;
+      !id
+  | Retime shifts ->
+      Array.for_all (fun r -> Array.for_all (fun x -> x = 0) r) shifts
+
+let matmul a b =
+  (* (a * b).(i).(j) = sum_k a.(i).(k) * b.(k).(j) *)
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let s = ref 0 in
+          for k = 0 to n - 1 do
+            s := !s + (a.(i).(k) * b.(k).(j))
+          done;
+          !s))
+
+let fuse a b =
+  match (a, b) with
+  | Unroll u, Unroll v when Vec.dim u = Vec.dim v ->
+      (* Unrolling by [v] a nest already unrolled by [u] copies each
+         level (u_k+1)(v_k+1) times in total. *)
+      Some (Unroll (Vec.map2 (fun x y -> ((x + 1) * (y + 1)) - 1) u v))
+  | Interchange p, Interchange q when Array.length p = Array.length q ->
+      (* After [p] then [q]: new level k runs p.(q.(k)). *)
+      Some (Interchange (Array.map (fun k -> p.(k)) q))
+  | Skew s1, Skew s2 when Array.length s1 = Array.length s2 ->
+      (* i'' = s2 (s1 i). *)
+      Some (Skew (matmul s2 s1))
+  | Retime r1, Retime r2
+    when Array.length r1 = Array.length r2
+         && Array.for_all2 (fun a b -> Array.length a = Array.length b) r1 r2 ->
+      Some (Retime (Array.map2 (Array.map2 ( + )) r1 r2))
+  | _ -> None
+
+let normalize steps =
+  let rec fuse_pass = function
+    | a :: b :: rest -> (
+        match fuse a b with
+        | Some c -> fuse_pass (c :: rest)
+        | None -> a :: fuse_pass (b :: rest))
+    | short -> short
+  in
+  let rec fix steps =
+    let steps' = fuse_pass (List.filter (fun s -> not (is_identity s)) steps) in
+    if List.length steps' = List.length steps then steps' else fix steps'
+  in
+  fix steps
+
+let equal a b =
+  match (a, b) with
+  | Unroll u, Unroll v -> Vec.equal u v
+  | Interchange p, Interchange q -> p = q
+  | Tile a, Tile b -> a.levels = b.levels && a.sizes = b.sizes
+  | Skew s1, Skew s2 -> s1 = s2
+  | Retime r1, Retime r2 -> r1 = r2
+  | _ -> false
+
+let pp_int_list ppf l =
+  Format.fprintf ppf "(%s)" (String.concat "," (List.map string_of_int l))
+
+let pp_matrix ppf m =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun row ->
+               "[" ^ String.concat "," (Array.to_list (Array.map string_of_int row)) ^ "]")
+             m)))
+
+let pp ppf t =
+  match t with
+  | Unroll u -> Format.fprintf ppf "unroll%a" pp_int_list (Vec.to_list u)
+  | Interchange perm ->
+      Format.fprintf ppf "interchange%a" pp_int_list (Array.to_list perm)
+  | Tile { levels; sizes } ->
+      Format.fprintf ppf "tile(levels%a,sizes%a)" pp_int_list levels pp_int_list
+        sizes
+  | Skew s -> Format.fprintf ppf "skew%a" pp_matrix s
+  | Retime shifts -> Format.fprintf ppf "retime%a" pp_matrix shifts
+
+let to_string t = Format.asprintf "%a" pp t

@@ -77,7 +77,16 @@ let saxpy_bands ?(n = 130) () =
           +: (rd "A" [ j ] *: rd "X" [ i; j -$ 1 ])
           +: (rd "B" [ j ] *: rd "X" [ i; j +$ 1 ]) ]
 
+let skewrec ?(n = 16) () =
+  let d = 2 in
+  let i = var d 0 and j = var d 1 in
+  nest "skewrec"
+    [ loop d "I" ~level:0 ~lo:1 ~hi:n (); loop d "J" ~level:1 ~lo:1 ~hi:n () ]
+    [ aref "A" [ i; j ]
+      <<- (rd "A" [ i -$ 1; j +$ 1 ] *: s "S") +: rd "B" [ i; j ] ]
+
 let all =
   [ ("mmijk", mmijk); ("mmikj", mmikj); ("transpose", transpose);
     ("stencil7p", stencil27); ("conv2d", fun ?n () -> conv2d ?n ());
-    ("lufact", lufact); ("dot", dot); ("saxpy_bands", saxpy_bands) ]
+    ("lufact", lufact); ("dot", dot); ("saxpy_bands", saxpy_bands);
+    ("skewrec", skewrec) ]

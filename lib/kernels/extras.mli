@@ -29,4 +29,11 @@ val dot : ?n:int -> unit -> Nest.t
 val saxpy_bands : ?n:int -> unit -> Nest.t
 (** Banded triad: [Y(I,J) = Y(I,J) + A(J) * X(I,J-1) + B(J) * X(I,J+1)]. *)
 
+val skewrec : ?n:int -> unit -> Nest.t
+(** Anti-diagonal recurrence [A(I,J) = A(I-1,J+1)*S + B(I,J)]: the
+    [(1,-1)] carried distance fences the outer loop at 0 extra copies,
+    so plain unroll-and-jam degrades to the untransformed nest; a
+    factor-1 skew of [J] by [I] straightens the distance to [(1,0)] and
+    reopens the space (the [--seq] showcase). *)
+
 val all : (string * (?n:int -> unit -> Nest.t)) list

@@ -9,7 +9,7 @@ let predicted bal u =
     flops = Ujam_core.Balance.flops bal u }
 
 let measured nest u =
-  let unrolled = Unroll.unroll_and_jam nest u in
+  let unrolled = Transform.apply_exn (Transform.Unroll u) nest in
   let d = Nest.depth unrolled in
   let localized = Subspace.span_dims ~dim:d [ d - 1 ] in
   let summary =

@@ -33,6 +33,9 @@ type config = {
   layers : layer list;
   shrink : bool;
   deep : bool;  (** deep-space mode: 4-deep generator nests admitted *)
+  recurrent : bool;
+      (** recurrent mode: draw fence-binding recurrence nests instead
+          of the corpus mix *)
 }
 
 let default_config ?(machine = Presets.alpha) () =
@@ -45,7 +48,8 @@ let default_config ?(machine = Presets.alpha) () =
     domains = 1;
     layers = all_layers;
     shrink = true;
-    deep = false }
+    deep = false;
+    recurrent = false }
 
 type failure = {
   routine : string;
@@ -62,6 +66,7 @@ type report = {
   draws : int;
   rejected : int;
   skipped_depth : int;
+  fenced : int;
   sim_checked : int;
   verify_checked : int;
   verify_failed : int;
@@ -80,27 +85,36 @@ type layer_result = {
 }
 
 (* The verify layer: materialise every unroll vector of the searched
-   space and check the transformed nest against the index algebra
-   ({!Ujam_analysis.Verify.unroll}); any diagnostic is a mismatch the
-   tables could never have caught (they never materialise code). *)
+   space through the gated pipeline ({!Ujam_analysis.Passes.apply_seq}
+   — the legality gate, the structural transform, and the index-algebra
+   post-condition all run per vector); any diagnostic is a mismatch the
+   tables could never have caught (they never materialise code).  The
+   dependence graph is built once per nest and reused for every
+   vector's legality gate. *)
 let verify_check ~bound ~max_loops ~machine nest =
   let ctx = Ujam_core.Analysis_ctx.create ~bound ~max_loops ~machine nest in
   let space = Ujam_core.Analysis_ctx.space ctx in
+  let graph = Ujam_core.Analysis_ctx.graph ctx in
   let ms = ref [] and checked = ref 0 in
   Ujam_core.Unroll_space.iter space (fun u ->
       incr checked;
-      let transformed = Unroll.unroll_and_jam nest u in
-      List.iter
-        (fun (d : Ujam_analysis.Diagnostic.t) ->
-          ms :=
-            Mismatch.make ~nest:(Nest.name nest)
-              ~machine:machine.Machine.name
-              (Mismatch.Verify
-                 { u;
-                   rule = d.Ujam_analysis.Diagnostic.rule;
-                   detail = d.Ujam_analysis.Diagnostic.message })
-            :: !ms)
-        (Ujam_analysis.Verify.unroll ~original:nest ~u transformed));
+      match
+        Ujam_analysis.Passes.apply_seq ~graph nest
+          [ Ujam_ir.Transform.Unroll u ]
+      with
+      | Ok _ -> ()
+      | Error diags ->
+          List.iter
+            (fun (d : Ujam_analysis.Diagnostic.t) ->
+              ms :=
+                Mismatch.make ~nest:(Nest.name nest)
+                  ~machine:machine.Machine.name
+                  (Mismatch.Verify
+                     { u;
+                       rule = d.Ujam_analysis.Diagnostic.rule;
+                       detail = d.Ujam_analysis.Diagnostic.message })
+                :: !ms)
+            diags);
   (List.rev !ms, !checked)
 
 let check_layer ?perturb ~cfg ~routine layer nest =
@@ -205,7 +219,9 @@ let run ?perturb cfg =
   let count = ref 0 and idx = ref 0 and skipped_depth = ref 0 in
   let max_draws = (cfg.n * 8) + 16 in
   while !count < cfg.n && !idx < max_draws do
-    let r = Generator.routine ~deep:cfg.deep ~stats st !idx in
+    let r =
+      Generator.routine ~deep:cfg.deep ~recurrent:cfg.recurrent ~stats st !idx
+    in
     incr idx;
     List.iter
       (fun nest ->
@@ -258,6 +274,7 @@ let run ?perturb cfg =
     draws = stats.Generator.generated;
     rejected = stats.Generator.rejected;
     skipped_depth = !skipped_depth;
+    fenced = stats.Generator.fenced;
     sim_checked =
       Array.fold_left
         (fun acc r -> if r.jr_simulated then acc + 1 else acc)
@@ -278,10 +295,15 @@ let pp ppf r =
     "differential oracle: seed=%d machine=%s bound=%d depth<=%d layers=%s%s@."
     c.seed c.machine.Machine.name c.bound c.max_depth
     (String.concat "," (List.map layer_name c.layers))
-    (if c.deep then " deep-space" else "");
+    ((if c.deep then " deep-space" else "")
+    ^ if c.recurrent then " recurrent" else "");
   Format.fprintf ppf
     "nests: %d checked (%d routines, %d draws, %d out-of-class re-rolls, %d over depth limit)@."
     r.nests r.routines r.draws r.rejected r.skipped_depth;
+  if c.recurrent then
+    Format.fprintf ppf
+      "recurrent mode: %d of %d emitted nests have a binding safety fence@."
+      r.fenced r.nests;
   Format.fprintf ppf "sim layer: %d nests replayed through the cache model@."
     r.sim_checked;
   Format.fprintf ppf
@@ -349,6 +371,7 @@ let to_json r =
       ("bound", Json.Int c.bound);
       ("max_depth", Json.Int c.max_depth);
       ("deep", Json.Bool c.deep);
+      ("recurrent", Json.Bool c.recurrent);
       ( "layers",
         Json.List (List.map (fun l -> Json.Str (layer_name l)) c.layers) );
       ("nests", Json.Int r.nests);
@@ -356,6 +379,7 @@ let to_json r =
       ("draws", Json.Int r.draws);
       ("rejected", Json.Int r.rejected);
       ("skipped_depth", Json.Int r.skipped_depth);
+      ("fenced", Json.Int r.fenced);
       ("sim_checked", Json.Int r.sim_checked);
       ("verify_checked", Json.Int r.verify_checked);
       ("verify_failed", Json.Int r.verify_failed);

@@ -32,12 +32,16 @@ type config = {
       (** deep-space mode: the generator also draws 4-deep nests;
           combine with a raised [bound]/[max_depth] (the CLI's
           [--deep-space] sets bound >= 8, max_depth >= 4) *)
+  recurrent : bool;
+      (** recurrent mode: the generator draws fence-binding
+          anti-diagonal and cross-statement recurrences instead of the
+          corpus mix — fodder for the skew/retime sequence legalizer *)
 }
 
 val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
 (** n 200, seed 1997, max_depth 3, bound 4, max_loops 2, machine alpha,
     domains 1, all layers (verify included), shrinking on, deep-space
-    off. *)
+    and recurrent off. *)
 
 type failure = {
   routine : string;
@@ -54,6 +58,9 @@ type report = {
   draws : int;  (** generator nest draws, including re-rolls *)
   rejected : int;  (** out-of-class draws re-rolled by the generator *)
   skipped_depth : int;  (** nests over [max_depth], not checked *)
+  fenced : int;
+      (** emitted nests whose safety cap binds at a non-innermost level
+          (only counted in recurrent mode) *)
   sim_checked : int;  (** nests the simulator layer replayed *)
   verify_checked : int;  (** unrolled bodies checked by the verifier *)
   verify_failed : int;  (** verifier rejections (multiset mismatches) *)

@@ -42,7 +42,7 @@ let check ?(bound = 4) ?(max_loops = 2) ?(candidates = 4) ?(rel_tol = 0.5)
         let measured =
           List.filter_map
             (fun (u, predicted) ->
-              let unrolled = Unroll.unroll_and_jam nest u in
+              let unrolled = Transform.apply_exn (Transform.Unroll u) nest in
               let plan = Scalar_replace.plan unrolled in
               let accesses =
                 iterations / Unroll_space.copies u * List.length plan.Scalar_replace.kept

@@ -2,9 +2,13 @@ open Ujam_ir
 
 type routine = { name : string; nests : Nest.t list }
 
-type stats = { mutable generated : int; mutable rejected : int }
+type stats = {
+  mutable generated : int;
+  mutable rejected : int;
+  mutable fenced : int;
+}
 
-let stats () = { generated = 0; rejected = 0 }
+let stats () = { generated = 0; rejected = 0; fenced = 0 }
 
 let rejection_rate s =
   if s.generated = 0 then 0.0
@@ -241,6 +245,89 @@ let stencil_nest st ~self_update ~idx ~depth =
   in
   Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops ~body
 
+(* ---- recurrent mode --------------------------------------------------- *)
+
+(* Nests whose loop-carried recurrence fences the unroll search: the
+   safety cap ({!Ujam_depend.Safety.max_safe_unroll}) drives a
+   non-innermost component to zero, so a plain unroll search degrades
+   them to the zero vector unless a skew or retime prefix straightens
+   the offending distance first — fuzz fodder for the sequence
+   legalizer. *)
+
+(* Self-recurrence with an anti-diagonal distance: the target array is
+   read back at [(.., I_l - 1, .., I_k + t, ..)], giving distance
+   [(.., 1, .., -t, ..)] whose negative suffix caps level [l] at zero
+   extra copies; a factor-[t] elementary skew of [I_k] by [I_l]
+   straightens it ([t <= Supported.max_coefficient]). *)
+let antidiagonal_nest st ~idx ~depth =
+  let depth = max 2 depth in
+  let bound = 8 + Random.State.int st 24 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:3 ~hi:bound ())
+  in
+  let name = List.hd (distinct_arrays st ~count:1 ~offset:idx) in
+  let l = Random.State.int st (depth - 1) in
+  let k = l + 1 + Random.State.int st (depth - 1 - l) in
+  let t = 1 + Random.State.int st 2 in
+  let lhs = Aref.make name (List.init depth (fun j -> Affine.var ~depth j)) in
+  let read =
+    Aref.make name
+      (List.init depth (fun j ->
+           let v = Affine.var ~depth j in
+           if j = l then Affine.add_const v (-1)
+           else if j = k then Affine.add_const v t
+           else v))
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops
+    ~body:
+      [ Stmt.store lhs (Expr.Bin (Expr.Mul, Expr.Read read, Expr.Scalar "S")) ]
+
+(* Cross-statement recurrence: statement 0 reads what statement 1 wrote
+   [(.., 1, .., -t, ..)] iterations earlier.  The carrying edge joins
+   two different statements, so retiming statement 0 by [t] steps of
+   loop [k] straightens it without touching the iteration space. *)
+let cross_recurrence_nest st ~idx ~depth =
+  let depth = max 2 depth in
+  let bound = 8 + Random.State.int st 24 in
+  let loops =
+    List.init depth (fun level ->
+        Loop.make_const ~var:loop_names.(level) ~level ~depth ~lo:3 ~hi:bound ())
+  in
+  let names = distinct_arrays st ~count:3 ~offset:idx in
+  let a = List.nth names 0 and b = List.nth names 1 and c = List.nth names 2 in
+  let l = Random.State.int st (depth - 1) in
+  let k = l + 1 + Random.State.int st (depth - 1 - l) in
+  let t = 1 + Random.State.int st 2 in
+  let ident name = Aref.make name (List.init depth (fun j -> Affine.var ~depth j)) in
+  let shifted name =
+    Aref.make name
+      (List.init depth (fun j ->
+           let v = Affine.var ~depth j in
+           if j = l then Affine.add_const v (-1)
+           else if j = k then Affine.add_const v t
+           else v))
+  in
+  Nest.make ~name:(Printf.sprintf "nest%d" idx) ~loops
+    ~body:
+      [ Stmt.store (ident a)
+          (Expr.Bin (Expr.Add, Expr.Read (shifted b), Expr.Read (ident c)));
+        Stmt.store (ident b)
+          (Expr.Bin (Expr.Mul, Expr.Read (ident c), Expr.Scalar "S")) ]
+
+(* Does the safety cap bind at some non-innermost level?  Such a nest is
+   what the recurrent mode promises to deliver: a plain unroll search
+   cannot move past the zero vector there. *)
+let fence_binds nest =
+  let graph = Ujam_depend.Graph.build ~include_input:false nest in
+  let caps = Ujam_depend.Safety.max_safe_unroll graph in
+  let d = Array.length caps in
+  let binds = ref false in
+  for kk = 0 to d - 2 do
+    if caps.(kk) = 0 then binds := true
+  done;
+  d >= 2 && !binds
+
 (* Every emitted nest must sit inside the modelled subscript class
    ({!Ujam_ir.Supported}) so downstream consumers — the engine, and
    especially the fuzzing oracle — never burn throughput on known-
@@ -264,36 +351,50 @@ let supported_nest ?stats st ~idx gen =
   in
   attempt 0
 
-let routine ?(deep = false) ?stats st idx =
+let routine ?(deep = false) ?(recurrent = false) ?stats st idx =
   (* [deep] widens the depth distribution to 4-deep nests for the
-     oracle's deep-space mode; the default draw sequence is untouched
-     (pinned corpora depend on it). *)
+     oracle's deep-space mode; [recurrent] swaps the archetype mix for
+     fence-binding recurrences.  Both default off and the off path is
+     the original draw sequence verbatim (pinned corpora depend on
+     it). *)
   let depth =
     if deep then weighted st [ (12, 1); (36, 2); (32, 3); (20, 4) ]
     else weighted st [ (20, 1); (52, 2); (28, 3) ]
   in
   let kind =
-    weighted st
-      [ (44, `Streaming); (5, `Recurrence); (9, `Light); (15, `Stencil);
-        (10, `Stencil_update); (17, `Mixed) ]
+    if recurrent then
+      weighted st [ (60, `Antidiagonal); (40, `Cross_recurrence) ]
+    else
+      weighted st
+        [ (44, `Streaming); (5, `Recurrence); (9, `Light); (15, `Stencil);
+          (10, `Stencil_update); (17, `Mixed) ]
   in
   let n_nests = 1 + Random.State.int st 2 in
   let nests =
     List.init n_nests (fun k ->
         let idx = (idx * 3) + k in
-        supported_nest ?stats st ~idx (fun () ->
-            match kind with
-            | `Streaming -> streaming_nest st ~idx ~depth
-            | `Recurrence -> recurrence_nest st ~idx ~depth:(max 1 depth)
-            | `Light -> light_reuse_nest st ~idx ~depth:(max 1 depth)
-            | `Stencil ->
-                stencil_nest st ~self_update:false ~idx ~depth:(max 2 depth)
-            | `Stencil_update ->
-                stencil_nest st ~self_update:true ~idx ~depth:(max 2 depth)
-            | `Mixed -> gen_nest st ~idx ~depth ~reuse_heavy:true))
+        let nest =
+          supported_nest ?stats st ~idx (fun () ->
+              match kind with
+              | `Streaming -> streaming_nest st ~idx ~depth
+              | `Recurrence -> recurrence_nest st ~idx ~depth:(max 1 depth)
+              | `Light -> light_reuse_nest st ~idx ~depth:(max 1 depth)
+              | `Stencil ->
+                  stencil_nest st ~self_update:false ~idx ~depth:(max 2 depth)
+              | `Stencil_update ->
+                  stencil_nest st ~self_update:true ~idx ~depth:(max 2 depth)
+              | `Mixed -> gen_nest st ~idx ~depth ~reuse_heavy:true
+              | `Antidiagonal -> antidiagonal_nest st ~idx ~depth
+              | `Cross_recurrence -> cross_recurrence_nest st ~idx ~depth)
+        in
+        (match stats with
+        | Some s when recurrent && fence_binds nest ->
+            s.fenced <- s.fenced + 1
+        | _ -> ());
+        nest)
   in
   { name = Printf.sprintf "routine%04d" idx; nests }
 
-let corpus ?(seed = 1997) ?stats ~count () =
+let corpus ?(seed = 1997) ?recurrent ?stats ~count () =
   let st = Random.State.make [| seed |] in
-  List.init count (fun idx -> routine ?stats st idx)
+  List.init count (fun idx -> routine ?recurrent ?stats st idx)

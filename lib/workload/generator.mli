@@ -12,23 +12,38 @@
 
 type routine = { name : string; nests : Ujam_ir.Nest.t list }
 
-type stats = { mutable generated : int; mutable rejected : int }
+type stats = {
+  mutable generated : int;
+  mutable rejected : int;
+  mutable fenced : int;
+}
 (** Draw counters: [generated] counts every nest drawn, [rejected] the
     draws outside {!Ujam_ir.Supported}'s modelled class that were
-    re-rolled.  Every nest the generator actually emits passes
-    [Supported.check]; the counters exist so fuzz harnesses can report
-    the wasted-draw rate. *)
+    re-rolled, and [fenced] the emitted recurrent-mode nests whose
+    safety cap binds at a non-innermost level (i.e. the nests a plain
+    unroll search degrades to the zero vector).  Every nest the
+    generator actually emits passes [Supported.check]; the counters
+    exist so fuzz harnesses can report the wasted-draw and
+    fence-binding rates. *)
 
 val stats : unit -> stats
 val rejection_rate : stats -> float
 
-val routine : ?deep:bool -> ?stats:stats -> Random.State.t -> int -> routine
+val routine :
+  ?deep:bool -> ?recurrent:bool -> ?stats:stats -> Random.State.t -> int ->
+  routine
 (** [routine st idx] generates one routine.  Emitted nests are always
     inside the supported class; out-of-class draws are re-rolled and
     counted in [stats].  [deep] (default false) widens the depth
     distribution to include 4-deep nests — the oracle's deep-space
-    mode; leaving it off preserves the exact draw sequence the pinned
-    corpora depend on. *)
+    mode.  [recurrent] (default false) swaps the archetype mix for
+    nests with loop-carried anti-diagonal or cross-statement
+    recurrences that fence the unroll search — fodder for the
+    skew/retime sequence legalizer; [stats.fenced] counts how many
+    actually bind.  Leaving both off preserves the exact draw sequence
+    the pinned corpora depend on. *)
 
-val corpus : ?seed:int -> ?stats:stats -> count:int -> unit -> routine list
+val corpus :
+  ?seed:int -> ?recurrent:bool -> ?stats:stats -> count:int -> unit ->
+  routine list
 (** [count] routines from the given [seed] (default 1997). *)

@@ -1,0 +1,43 @@
+The skewrec kernel is the anti-diagonal recurrence A(I,J) =
+A(I-1,J+1)*S + B(I,J): its (1,-1) carried distance fences the outer
+loop at 0 extra copies, so the plain pipeline degrades to u=(0,0):
+
+  $ ujc optimize skewrec | head -3
+  skewrec on DEC-Alpha-21064 (cache model)
+  beta_M = 1.000; original beta_L = 28.500; chosen u = (0,0); final beta_L = 28.500
+  registers 3/32, V_M 3, V_F 2
+
+With --seq the engine first searches short verified legalizing
+prefixes derived from the dependence cone.  A factor-1 skew of J by I
+maps the distance to (1,0), lifts the outer cap from 0 to unbounded,
+and the unroll search then finds a Verify-certified vector with a
+strictly better objective (27.5 -> 8.39).  The report pins the chosen
+sequence, why the step was legal, and the UJ026 certificate:
+
+  $ ujc optimize skewrec --seq --json
+  {"kernel":"skewrec","machine":"DEC-Alpha-21064","result":{"nest":"skewrec","model":"ugs","u":[8,0],"balance_before":28.5,"balance_after":9.38889,"objective":8.38889,"registers":19,"memory_ops":19,"flops":18,"speedup":3.0355,"sequence":[{"pass":"skew","spec":"skew[[1,0];[1,1]]","why":"unit lower-triangular skew maps each distance d to S d, whose leading nonzero component is d's — lexicographic order is preserved by construction"}],"diagnostics":[{"rule":"UJ026","severity":"info","loc":{"nest":"skewrec"},"message":"legalized by skew[[1,0];[1,1]]: objective 27.5000 -> 8.3889, safety caps 0,0 -> inf,0","notes":[{"loc":{"nest":"skewrec"},"message":"unit lower-triangular skew maps each distance d to S d, whose leading nonzero component is d's — lexicographic order is preserved by construction"}]}]}}
+
+The human-readable report carries the same sequence line:
+
+  $ ujc optimize skewrec --seq | head -2
+  skewrec: u=(8,0) balance 28.500->9.389 regs 19 V_M 19 V_F 18 speedup 3.04
+    seq skew[[1,0];[1,1]]: unit lower-triangular skew maps each distance d to S d, whose leading nonzero component is d's — lexicographic order is preserved by construction
+
+explain --seq switches the model to ugs+seq and reports the sequence
+with the objective trajectory:
+
+  $ ujc explain skewrec --seq | head -8
+  skewrec on DEC-Alpha-21064: model ugs+seq
+    depth 2, 2 flops/iteration
+    legality caps: [0; 0]
+    reuse ranking: loop0 (0.5)
+    search box: [0; 0] over loops {}
+    sequence:
+      - skew[[1,0];[1,1]]: unit lower-triangular skew maps each distance d to S d, whose leading nonzero component is d's — lexicographic order is preserved by construction
+    chosen: u=(8,0) balance 9.39, objective 8.39, 19 regs
+
+Without --seq nothing changes: the sequence field is absent and the
+JSON stays byte-stable for the plain pipeline:
+
+  $ ujc optimize skewrec --json
+  {"kernel":"skewrec","machine":"DEC-Alpha-21064","result":{"nest":"skewrec","model":"ugs","u":[0,0],"balance_before":28.5,"balance_after":28.5,"objective":27.5,"registers":3,"memory_ops":3,"flops":2,"speedup":1.0}}

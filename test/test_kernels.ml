@@ -110,7 +110,7 @@ let test_table2_rendering () =
     Catalogue.all
 
 let test_extras () =
-  Alcotest.(check int) "eight extra kernels" 8 (List.length Extras.all);
+  Alcotest.(check int) "nine extra kernels" 9 (List.length Extras.all);
   List.iter
     (fun (name, build) ->
       let nest = build ?n:(Some 8) () in

@@ -9,6 +9,7 @@ let () =
       ("ir/parse", Test_parse.suite);
       ("ir/interchange", Test_interchange.suite);
       ("ir/tile", Test_tile.suite);
+      ("ir/transform", Test_transform.suite);
       ("depend", Test_depend.suite);
       ("depend/safety", Test_safety.suite);
       ("reuse", Test_reuse.suite);
