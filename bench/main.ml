@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- corpus    Engine.run_corpus throughput
      dune exec bench/main.exe -- table-build  sweep vs per-cell table builds
      dune exec bench/main.exe -- search    pruned vs exhaustive unroll search
+     dune exec bench/main.exe -- serve     daemon load generator, cold vs warm
      dune exec bench/main.exe -- speed     Bechamel micro-benchmarks
      dune exec bench/main.exe -- --quick   deterministic smoke subset
 
@@ -33,7 +34,7 @@ open Ujam_core
 open Ujam_engine
 
 let schema_version = 1
-let bench_generation = 4
+let bench_generation = 5
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
@@ -581,6 +582,93 @@ let search_bench ppf =
       ("agree", if agree then 1.0 else 0.0) ] )
 
 (* ------------------------------------------------------------------ *)
+(* Serve load generator: N in-process client domains against a live    *)
+(* daemon on a temp socket.  Phase 1 sends all-distinct requests       *)
+(* (unique problem sizes — every one a cache miss); phase 2 replays    *)
+(* the identical set, so a healthy cache answers it without touching   *)
+(* the analysis pipeline.  The gate metric is [warm_over_cold] >= 2.   *)
+
+let serve_bench ppf =
+  let open Ujam_serve in
+  let path = Filename.temp_file "ujam_bench_serve" ".sock" in
+  Sys.remove path;
+  let cfg =
+    { (Serve.default_config ()) with Serve.domains = 2; Serve.quiet = true }
+  in
+  let server = Domain.spawn (fun () -> Serve.run ~listen:path cfg) in
+  let n_clients = 4 and per_client = 24 in
+  let kernels =
+    [| "mmjik"; "mmjki"; "jacobi"; "sor"; "afold"; "shal"; "dmxpy0"; "dmxpy1" |]
+  in
+  let request ci i =
+    let k = kernels.((ci + i) mod Array.length kernels) in
+    (* a unique problem size per (client, index) keeps phase 1 all-miss *)
+    let n = 8 + (ci * per_client) + i in
+    Json.Obj
+      [ ("id", Json.Int i);
+        ("method", Json.Str "optimize");
+        ("params", Json.Obj [ ("kernel", Json.Str k); ("n", Json.Int n) ]) ]
+  in
+  let phase () =
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      Array.init n_clients (fun ci ->
+          Domain.spawn (fun () ->
+              let c = Serve.Client.connect path in
+              let lats = Array.make per_client 0.0 in
+              for i = 0 to per_client - 1 do
+                let t = Unix.gettimeofday () in
+                ignore (Serve.Client.request c (request ci i));
+                lats.(i) <- Unix.gettimeofday () -. t
+              done;
+              Serve.Client.close c;
+              lats))
+    in
+    let lats = Array.concat (Array.to_list (Array.map Domain.join workers)) in
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, lats)
+  in
+  let cold_wall, cold_lats = phase () in
+  let warm_wall, warm_lats = phase () in
+  let shutdown = Serve.Client.connect path in
+  ignore
+    (Serve.Client.request shutdown
+       (Json.Obj [ ("id", Json.Str "bye"); ("method", Json.Str "shutdown") ]));
+  Serve.Client.close shutdown;
+  let summary = Domain.join server in
+  let total = n_clients * per_client in
+  let rps wall = float_of_int total /. Float.max 1e-9 wall in
+  let p99 lats =
+    let s = Array.copy lats in
+    Array.sort compare s;
+    let i = min (Array.length s - 1) (int_of_float (ceil (0.99 *. float_of_int (Array.length s))) - 1) in
+    1000.0 *. s.(max 0 i)
+  in
+  let hit_rate =
+    float_of_int summary.Serve.hits
+    /. Float.max 1.0 (float_of_int (summary.Serve.hits + summary.Serve.misses))
+  in
+  let warm_over_cold = rps warm_wall /. Float.max 1e-9 (rps cold_wall) in
+  Format.fprintf ppf
+    "%d clients x %d requests per phase, %d server domains, cache %d entries@."
+    n_clients per_client cfg.Serve.domains cfg.Serve.cache_size;
+  Format.fprintf ppf "cold (all distinct): %.3fs  %.0f req/s  p99 %.2f ms@."
+    cold_wall (rps cold_wall) (p99 cold_lats);
+  Format.fprintf ppf "warm (replayed):     %.3fs  %.0f req/s  p99 %.2f ms@."
+    warm_wall (rps warm_wall) (p99 warm_lats);
+  Format.fprintf ppf
+    "warm/cold throughput %.1fx; cache hit rate %.2f (%d hits, %d misses, %d evictions)@."
+    warm_over_cold hit_rate summary.Serve.hits summary.Serve.misses
+    summary.Serve.evictions;
+  ( 2 * total,
+    [ ("cold_rps", rps cold_wall);
+      ("warm_rps", rps warm_wall);
+      ("warm_over_cold", warm_over_cold);
+      ("hit_rate", hit_rate);
+      ("p99_cold_ms", p99 cold_lats);
+      ("p99_warm_ms", p99 warm_lats) ] )
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, runner, and JSON trajectory.                   *)
 
 let experiments =
@@ -612,6 +700,9 @@ let experiments =
     ( "search",
       "Pruned vs exhaustive unroll search (catalogue, bound 6)",
       search_bench );
+    ( "serve",
+      "Serve daemon load generator (4 clients, cold vs warm cache)",
+      serve_bench );
     ( "quick-matrix",
       "Quick smoke — strategy matrix (shared context per kernel)",
       quick_matrix );
@@ -623,7 +714,7 @@ let experiments =
 let all_names =
   [ "table1"; "table2"; "fig8"; "fig9"; "ablation-model"; "ablation-brute";
     "ablation-prefetch"; "ablation-permute"; "ablation-registers"; "corpus";
-    "table-build"; "search"; "speed" ]
+    "table-build"; "search"; "serve"; "speed" ]
 
 let run_experiment name =
   let _, title, f =
@@ -745,7 +836,8 @@ let usage () =
     \       bench --compare OLD.json NEW.json [--threshold T]@.\
      experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
     \             ablation-prefetch ablation-permute ablation-registers@.\
-    \             corpus table-build search speed quick-matrix quick-corpus all@.";
+    \             corpus table-build search serve speed quick-matrix@.\
+    \             quick-corpus all@.";
   exit 2
 
 (* Strip global options out of the argument list before dispatching. *)

@@ -507,8 +507,14 @@ let corpus_cmd =
       & info [ "recurrent" ]
           ~doc:"Generate fence-binding recurrence nests (anti-diagonal and               cross-statement) instead of the corpus mix; combine with               $(b,--seq) to exercise the sequence legalizer.")
   in
+  let dedup_flag =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:"Analyze each canonically distinct nest once (content hash               over alpha-renamed, commutatively sorted structure) and               replay the outcome for its duplicates.")
+  in
   let run count seed machine bound no_cache model domains json timings stats
-      seq recurrent check =
+      seq recurrent dedup check =
     let count = max 0 count in
     let routines =
       Ujam_workload.Generator.corpus ~seed ~recurrent ~count ()
@@ -519,7 +525,7 @@ let corpus_cmd =
     else begin
       let model = effective_model no_cache model in
       let report =
-        Engine.run_corpus ~domains ~bound ~model ~seq ~machine routines
+        Engine.run_corpus ~domains ~bound ~model ~seq ~dedup ~machine routines
       in
       print_corpus_report ~json ~timings report;
       if check && report.Engine.failed > 0 then exit 1
@@ -530,7 +536,7 @@ let corpus_cmd =
        ~doc:"Run the selection pipeline over a synthetic corpus              (per-routine reports; $(b,--stats) for the Table-1              input-dependence statistics).")
     Term.(const run $ count_arg $ seed_arg $ machine_arg $ corpus_bound_arg
           $ cache_arg $ model_arg $ domains_arg $ json_arg $ timings_arg
-          $ stats_flag $ seq_arg $ recurrent_flag $ check_arg)
+          $ stats_flag $ seq_arg $ recurrent_flag $ dedup_flag $ check_arg)
 
 let fuzz_cmd =
   let open Ujam_oracle in
@@ -589,8 +595,14 @@ let fuzz_cmd =
       & info [ "recurrent" ]
           ~doc:"Draw fence-binding recurrence nests (anti-diagonal and               cross-statement) instead of the corpus mix.")
   in
+  let dedup_flag =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:"Skip generated nests whose canonical digest repeats an               earlier draw, so every checked nest is structurally               distinct; skipped draws do not consume the $(b,-n) budget.")
+  in
   let run n seed max_depth bound machine domains layers deep shrink recurrent
-      json =
+      dedup json =
     let cfg =
       { (Fuzz.default_config ~machine ()) with
         Fuzz.n = max 0 n;
@@ -601,7 +613,8 @@ let fuzz_cmd =
         layers;
         deep;
         shrink;
-        recurrent }
+        recurrent;
+        dedup }
     in
     let report = Fuzz.run cfg in
     if json then print_endline (Json.to_string (Fuzz.to_json report))
@@ -613,7 +626,7 @@ let fuzz_cmd =
        ~doc:"Differential oracle: fuzz the UGS tables against materialized              unrolls, the cache simulator, and the other selection              strategies; shrink any failure to a minimal reproducer.")
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
           $ machine_arg $ domains_arg $ layers_arg $ deep_flag $ shrink_flag
-          $ recurrent_flag $ json_arg)
+          $ recurrent_flag $ dedup_flag $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Analysis subcommands: lint / explain / dot take either a kernel name
@@ -914,6 +927,118 @@ let trace_cmd =
        ~doc:"Run a subcommand with span tracing enabled and write a Chrome              trace_event JSON file (open in chrome://tracing or Perfetto).")
     Term.(const run $ out_arg $ metrics_arg $ cmd_args)
 
+(* ------------------------------------------------------------------ *)
+(* ujc serve: the persistent optimization service.  The daemon's
+   defaults for machine/bound/model/seq come from the same flags the
+   one-shot subcommands use; per-request params override them. *)
+
+let serve_cmd =
+  let open Ujam_serve in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen for clients on a Unix-domain socket bound at $(docv)               (unlinked again on shutdown).")
+  in
+  let stdio_flag =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Read request lines from stdin and answer on stdout               (the default when $(b,--socket) is absent).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "smoke" ] ~docv:"N"
+          ~doc:"Self-drive: start a daemon on a fresh temp socket, replay a               deterministic mixed workload of $(docv) requests over two               interleaved clients (repeats, malformed, unsupported,               oversized and timeout probes included), and report health.")
+  in
+  let serve_bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"B" ~doc:"Default unroll-space bound per loop.")
+  in
+  let max_loops_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-loops" ] ~docv:"L"
+          ~doc:"Default cap on simultaneously unrolled loops.")
+  in
+  let cache_size_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Result-cache capacity in entries (LRU beyond that).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max cache-miss requests dispatched to the domain pool per               round.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline from arrival to dispatch;               negative disables.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Longest accepted request line; longer lines get a typed               oversized error.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Dump the final metrics registry as JSON on shutdown.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Retain per-request spans and write a Chrome trace on               shutdown (off by default so daemon memory stays bounded).")
+  in
+  let quiet_flag =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the stderr lifecycle summary.")
+  in
+  let run machine bound max_loops no_cache model seq domains socket stdio smoke
+      cache_size batch timeout_ms max_request_bytes metrics_out trace_out quiet
+      =
+    let model = effective_model no_cache model in
+    match smoke with
+    | Some n ->
+        let r = Serve.smoke ~requests:(max 1 n) ~domains () in
+        Format.printf "%a@." Serve.pp_smoke r;
+        if Serve.smoke_healthy r then Format.printf "serve smoke: ok@."
+        else begin
+          Format.printf "serve smoke: FAILED@.";
+          exit 1
+        end
+    | None ->
+        if socket = None && not stdio then begin
+          Format.eprintf
+            "ujc serve: no transport; pass --socket PATH and/or --stdio (or --smoke N)@.";
+          exit 2
+        end;
+        let cfg =
+          { Serve.machine; bound; max_loops; model; seq; domains; cache_size;
+            batch; timeout_ms; max_request_bytes; metrics_out; trace_out;
+            quiet }
+        in
+        let (_ : Serve.summary) = Serve.run ?listen:socket ~stdio cfg in
+        ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent optimization service: line-delimited JSON              requests (optimize, explain, lint, metrics, ping, shutdown)              over a Unix socket and/or stdio, answered from a              content-addressed result cache and a Domain worker pool.")
+    Term.(const run $ machine_arg $ serve_bound_arg $ max_loops_arg $ cache_arg
+          $ model_arg $ seq_arg $ domains_arg $ socket_arg $ stdio_flag
+          $ smoke_arg $ cache_size_arg $ batch_arg $ timeout_arg
+          $ max_bytes_arg $ metrics_out_arg $ trace_out_arg $ quiet_flag)
+
 let () =
   let doc = "unroll-and-jam using uniformly generated sets" in
   let info = Cmd.info "ujc" ~version:"1.0.0" ~doc in
@@ -924,7 +1049,33 @@ let () =
     Cmd.group info
       [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
         compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd;
-        lint_cmd; explain_cmd; dot_cmd; trace_cmd ]
+        lint_cmd; explain_cmd; dot_cmd; trace_cmd; serve_cmd ]
   in
+  (* An unknown first word used to fall through to cmdliner's generic
+     usage error (exit 124) without naming the commands.  Catch it up
+     front: reject argv(1) only when it is not an option and not a
+     prefix of any known command name (cmdliner accepts unambiguous
+     prefixes, so `ujc optim' must keep working). *)
+  let known =
+    [ "list"; "show"; "analyze"; "tables"; "optimize"; "simulate"; "compile";
+      "fortran"; "verify"; "graph"; "corpus"; "fuzz"; "lint"; "explain";
+      "dot"; "trace"; "serve" ]
+  in
+  (if Array.length Sys.argv > 1 then
+     let cmd = Sys.argv.(1) in
+     let is_prefix_of name =
+       String.length cmd <= String.length name
+       && String.equal (String.sub name 0 (String.length cmd)) cmd
+     in
+     if
+       String.length cmd > 0
+       && cmd.[0] <> '-'
+       && not (List.exists is_prefix_of known)
+     then begin
+       Format.eprintf "ujc: unknown subcommand %S@." cmd;
+       Format.eprintf "known subcommands: %s@."
+         (String.concat ", " (List.sort String.compare known));
+       exit 2
+     end);
   dispatch_ref := (fun argv -> Cmd.eval ~argv:(remap argv) group);
   exit (Cmd.eval ~argv:(remap Sys.argv) group)

@@ -42,6 +42,7 @@ type corpus_report = {
   routines : routine_report array;
   ok : int;
   failed : int;
+  deduped : int;
   timings : Analysis_ctx.timings;
   elapsed_s : float;
 }
@@ -148,6 +149,28 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
 let analyze ?bound ?max_loops ?model ?seq ~machine ?(routine = "<nest>") nest =
   analyze_into ?bound ?max_loops ?model ?seq ~machine ~routine nest
 
+let outcome_with_name ~routine nest outcome =
+  match outcome with
+  | Ok r -> Ok { r with nest_name = Nest.name nest }
+  | Error e -> Error { e with Error.routine }
+
+let analyze_cached ~cache ?(op = "optimize") ?(bound = 4) ?(max_loops = 2)
+    ?(model = default_model) ?(seq = false) ~machine ?(routine = "<nest>") nest
+    =
+  let module M = (val model : Model.MODEL) in
+  let key =
+    Result_cache.fingerprint ~op ~machine ~bound ~max_loops ~model:M.name ~seq
+      nest
+  in
+  match Result_cache.find cache key with
+  | Some outcome -> (outcome_with_name ~routine nest outcome, true)
+  | None ->
+      let outcome =
+        analyze_into ~bound ~max_loops ~model ~seq ~machine ~routine nest
+      in
+      Result_cache.store cache key outcome;
+      (outcome, false)
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic parallel work queue: the slot-ordered atomic queue now
    lives in core ([Par], so [Balance.prepare] can use it too); the
@@ -167,36 +190,88 @@ let parallel_map ?(domains = 1) ~f jobs =
     ~f jobs
 
 let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
-    ?(model = default_model) ?seq ~machine
+    ?(model = default_model) ?seq ?(dedup = false) ~machine
     (routines : Ujam_workload.Generator.routine list) =
   let module M = (val model : Model.MODEL) in
   let jobs = Array.of_list routines in
-  let domains = clamp_domains domains (Array.length jobs) in
-  let per_domain = Array.init domains (fun _ -> Analysis_ctx.zero_timings ()) in
-  let t0 = Unix.gettimeofday () in
-  let out =
-    Obs.Span.with_ "corpus" (fun () ->
-        parallel_map ~domains
-          ~f:(fun ~domain (r : Ujam_workload.Generator.routine) ->
-            let work () =
-              { routine = r.Ujam_workload.Generator.name;
-                nests =
-                  List.map
-                    (fun nest ->
-                      analyze_into ~into:per_domain.(domain) ~bound ~max_loops
-                        ~model ?seq ~machine
-                        ~routine:r.Ujam_workload.Generator.name nest)
-                    r.Ujam_workload.Generator.nests }
-            in
-            if not (Obs.enabled ()) then work ()
-            else
-              Obs.Span.with_ r.Ujam_workload.Generator.name (fun () ->
-                  let rt0 = Unix.gettimeofday () in
-                  let report = work () in
-                  Obs.Histogram.record h_routine (Unix.gettimeofday () -. rt0);
-                  report))
-          jobs)
+  let per_domain =
+    Array.init (max 1 domains) (fun _ -> Analysis_ctx.zero_timings ())
   in
+  let t0 = Unix.gettimeofday () in
+  let run_direct () =
+    let domains = clamp_domains domains (Array.length jobs) in
+    ( domains,
+      0,
+      Obs.Span.with_ "corpus" (fun () ->
+          parallel_map ~domains
+            ~f:(fun ~domain (r : Ujam_workload.Generator.routine) ->
+              let work () =
+                { routine = r.Ujam_workload.Generator.name;
+                  nests =
+                    List.map
+                      (fun nest ->
+                        analyze_into ~into:per_domain.(domain) ~bound
+                          ~max_loops ~model ?seq ~machine
+                          ~routine:r.Ujam_workload.Generator.name nest)
+                      r.Ujam_workload.Generator.nests }
+              in
+              if not (Obs.enabled ()) then work ()
+              else
+                Obs.Span.with_ r.Ujam_workload.Generator.name (fun () ->
+                    let rt0 = Unix.gettimeofday () in
+                    let report = work () in
+                    Obs.Histogram.record h_routine
+                      (Unix.gettimeofday () -. rt0);
+                    report))
+            jobs) )
+  in
+  (* Dedup: analyze one representative per canonical class, then give
+     every duplicate slot a copy of its class outcome with the slot's
+     own nest/routine names patched back in — the rendered report keeps
+     the corpus shape while the analysis runs once per distinct
+     problem. *)
+  let run_dedup () =
+    let index = Hashtbl.create 64 in
+    let uniq = ref [] and n_uniq = ref 0 and total = ref 0 in
+    Array.iter
+      (fun (r : Ujam_workload.Generator.routine) ->
+        List.iter
+          (fun nest ->
+            incr total;
+            let d = Ujam_ir.Canon.digest nest in
+            if not (Hashtbl.mem index d) then begin
+              Hashtbl.add index d !n_uniq;
+              uniq := (r.Ujam_workload.Generator.name, nest) :: !uniq;
+              incr n_uniq
+            end)
+          r.Ujam_workload.Generator.nests)
+      jobs;
+    let uniq = Array.of_list (List.rev !uniq) in
+    let domains = clamp_domains domains (Array.length uniq) in
+    let results =
+      Obs.Span.with_ "corpus" (fun () ->
+          parallel_map ~domains
+            ~f:(fun ~domain (routine, nest) ->
+              analyze_into ~into:per_domain.(domain) ~bound ~max_loops ~model
+                ?seq ~machine ~routine nest)
+            uniq)
+    in
+    let out =
+      Array.map
+        (fun (r : Ujam_workload.Generator.routine) ->
+          { routine = r.Ujam_workload.Generator.name;
+            nests =
+              List.map
+                (fun nest ->
+                  let slot = Hashtbl.find index (Ujam_ir.Canon.digest nest) in
+                  outcome_with_name ~routine:r.Ujam_workload.Generator.name
+                    nest results.(slot))
+                r.Ujam_workload.Generator.nests })
+        jobs
+    in
+    (domains, !total - Array.length uniq, out)
+  in
+  let domains, deduped, out = if dedup then run_dedup () else run_direct () in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let timings = Analysis_ctx.zero_timings () in
   Array.iter (add_timings timings) per_domain;
@@ -208,7 +283,7 @@ let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
         r.nests)
     out;
   { model = M.name; domains; bound; routines = out; ok = !ok; failed = !failed;
-    timings; elapsed_s }
+    deduped; timings; elapsed_s }
 
 let routines_of_catalogue ?n () =
   List.map
@@ -253,8 +328,11 @@ let pp_routine ppf r =
 let pp ppf report =
   Format.fprintf ppf "@[<v>";
   Array.iter (fun r -> pp_routine ppf r) report.routines;
-  Format.fprintf ppf "corpus: %d routines, %d nests ok, %d failed (model %s)@]"
-    (Array.length report.routines) report.ok report.failed report.model
+  Format.fprintf ppf "corpus: %d routines, %d nests ok, %d failed%s (model %s)@]"
+    (Array.length report.routines) report.ok report.failed
+    (if report.deduped > 0 then Printf.sprintf ", %d deduped" report.deduped
+     else "")
+    report.model
 
 let pp_timings ppf report =
   Format.fprintf ppf "stages: %a; wall %.3fs (%d domains)"
@@ -321,6 +399,7 @@ let to_json ?(timings = false) report =
        Json.List (Array.to_list (Array.map routine_to_json report.routines)));
       ("ok", Json.Int report.ok);
       ("failed", Json.Int report.failed) ]
+    @ if report.deduped > 0 then [ ("deduped", Json.Int report.deduped) ] else []
   in
   let extra =
     if timings then

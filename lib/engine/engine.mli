@@ -44,6 +44,10 @@ type corpus_report = {
   routines : routine_report array;  (** input order, one slot per routine *)
   ok : int;
   failed : int;
+  deduped : int;
+      (** nests answered by copying a canonical-class representative's
+          outcome instead of re-analyzing (0 unless [~dedup:true]);
+          omitted from {!pp}/{!to_json} when 0 *)
   timings : Ujam_core.Analysis_ctx.timings;  (** summed per-stage counters *)
   elapsed_s : float;
 }
@@ -65,6 +69,25 @@ val analyze :
     its [UJ026] certificate.  Never raises on unsupported input: the
     outcome carries a typed {!Error.t} instead. *)
 
+val analyze_cached :
+  cache:nest_outcome Result_cache.t ->
+  ?op:string ->
+  ?bound:int ->
+  ?max_loops:int ->
+  ?model:(module Model.MODEL) ->
+  ?seq:bool ->
+  machine:Ujam_machine.Machine.t ->
+  ?routine:string ->
+  Ujam_ir.Nest.t ->
+  nest_outcome * bool
+(** {!analyze} behind a {!Result_cache}: the outcome plus whether it was
+    served from the cache.  The key is {!Result_cache.fingerprint} of
+    the full option tuple, so hits are exact re-asks of one problem
+    (possibly under another nest name — the returned report and any
+    error record carry {e this} call's [routine]/nest name, making the
+    hit and miss paths render identically).  Not thread-safe: confine
+    one cache to one thread of control. *)
+
 val parallel_map :
   ?domains:int -> f:(domain:int -> 'a -> 'b) -> 'a array -> 'b array
 (** The engine's deterministic work queue on its own: run [f] over the
@@ -80,6 +103,7 @@ val run_corpus :
   ?max_loops:int ->
   ?model:(module Model.MODEL) ->
   ?seq:bool ->
+  ?dedup:bool ->
   machine:Ujam_machine.Machine.t ->
   Ujam_workload.Generator.routine list ->
   corpus_report
@@ -87,7 +111,10 @@ val run_corpus :
     Results are slotted by input index, so the rendered report is
     independent of the domain count; the timing counters are the only
     run-dependent fields and are excluded from {!pp}/{!to_json} unless
-    requested. *)
+    requested.  With [~dedup:true], nests sharing a
+    {!Ujam_ir.Canon.digest} are analyzed once — duplicates receive the
+    representative's outcome under their own names, and the report's
+    [deduped] field counts the skipped analyses. *)
 
 val routines_of_catalogue :
   ?n:int -> unit -> Ujam_workload.Generator.routine list

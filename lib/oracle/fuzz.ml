@@ -36,6 +36,7 @@ type config = {
   recurrent : bool;
       (** recurrent mode: draw fence-binding recurrence nests instead
           of the corpus mix *)
+  dedup : bool;  (** skip nests whose canonical digest was already drawn *)
 }
 
 let default_config ?(machine = Presets.alpha) () =
@@ -49,7 +50,8 @@ let default_config ?(machine = Presets.alpha) () =
     layers = all_layers;
     shrink = true;
     deep = false;
-    recurrent = false }
+    recurrent = false;
+    dedup = false }
 
 type failure = {
   routine : string;
@@ -66,6 +68,7 @@ type report = {
   draws : int;
   rejected : int;
   skipped_depth : int;
+  deduped : int;
   fenced : int;
   sim_checked : int;
   verify_checked : int;
@@ -217,6 +220,8 @@ let run ?perturb cfg =
   let st = Random.State.make [| cfg.seed |] in
   let jobs = ref [] in
   let count = ref 0 and idx = ref 0 and skipped_depth = ref 0 in
+  let deduped = ref 0 in
+  let seen = Hashtbl.create 64 in
   let max_draws = (cfg.n * 8) + 16 in
   while !count < cfg.n && !idx < max_draws do
     let r =
@@ -226,11 +231,27 @@ let run ?perturb cfg =
     List.iter
       (fun nest ->
         if !count < cfg.n then
-          if Nest.depth nest <= cfg.max_depth then begin
-            incr count;
-            jobs := (r.Generator.name, nest) :: !jobs
-          end
-          else incr skipped_depth)
+          if Nest.depth nest > cfg.max_depth then incr skipped_depth
+          else begin
+            (* duplicate-skipping: a nest whose canonical digest was
+               already queued re-checks nothing — skip it and let the
+               loop draw a fresh one in its place *)
+            let dup =
+              cfg.dedup
+              &&
+              let d = Canon.digest nest in
+              if Hashtbl.mem seen d then true
+              else begin
+                Hashtbl.add seen d ();
+                false
+              end
+            in
+            if dup then incr deduped
+            else begin
+              incr count;
+              jobs := (r.Generator.name, nest) :: !jobs
+            end
+          end)
       r.Generator.nests
   done;
   let jobs = Array.of_list (List.rev !jobs) in
@@ -274,6 +295,7 @@ let run ?perturb cfg =
     draws = stats.Generator.generated;
     rejected = stats.Generator.rejected;
     skipped_depth = !skipped_depth;
+    deduped = !deduped;
     fenced = stats.Generator.fenced;
     sim_checked =
       Array.fold_left
@@ -300,6 +322,9 @@ let pp ppf r =
   Format.fprintf ppf
     "nests: %d checked (%d routines, %d draws, %d out-of-class re-rolls, %d over depth limit)@."
     r.nests r.routines r.draws r.rejected r.skipped_depth;
+  if c.dedup then
+    Format.fprintf ppf "dedup: %d duplicate nests skipped by canonical digest@."
+      r.deduped;
   if c.recurrent then
     Format.fprintf ppf
       "recurrent mode: %d of %d emitted nests have a binding safety fence@."
@@ -379,6 +404,7 @@ let to_json r =
       ("draws", Json.Int r.draws);
       ("rejected", Json.Int r.rejected);
       ("skipped_depth", Json.Int r.skipped_depth);
+      ("deduped", Json.Int r.deduped);
       ("fenced", Json.Int r.fenced);
       ("sim_checked", Json.Int r.sim_checked);
       ("verify_checked", Json.Int r.verify_checked);

@@ -36,12 +36,16 @@ type config = {
       (** recurrent mode: the generator draws fence-binding
           anti-diagonal and cross-statement recurrences instead of the
           corpus mix — fodder for the skew/retime sequence legalizer *)
+  dedup : bool;
+      (** skip generated nests whose {!Ujam_ir.Canon.digest} was
+          already queued this run — duplicates re-check nothing, so the
+          [n] budget buys [n] distinct problems *)
 }
 
 val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
 (** n 200, seed 1997, max_depth 3, bound 4, max_loops 2, machine alpha,
-    domains 1, all layers (verify included), shrinking on, deep-space
-    and recurrent off. *)
+    domains 1, all layers (verify included), shrinking on, deep-space,
+    recurrent and dedup off. *)
 
 type failure = {
   routine : string;
@@ -58,6 +62,7 @@ type report = {
   draws : int;  (** generator nest draws, including re-rolls *)
   rejected : int;  (** out-of-class draws re-rolled by the generator *)
   skipped_depth : int;  (** nests over [max_depth], not checked *)
+  deduped : int;  (** canonical duplicates skipped (0 unless [dedup]) *)
   fenced : int;
       (** emitted nests whose safety cap binds at a non-innermost level
           (only counted in recurrent mode) *)

@@ -24,7 +24,7 @@ Layers can be restricted; skipping the sim layer skips the replay:
 JSON output for machine consumption:
 
   $ ujc fuzz --n 12 --seed 42 --json
-  {"seed":42,"n":12,"machine":"DEC-Alpha-21064","bound":4,"max_depth":3,"deep":false,"recurrent":false,"layers":["recount","sim","cross-model","verify"],"nests":12,"routines":7,"draws":12,"rejected":0,"skipped_depth":0,"fenced":0,"sim_checked":7,"verify_checked":56,"verify_failed":0,"mismatches":0,"unexplained":0,"ok":true,"failures":[]}
+  {"seed":42,"n":12,"machine":"DEC-Alpha-21064","bound":4,"max_depth":3,"deep":false,"recurrent":false,"layers":["recount","sim","cross-model","verify"],"nests":12,"routines":7,"draws":12,"rejected":0,"skipped_depth":0,"deduped":0,"fenced":0,"sim_checked":7,"verify_checked":56,"verify_failed":0,"mismatches":0,"unexplained":0,"ok":true,"failures":[]}
 
 Deep-space mode stresses the sweep-based table engine where the
 per-cell costs used to bite: 4-deep nests over a bound-8 unroll

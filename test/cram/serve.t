@@ -1,0 +1,73 @@
+The serve daemon speaks line-delimited JSON over stdio: one response
+line per request line, in order.  The first chunk warms the cache with
+an optimize; after a beat, the same request again is answered from the
+cache, and the hostile lines (bad JSON, unknown method, unsupported
+nest) each cost exactly one typed error response — the daemon drains
+and exits cleanly at end of input.
+
+  $ { printf '%s\n' \
+  >     '{"id":1,"method":"ping"}' \
+  >     '{"id":2,"method":"optimize","params":{"kernel":"mmjik","n":16}}'; \
+  >   sleep 1; \
+  >   printf '%s\n' \
+  >     '{"id":3,"method":"optimize","params":{"kernel":"mmjik","n":16}}' \
+  >     'not json at all' \
+  >     '{"id":5,"method":"frobnicate"}' \
+  >     '{"id":6,"method":"optimize","params":{"name":"stride2","nest":"DO I = 1, 8, 2\n A(I) = A(I) + 1.0\nENDDO"}}' \
+  >     '{"id":7,"method":"metrics"}'; \
+  > } | ujc serve --stdio --metrics-out metrics.json > out.txt 2> err.txt
+
+The stderr summary counts every line and the cache traffic (the
+unsupported nest is a second miss: its typed error is deterministic,
+so the cache holds it too):
+
+  $ cat err.txt
+  serve: 7 requests, 4 ok, 3 errors, 1 cache hits, 2 misses, 0 evictions
+  serve: wrote metrics to metrics.json
+
+  $ sed -n 1p out.txt
+  {"id":1,"ok":true,"result":{"pong":true}}
+
+The repeated optimize is answered from the cache, byte-identical to
+the original apart from the echoed id:
+
+  $ sed 's/"id":2/"id":X/' < out.txt | sed -n 2p > a.txt
+  $ sed 's/"id":3/"id":X/' < out.txt | sed -n 3p > b.txt
+  $ cmp a.txt b.txt && echo identical
+  identical
+
+Each hostile line gets one typed error response:
+
+  $ sed -n 4,6p out.txt
+  {"id":null,"ok":false,"error":{"kind":"protocol","message":"invalid JSON: invalid literal (expected null) at offset 0"}}
+  {"id":5,"ok":false,"error":{"kind":"protocol","message":"unknown method \"frobnicate\" (known: optimize, explain, lint, metrics, ping, shutdown)"}}
+  {"id":6,"ok":false,"error":{"kind":"analysis","message":"ERROR [validate] stride2: stride2: loop I has step 2; only unit-step loops are modelled","diagnostics":[{"rule":"UJ004","severity":"error","loc":{"nest":"stride2","level":0},"message":"loop I has step 2; the supported class is unit-step"}]}}
+
+The metrics response carries live cache occupancy, and the final
+registry dump landed in the file:
+
+  $ grep -o '"cache":{[^}]*}' out.txt
+  "cache":{"size":2,"capacity":1024,"hits":1,"misses":2,"evictions":0}
+  $ grep -c serve.requests metrics.json
+  1
+
+A socket daemon drains on SIGINT: queued work is answered, the final
+metrics are flushed, and the socket path is unlinked.
+
+  $ ujc serve --socket sig.sock --metrics-out sig.json --quiet &
+  $ for i in 1 2 3 4 5 6 7 8 9 10; do [ -S sig.sock ] && break; sleep 0.2; done
+  $ kill -INT $!
+  $ wait $!
+  $ test -f sig.json && echo metrics flushed
+  metrics flushed
+  $ test -e sig.sock || echo socket unlinked
+  socket unlinked
+
+An undersized line budget turns a long line into a typed error instead
+of a dropped connection:
+
+  $ printf '%s\n' '{"id":1,"method":"ping"}' "{\"pad\":\"$(head -c 600 /dev/zero | tr '\0' x)\"}" '{"id":3,"method":"ping"}' \
+  > | ujc serve --stdio --max-request-bytes 256 --quiet
+  {"id":1,"ok":true,"result":{"pong":true}}
+  {"id":null,"ok":false,"error":{"kind":"oversized","message":"request line exceeds 256 bytes"}}
+  {"id":3,"ok":true,"result":{"pong":true}}

@@ -52,6 +52,17 @@ The dependence graph shows the input edges the UGS model never stores:
   output: w:Y(I)#0 -> w:Y(I)#0 (*,0)
   flow=0 anti=1 output=1 input=0 (total 2)
 
+A typo'd subcommand names the real ones instead of a bare usage error,
+while unambiguous prefixes keep dispatching:
+
+  $ ujc frobnicate
+  ujc: unknown subcommand "frobnicate"
+  known subcommands: analyze, compile, corpus, dot, explain, fortran, fuzz, graph, lint, list, optimize, serve, show, simulate, tables, trace, verify
+  [2]
+
+  $ ujc optim dmxpy0 -n 16 -b 3 --no-cache | head -1
+  dmxpy0 on DEC-Alpha-21064 (no-cache model)
+
 A loop nest can be compiled from a file:
 
   $ cat > my.loop <<'LOOP'

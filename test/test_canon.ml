@@ -1,0 +1,122 @@
+(* Properties of Ir.Canon: idempotence, alpha-renaming invariance, and
+   digest injectivity up to structural equality over generated nests. *)
+
+open Ujam_ir
+
+(* Rebuild a nest with every loop variable renamed (and the nest label
+   changed): the canonical form, and therefore the digest, must not
+   move.  Bounds and subscripts address levels through affine
+   coefficients, so renaming touches only the [var] spellings. *)
+let alpha_rename tag (n : Nest.t) =
+  let loops =
+    Array.to_list (Nest.loops n)
+    |> List.map (fun (l : Loop.t) ->
+           Loop.make
+             ~var:(Printf.sprintf "%s%d" tag l.Loop.level)
+             ~level:l.Loop.level ~lo:l.Loop.lo ~hi:l.Loop.hi ~step:l.Loop.step)
+  in
+  Nest.make ~name:(tag ^ "_renamed") ~loops ~body:(Nest.body n)
+
+(* Swap the operands of every commutative binary node. *)
+let rec flip_expr (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Scalar _ | Expr.Read _ -> e
+  | Expr.Neg a -> Expr.Neg (flip_expr a)
+  | Expr.Bin (op, a, b) -> (
+      let a = flip_expr a and b = flip_expr b in
+      match op with
+      | Expr.Add | Expr.Mul -> Expr.Bin (op, b, a)
+      | Expr.Sub | Expr.Div -> Expr.Bin (op, a, b))
+
+let flip_nest (n : Nest.t) =
+  Nest.make ~name:(Nest.name n)
+    ~loops:(Array.to_list (Nest.loops n))
+    ~body:
+      (List.map
+         (fun (s : Stmt.t) -> Stmt.assign s.Stmt.lhs (flip_expr s.Stmt.rhs))
+         (Nest.body n))
+
+let idempotent =
+  QCheck2.Test.make ~name:"canon idempotent" ~count:200
+    ~print:Gen.nest_print (Gen.nest_gen ())
+    (fun nest ->
+      let c = Canon.canon nest in
+      String.equal (Canon.encode (Canon.canon c)) (Canon.encode c))
+
+let alpha_stable =
+  QCheck2.Test.make ~name:"digest stable under alpha-renaming" ~count:200
+    ~print:Gen.nest_print (Gen.nest_gen ())
+    (fun nest ->
+      String.equal (Canon.digest nest) (Canon.digest (alpha_rename "x" nest))
+      && String.equal
+           (Canon.digest (alpha_rename "u" nest))
+           (Canon.digest (alpha_rename "veryLongName" nest)))
+
+let commutative_stable =
+  QCheck2.Test.make ~name:"digest stable under commutative operand swap"
+    ~count:200 ~print:Gen.nest_print (Gen.nest_gen ())
+    (fun nest ->
+      String.equal (Canon.digest nest) (Canon.digest (flip_nest nest)))
+
+(* Digest agreement on a pair of independently generated nests must
+   coincide exactly with structural equality of canonical forms: the
+   hash never separates equal nests, and (barring an MD5 collision,
+   which the generator space cannot produce) never conflates distinct
+   ones. *)
+let collision_iff_equal =
+  QCheck2.Test.make ~name:"digests collide iff structurally equal" ~count:300
+    ~print:(fun (a, b) -> Gen.nest_print a ^ "\n--- vs ---\n" ^ Gen.nest_print b)
+    (QCheck2.Gen.pair (Gen.nest_gen ()) (Gen.nest_gen ()))
+    (fun (a, b) ->
+      Bool.equal
+        (String.equal (Canon.digest a) (Canon.digest b))
+        (Canon.equal a b))
+
+let test_distinct_structures () =
+  let parse src =
+    match Parse.nest src with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "parse: %a" Parse.pp_error e
+  in
+  let a = parse "DO I = 1, 10\n A(I) = A(I) + 1.0\nENDDO" in
+  let b = parse "DO I = 1, 10\n A(I) = A(I) + 2.0\nENDDO" in
+  let c = parse "DO I = 1, 11\n A(I) = A(I) + 1.0\nENDDO" in
+  let d = parse "DO J = 1, 10\n A(J) = 1.0 + A(J)\nENDDO" in
+  Alcotest.(check bool) "const differs" false (Canon.digest a = Canon.digest b);
+  Alcotest.(check bool) "bound differs" false (Canon.digest a = Canon.digest c);
+  Alcotest.(check string) "rename + swap collapse" (Canon.digest a)
+    (Canon.digest d)
+
+let test_name_dropped () =
+  let parse name src =
+    match Parse.nest ~name src with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "parse: %a" Parse.pp_error e
+  in
+  let a = parse "first" "DO I = 1, 10\n A(I) = A(I-1)\nENDDO" in
+  let b = parse "second" "DO I = 1, 10\n A(I) = A(I-1)\nENDDO" in
+  Alcotest.(check string) "label-insensitive" (Canon.digest a) (Canon.digest b);
+  Alcotest.(check string) "canonical name" "" (Nest.name (Canon.canon a))
+
+let test_encode_injective_on_names () =
+  (* encode (without canon) keeps spellings apart. *)
+  let parse src =
+    match Parse.nest src with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "parse: %a" Parse.pp_error e
+  in
+  let a = parse "DO I = 1, 10\n A(I) = A(I-1)\nENDDO" in
+  let b = parse "DO J = 1, 10\n A(J) = A(J-1)\nENDDO" in
+  Alcotest.(check bool) "encode sees names" false
+    (String.equal (Canon.encode a) (Canon.encode b))
+
+let suite =
+  [ Gen.to_alcotest idempotent;
+    Gen.to_alcotest alpha_stable;
+    Gen.to_alcotest commutative_stable;
+    Gen.to_alcotest collision_iff_equal;
+    Alcotest.test_case "distinct structures separate" `Quick
+      test_distinct_structures;
+    Alcotest.test_case "nest label dropped" `Quick test_name_dropped;
+    Alcotest.test_case "raw encode keeps spellings" `Quick
+      test_encode_injective_on_names ]

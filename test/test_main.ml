@@ -7,6 +7,7 @@ let () =
       ("ir/core", Test_ir.suite);
       ("ir/unroll", Test_unroll.suite);
       ("ir/parse", Test_parse.suite);
+      ("ir/canon", Test_canon.suite);
       ("ir/interchange", Test_interchange.suite);
       ("ir/tile", Test_tile.suite);
       ("ir/transform", Test_transform.suite);
@@ -27,4 +28,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
+      ("serve", Test_serve.suite);
       ("invariants", Test_invariants.suite) ]
