@@ -34,7 +34,7 @@ open Ujam_core
 open Ujam_engine
 
 let schema_version = 1
-let bench_generation = 5
+let bench_generation = 6
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
@@ -669,6 +669,87 @@ let serve_bench ppf =
       ("p99_warm_ms", p99 warm_lats) ] )
 
 (* ------------------------------------------------------------------ *)
+(* Native ground truth: emit, compile, and run four kernels through the
+   host OCaml toolchain in one program; measure the real speedup of the
+   engine-chosen unroll vector over (1,...,1) and validate every
+   variant's checksums against the reference interpreter.  Gated behind
+   an explicit "native" / "--native" request so the default trajectory
+   (and the @bench-compare gate) never depends on a toolchain being
+   present; without one the experiment degrades to a skip line. *)
+
+let native_bench ppf =
+  match Ujam_native.Toolchain.find () with
+  | Error msg ->
+      Format.fprintf ppf "native: skipped -- %s@." msg;
+      (0, [ ("available", 0.0) ])
+  | Ok tc -> (
+      let machine = Ujam_machine.Presets.alpha in
+      let kernels = [ "mmjki"; "dmxpy0"; "jacobi"; "sor" ] in
+      let cases =
+        List.map
+          (fun k ->
+            let e = Option.get (Ujam_kernels.Catalogue.find k) in
+            let nest = e.Ujam_kernels.Catalogue.build ~n:48 () in
+            let r = Driver.optimize ~bound:8 ~cache:true ~machine nest in
+            let u =
+              Ujam_ir.Unroll.clamp_divisible nest r.Driver.choice.Search.u
+            in
+            let spec =
+              { Ujam_native.Emit.uname = k;
+                seed = !seed;
+                repeats = 5;
+                variants =
+                  [ { Ujam_native.Emit.vname = "orig"; nest };
+                    { Ujam_native.Emit.vname = "unrolled";
+                      nest = Ujam_ir.Unroll.unroll_and_jam nest u } ] }
+            in
+            (k, u, spec))
+          kernels
+      in
+      let specs = List.map (fun (_, _, s) -> s) cases in
+      match Ujam_native.Native.run_units tc specs with
+      | Error msg ->
+          Format.fprintf ppf "native: FAILED -- %s@." msg;
+          (0, [ ("available", 1.0); ("failed", 1.0) ])
+      | Ok results ->
+          Format.fprintf ppf "toolchain: %s@.@."
+            (Ujam_native.Toolchain.description tc);
+          Format.fprintf ppf "%-8s %-10s %-12s %-12s %-8s %s@." "kernel" "u"
+            "orig s/run" "unrolled" "speedup" "equiv";
+          let metrics =
+            List.map2
+              (fun (k, u, spec) res ->
+                let sec v =
+                  match
+                    List.find_opt
+                      (fun (o : Ujam_native.Native.outcome) ->
+                        String.equal o.Ujam_native.Native.vname v)
+                      res.Ujam_native.Native.outcomes
+                  with
+                  | Some o -> o.Ujam_native.Native.seconds
+                  | None -> Float.nan
+                in
+                let t0 = sec "orig" and t1 = sec "unrolled" in
+                let speedup =
+                  if t1 > 0.0 && Float.is_finite t0 then t0 /. t1 else 1.0
+                in
+                let eqs = Ujam_native.Native.equivalences spec res in
+                let equiv =
+                  List.for_all
+                    (fun (e : Ujam_native.Native.equivalence) ->
+                      e.Ujam_native.Native.diffs = [])
+                    eqs
+                in
+                Format.fprintf ppf "%-8s %-10s %-12.3e %-12.3e %-8.2f %s@." k
+                  (Vec.to_string u) t0 t1 speedup
+                  (if equiv then "ok" else "FAILED");
+                [ ("speedup_" ^ k, speedup);
+                  ("equiv_" ^ k, if equiv then 1.0 else 0.0) ])
+              cases results
+          in
+          (2 * List.length cases, ("available", 1.0) :: List.concat metrics))
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, runner, and JSON trajectory.                   *)
 
 let experiments =
@@ -703,6 +784,9 @@ let experiments =
     ( "serve",
       "Serve daemon load generator (4 clients, cold vs warm cache)",
       serve_bench );
+    ( "native",
+      "Native ground truth — compiled-kernel speedup of the chosen unroll",
+      native_bench );
     ( "quick-matrix",
       "Quick smoke — strategy matrix (shared context per kernel)",
       quick_matrix );
@@ -826,18 +910,21 @@ let compare_trajectories old_path new_path threshold =
 (* Argument parsing and dispatch.                                      *)
 
 let json_mode = ref false
+let native_mode = ref false
 let out_file = ref (Printf.sprintf "BENCH_%d.json" bench_generation)
 let threshold = ref 0.10
 let compare_files = ref None
 
 let usage () =
   Format.eprintf
-    "usage: bench [EXPERIMENT...] [--quick] [--seed S] [--json] [--out FILE]@.\
+    "usage: bench [EXPERIMENT...] [--quick] [--native] [--seed S] [--json] [--out FILE]@.\
     \       bench --compare OLD.json NEW.json [--threshold T]@.\
      experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
     \             ablation-prefetch ablation-permute ablation-registers@.\
-    \             corpus table-build search serve speed quick-matrix@.\
-    \             quick-corpus all@.";
+    \             corpus table-build search serve native speed quick-matrix@.\
+    \             quick-corpus all@.\
+     `all' excludes `native' (needs a host OCaml toolchain); add it with@.\
+    \ --native or by naming it explicitly.@.";
   exit 2
 
 (* Strip global options out of the argument list before dispatching. *)
@@ -852,6 +939,9 @@ let rec extract_options = function
       extract_options rest
   | "--json" :: rest ->
       json_mode := true;
+      extract_options rest
+  | "--native" :: rest ->
+      native_mode := true;
       extract_options rest
   | "--out" :: v :: rest ->
       out_file := v;
@@ -888,6 +978,11 @@ let () =
   | None ->
       let names =
         match args with [] -> all_names | args -> List.concat_map names_of_arg args
+      in
+      let names =
+        if !native_mode && not (List.mem "native" names) then
+          names @ [ "native" ]
+        else names
       in
       let reports = List.map run_experiment names in
       if !json_mode then begin

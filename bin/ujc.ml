@@ -285,10 +285,61 @@ let optimize_cmd =
       value & flag
       & info [ "all" ] ~doc:"Optimize every Table-2 kernel through the engine.")
   in
+  let native_check_flag =
+    Arg.(
+      value & flag
+      & info [ "native-check" ]
+          ~doc:"After optimizing, compile and run the original nest and the               chosen unroll with the host OCaml toolchain: validate both               against the reference interpreter and measure the actual               speedup over (1,...,1).  Exits 2 when no toolchain is on               PATH, 1 when the compiled run diverges from the               interpreter.")
+  in
   let run e_opt n machine bound no_cache model all domains json timings seq
-      check =
+      check native_check =
     let model = effective_model no_cache model in
+    let tc_opt =
+      if not native_check then None
+      else
+        match Ujam_native.Toolchain.find () with
+        | Ok tc -> Some tc
+        | Error msg ->
+            Format.eprintf
+              "ujc optimize: --native-check needs a native toolchain: %s@." msg;
+            exit 2
+    in
+    if native_check && json then begin
+      Format.eprintf "ujc optimize: --native-check has no --json form yet@.";
+      exit 2
+    end;
+    let run_native_check tc r =
+      match Ujam_native.Native.check_choice tc r with
+      | Error err ->
+          Format.eprintf "native check: %a@." Ujam_engine.Error.pp err;
+          exit 1
+      | Ok c ->
+          Format.printf "native check: u = %a%s %s (max rel err %.3g)@."
+            Vec.pp c.Ujam_native.Native.u
+            (if c.Ujam_native.Native.clamped then " (clamped to divisible)"
+             else "")
+            (if c.Ujam_native.Native.equivalent then
+               "matches the interpreter"
+             else "DIVERGES from the interpreter")
+            c.Ujam_native.Native.max_rel_err;
+          Format.printf
+            "native timing: original %.3e s, transformed %.3e s, measured \
+             speedup %.2fx@."
+            c.Ujam_native.Native.seconds_original
+            c.Ujam_native.Native.seconds_transformed
+            c.Ujam_native.Native.measured_speedup;
+          if c.Ujam_native.Native.measured_speedup < 1.0 then
+            Format.printf
+              "native timing: warning: chosen vector did not beat (1,...,1) \
+               on this host@.";
+          if not c.Ujam_native.Native.equivalent then exit 1
+    in
     if all then begin
+      if native_check then begin
+        Format.eprintf
+          "ujc optimize: --native-check works on a single kernel, not --all@.";
+        exit 2
+      end;
       let report =
         Engine.run_corpus ~domains ~bound ~model ~seq ~machine
           (Engine.routines_of_catalogue ?n ())
@@ -327,8 +378,15 @@ let optimize_cmd =
                   r.Driver.transformed;
                 Format.printf "--- after scalar replacement ---@.%a@."
                   Ujam_ir.Nest.pp
-                  (Scalar_replace.apply r.Driver.transformed r.Driver.plan)
+                  (Scalar_replace.apply r.Driver.transformed r.Driver.plan);
+                Option.iter (fun tc -> run_native_check tc r) tc_opt
             | _ ->
+                if native_check then begin
+                  Format.eprintf
+                    "ujc optimize: --native-check needs the ugs or no-cache \
+                     model without --seq@.";
+                  exit 2
+                end;
                 let outcome =
                   Engine.analyze ~bound ~model ~seq ~machine
                     ~routine:e.Ujam_kernels.Catalogue.name nest
@@ -340,7 +398,7 @@ let optimize_cmd =
        ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel              (or batch-optimize the whole catalogue with $(b,--all)).")
     Term.(const run $ kernel_opt_arg $ size_arg $ machine_arg $ bound_arg
           $ cache_arg $ model_arg $ all_flag $ domains_arg $ json_arg
-          $ timings_arg $ seq_arg $ check_arg)
+          $ timings_arg $ seq_arg $ check_arg $ native_check_flag)
 
 let simulate_cmd =
   let run e n machine bound no_cache =
@@ -579,7 +637,8 @@ let fuzz_cmd =
         | "sim" -> Ok Fuzz.Sim
         | "cross-model" | "cross" -> Ok Fuzz.Cross_model
         | "verify" -> Ok Fuzz.Verify
-        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model|verify)" s))
+        | "native" -> Ok Fuzz.Native
+        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model|verify|native)" s))
       in
       Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Fuzz.layer_name l))
     in
@@ -587,7 +646,13 @@ let fuzz_cmd =
       value
       & opt (list layer_conv) Fuzz.all_layers
       & info [ "layers" ] ~docv:"LAYERS"
-          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify).")
+          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify, native).")
+  in
+  let native_flag =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:"Add the native ground-truth layer: compile each nest and a               sample of its legal unrolls to machine code and validate               checksums against the interpreter.  Skipped (and counted as               $(i,native_skipped)) when no OCaml toolchain is on PATH.")
   in
   let recurrent_flag =
     Arg.(
@@ -601,8 +666,13 @@ let fuzz_cmd =
       & info [ "dedup" ]
           ~doc:"Skip generated nests whose canonical digest repeats an               earlier draw, so every checked nest is structurally               distinct; skipped draws do not consume the $(b,-n) budget.")
   in
-  let run n seed max_depth bound machine domains layers deep shrink recurrent
-      dedup json =
+  let run n seed max_depth bound machine domains layers native deep shrink
+      recurrent dedup json =
+    let layers =
+      if native && not (List.mem Fuzz.Native layers) then
+        layers @ [ Fuzz.Native ]
+      else layers
+    in
     let cfg =
       { (Fuzz.default_config ~machine ()) with
         Fuzz.n = max 0 n;
@@ -625,8 +695,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential oracle: fuzz the UGS tables against materialized              unrolls, the cache simulator, and the other selection              strategies; shrink any failure to a minimal reproducer.")
     Term.(const run $ n_arg $ seed_arg $ max_depth_arg $ fuzz_bound_arg
-          $ machine_arg $ domains_arg $ layers_arg $ deep_flag $ shrink_flag
-          $ recurrent_flag $ dedup_flag $ json_arg)
+          $ machine_arg $ domains_arg $ layers_arg $ native_flag $ deep_flag
+          $ shrink_flag $ recurrent_flag $ dedup_flag $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Analysis subcommands: lint / explain / dot take either a kernel name
@@ -670,6 +740,123 @@ let target_arg =
     & pos 0 (some string) None
     & info [] ~docv:"TARGET"
         ~doc:"Kernel name from Table 2 or a loop-nest file (see `ujc show').")
+
+(* ------------------------------------------------------------------ *)
+(* ujc emit: lower a nest (and optionally its engine-chosen unroll) to
+   a standalone OCaml program over flat float arrays — the ground-truth
+   column.  Emission itself needs no toolchain; --run does, and a
+   missing toolchain is a usage error (exit 2), never an exception. *)
+
+let emit_cmd =
+  let target_req =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Kernel name from Table 2 or a loop-nest file.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the program to $(docv) instead of stdout.")
+  in
+  let run_flag =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:"Compile the emitted program with the host OCaml toolchain,              execute it, and compare every variant's checksums against              the reference interpreter (exit 1 on divergence).")
+  in
+  let transform_flag =
+    Arg.(
+      value & flag
+      & info [ "transform" ]
+          ~doc:"Also emit the engine-chosen unroll-and-jam variant, clamped              to trip-dividing factors.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"R"
+          ~doc:"Timed repetitions per variant after the semantics run.")
+  in
+  let emit_seed_arg =
+    Arg.(
+      value & opt int Ujam_sim.Interp.default_seed
+      & info [ "seed" ] ~docv:"S" ~doc:"Initial-store seed.")
+  in
+  let run target n machine bound no_cache out run_it transform repeats seed =
+    let nest = require_target target n in
+    let variants =
+      { Ujam_native.Emit.vname = "orig"; nest }
+      ::
+      (if transform then begin
+         let r = Driver.optimize ~bound ~cache:(not no_cache) ~machine nest in
+         let u = Ujam_ir.Unroll.clamp_divisible nest r.Driver.choice.Search.u in
+         [ { Ujam_native.Emit.vname = "u=" ^ Vec.to_string u;
+             nest = Ujam_ir.Unroll.unroll_and_jam nest u } ]
+       end
+       else [])
+    in
+    let spec =
+      { Ujam_native.Emit.uname = Ujam_ir.Nest.name nest;
+        seed;
+        repeats = max 1 repeats;
+        variants }
+    in
+    let text = Ujam_native.Emit.program [ spec ] in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "ujc emit: wrote %s (%d variant%s)@." path
+          (List.length variants)
+          (if List.length variants = 1 then "" else "s")
+    | None -> if not run_it then print_string text);
+    if run_it then begin
+      match Ujam_native.Toolchain.find () with
+      | Error msg ->
+          Format.eprintf "ujc emit: --run needs a native toolchain: %s@." msg;
+          exit 2
+      | Ok tc -> (
+          match Ujam_native.Native.run_units tc [ spec ] with
+          | Error msg ->
+              Format.eprintf "ujc emit: %s@." msg;
+              exit 1
+          | Ok results ->
+              let res = List.hd results in
+              List.iter
+                (fun (o : Ujam_native.Native.outcome) ->
+                  Format.printf "%s: %.3e s/run %s@."
+                    o.Ujam_native.Native.vname o.Ujam_native.Native.seconds
+                    (String.concat " "
+                       (List.map
+                          (fun (b, c) -> Printf.sprintf "%s=%.9g" b c)
+                          o.Ujam_native.Native.checksums)))
+                res.Ujam_native.Native.outcomes;
+              let eqs = Ujam_native.Native.equivalences spec res in
+              let bad =
+                List.exists
+                  (fun (e : Ujam_native.Native.equivalence) ->
+                    e.Ujam_native.Native.diffs <> [])
+                  eqs
+              in
+              List.iter
+                (fun (e : Ujam_native.Native.equivalence) ->
+                  Format.printf "equivalence %s: %s (max rel err %.3g)@."
+                    e.Ujam_native.Native.vname
+                    (if e.Ujam_native.Native.diffs = [] then "ok" else "FAILED")
+                    e.Ujam_native.Native.max_rel_err)
+                eqs;
+              if bad then exit 1)
+    end
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Lower a nest to a standalone OCaml program over flat float              arrays (optionally with the engine-chosen unroll variant),              and with $(b,--run) compile, execute, and check it against              the reference interpreter.")
+    Term.(const run $ target_req $ size_arg $ machine_arg $ bound_arg
+          $ cache_arg $ out_arg $ run_flag $ transform_flag $ repeats_arg
+          $ emit_seed_arg)
 
 let lint_cmd =
   let open Ujam_analysis in
@@ -1049,7 +1236,7 @@ let () =
     Cmd.group info
       [ list_cmd; show_cmd; analyze_cmd; tables_cmd; optimize_cmd; simulate_cmd;
         compile_cmd; fortran_cmd; verify_cmd; graph_cmd; corpus_cmd; fuzz_cmd;
-        lint_cmd; explain_cmd; dot_cmd; trace_cmd; serve_cmd ]
+        emit_cmd; lint_cmd; explain_cmd; dot_cmd; trace_cmd; serve_cmd ]
   in
   (* An unknown first word used to fall through to cmdliner's generic
      usage error (exit 124) without naming the commands.  Catch it up
@@ -1058,8 +1245,8 @@ let () =
      prefixes, so `ujc optim' must keep working). *)
   let known =
     [ "list"; "show"; "analyze"; "tables"; "optimize"; "simulate"; "compile";
-      "fortran"; "verify"; "graph"; "corpus"; "fuzz"; "lint"; "explain";
-      "dot"; "trace"; "serve" ]
+      "fortran"; "verify"; "graph"; "corpus"; "fuzz"; "emit"; "lint";
+      "explain"; "dot"; "trace"; "serve" ]
   in
   (if Array.length Sys.argv > 1 then
      let cmd = Sys.argv.(1) in

@@ -14,33 +14,49 @@ let suffix_blocks (dvec : Depvec.t) k =
   in
   go (k + 1)
 
+let cap_levels bound (dvec : Depvec.t) =
+  for k = 0 to Array.length bound - 2 do
+    match dvec.(k) with
+    | Depvec.Exact x when x > 0 ->
+        if suffix_blocks dvec k then bound.(k) <- min bound.(k) (x - 1)
+    | Depvec.Star ->
+        (* The Star stands for the whole solution set along loop k;
+           its members with a negative k-component are the same
+           dependence in the other orientation, with the suffix's
+           sign flipped.  Any non-zero suffix therefore blocks. *)
+        let suffix_nonzero =
+          let rec go m =
+            m < Depvec.dim dvec
+            && (match dvec.(m) with
+               | Depvec.Exact 0 -> go (m + 1)
+               | Depvec.Exact _ | Depvec.Star -> true)
+          in
+          go (k + 1)
+        in
+        if suffix_nonzero then bound.(k) <- 0
+    | Depvec.Exact _ -> ()
+  done
+
 let max_safe_unroll (g : Graph.t) =
   let depth = Ujam_ir.Nest.depth g.Graph.nest in
   let bound = Array.make depth max_int in
   bound.(depth - 1) <- 0;
   List.iter
     (fun (e : Graph.edge) ->
-      for k = 0 to depth - 2 do
-        match e.Graph.dvec.(k) with
-        | Depvec.Exact x when x > 0 ->
-            if suffix_blocks e.Graph.dvec k then bound.(k) <- min bound.(k) (x - 1)
-        | Depvec.Star ->
-            (* The Star stands for the whole solution set along loop k;
-               its members with a negative k-component are the same
-               dependence in the other orientation, with the suffix's
-               sign flipped.  Any non-zero suffix therefore blocks. *)
-            let suffix_nonzero =
-              let rec go m =
-                m < Depvec.dim e.Graph.dvec
-                && (match e.Graph.dvec.(m) with
-                   | Depvec.Exact 0 -> go (m + 1)
-                   | Depvec.Exact _ | Depvec.Star -> true)
-              in
-              go (k + 1)
-            in
-            if suffix_nonzero then bound.(k) <- 0
-        | Depvec.Exact _ -> ()
-      done)
+      cap_levels bound e.Graph.dvec;
+      (* A lex-ambiguous vector (a Star before the first non-zero exact
+         component) is stored in one orientation but its solution set
+         contains both: the members whose leading Star takes a value
+         that makes the vector lexicographically negative are the same
+         dependence reversed, i.e. the negated vector with the
+         endpoints swapped.  Jamming legality only reads distances, so
+         cap against the mirror too — e.g. an anti edge [*,-1,2] hides
+         the flow members [*,1,-2], which forbid jamming the middle
+         loop (caught by the native ground-truth column on a generated
+         nest). *)
+      match Depvec.lex_sign e.Graph.dvec with
+      | `Ambiguous -> cap_levels bound (Depvec.negate e.Graph.dvec)
+      | `Pos | `Neg | `Zero -> ())
     g.Graph.edges;
   bound
 

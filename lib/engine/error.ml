@@ -1,7 +1,7 @@
 open Ujam_ir
 module Diagnostic = Ujam_analysis.Diagnostic
 
-type stage = Validate | Parse | Graph | Tables | Search | Transform | Sim
+type stage = Validate | Parse | Graph | Tables | Search | Transform | Sim | Native
 
 type t = {
   stage : stage;
@@ -21,6 +21,7 @@ let stage_name = function
   | Search -> "search"
   | Transform -> "transform"
   | Sim -> "sim"
+  | Native -> "native"
 
 let pp ppf e =
   Format.fprintf ppf "ERROR [%s] %s: %s" (stage_name e.stage) e.routine

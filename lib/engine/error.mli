@@ -16,6 +16,7 @@ type stage =
   | Search     (** unroll-vector selection *)
   | Transform  (** unroll-and-jam / scalar replacement *)
   | Sim        (** cache/CPU simulation *)
+  | Native     (** native backend: emit / compile / execute *)
 
 type t = {
   stage : stage;

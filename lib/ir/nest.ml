@@ -46,6 +46,24 @@ let arrays t =
       if List.mem b acc then acc else acc @ [ b ])
     [] (refs t)
 
+let assigned_scalars t =
+  List.filter_map
+    (fun (s : Stmt.t) ->
+      match s.Stmt.lhs with
+      | Stmt.Scalar_var v -> Some v
+      | Stmt.Array_elt _ -> None)
+    t.body
+  |> List.sort_uniq String.compare
+
+let scalars t =
+  assigned_scalars t
+  @ List.concat_map (fun (s : Stmt.t) -> Expr.scalars s.Stmt.rhs) t.body
+  |> List.sort_uniq String.compare
+
+let free_scalars t =
+  let assigned = assigned_scalars t in
+  List.filter (fun s -> not (List.mem s assigned)) (scalars t)
+
 let trip_counts t =
   let trips = Array.map Loop.trip_const t.loops in
   if Array.for_all Option.is_some trips then Some (Array.map Option.get trips)

@@ -27,6 +27,18 @@ val refs : t -> (Aref.t * [ `Read | `Write ]) list
 val arrays : t -> string list
 (** Distinct array base names, in order of first appearance. *)
 
+val scalars : t -> string list
+(** Every scalar name appearing in the body (assigned or read),
+    sorted and deduplicated. *)
+
+val assigned_scalars : t -> string list
+(** Scalars the body assigns (compiler temporaries), sorted. *)
+
+val free_scalars : t -> string list
+(** Scalars the body reads but never assigns (loop-invariant inputs),
+    sorted — these take seeded initial values in the interpreter and
+    the native backend. *)
+
 val trip_counts : t -> int array option
 (** Trip count per level when all bounds are constant. *)
 

@@ -1,0 +1,64 @@
+(** Lowering nests to standalone OCaml programs over flat float arrays.
+
+    One emitted program holds any number of {e units}; a unit is one
+    problem (a seed, a repeat count, and a list of nest {e variants} —
+    conventionally the original nest first, then the candidates a
+    transformation produced).  Every variant becomes straight-line
+    native code: one [Bigarray.Array1] of float64 per array (flattened
+    through the same mins/strides box the cache layout uses, taken as
+    the union over the unit's variants so all variants address one
+    consistent footprint), tail-recursive loop functions with affine
+    bounds, and a body with store-aware load reuse (a read already
+    loaded this iteration is reused from its local unless an
+    intervening store to the same base could alias it).
+
+    The program initialises arrays and scalars with a textual copy of
+    the interpreter's seeded mixer ({!runtime_src}, kept in sync with
+    {!Ujam_sim.Interp} by the pinned kernel tests), runs each variant
+    once for semantics, folds each array through the shared
+    {!Ujam_sim.Interp.cell_weight} functional, then times [repeats]
+    further runs, and prints one self-describing line per variant:
+
+    {v RESULT <unit> <variant> <seconds-per-run> <array>=<checksum> ... v}
+
+    with floats in hexadecimal ([%h]) so they round-trip exactly. *)
+
+open Ujam_ir
+
+type variant = { vname : string; nest : Nest.t }
+
+type unit_spec = {
+  uname : string;
+  seed : int;  (** initial-store seed, as for {!Ujam_sim.Interp.run} *)
+  repeats : int;  (** timed repetitions after the semantics run *)
+  variants : variant list;
+}
+
+type box = {
+  mins : int array;  (** smallest touched subscript per dimension *)
+  extents : int array;
+  strides : int array;  (** dimension 0 is contiguous, as in {!Ujam_sim.Layout} *)
+  size : int;  (** flat element count *)
+}
+
+val unit_layout : unit_spec -> (string * box) list
+(** Union allocation box per array across all the unit's variants, in
+    order of first appearance.
+    @raise Invalid_argument when the footprint is unreasonably large
+    (over [2^24] elements per array) — callers guard this into a typed
+    error. *)
+
+val box_iter : box -> (int list -> unit) -> unit
+(** Enumerate the box's raw subscript vectors, dimension 0 slowest —
+    the exact order the emitted checksum loops accumulate in, so a
+    reference reduction visiting the same order sums identically. *)
+
+val program : ?drop_last_stmt:bool -> unit_spec list -> string
+(** The complete program text.  [drop_last_stmt] (default false) is the
+    fault-injection hook for the oracle's self-test: every variant with
+    at least two body statements is emitted without its final statement,
+    the classic lost-jammed-copy emitter bug. *)
+
+val runtime_src : string
+(** The seeded-initialisation / checksum preamble embedded in every
+    program; a textual mirror of the interpreter's mixer. *)

@@ -11,15 +11,20 @@ let m_unexplained = Obs.counter "oracle.unexplained"
 let m_failures = Obs.counter "oracle.failures"
 let m_verify_checked = Obs.counter "oracle.verify.checked"
 let m_verify_failed = Obs.counter "oracle.verify.failed"
+let m_native_checked = Obs.counter "oracle.native.checked"
+let m_native_skipped = Obs.counter "oracle.native.skipped"
 
-type layer = Recount | Sim | Cross_model | Verify
+type layer = Recount | Sim | Cross_model | Verify | Native
 
 let layer_name = function
   | Recount -> "recount"
   | Sim -> "sim"
   | Cross_model -> "cross-model"
   | Verify -> "verify"
+  | Native -> "native"
 
+(* The native layer stays opt-in: it forks the host toolchain per nest,
+   which is orders of magnitude slower than the analytical layers. *)
 let all_layers = [ Recount; Sim; Cross_model; Verify ]
 
 type config = {
@@ -73,6 +78,8 @@ type report = {
   sim_checked : int;
   verify_checked : int;
   verify_failed : int;
+  native_checked : int;
+  native_skipped : int;
   total_mismatches : int;
   unexplained : int;
   failures : failure list;
@@ -84,8 +91,18 @@ type layer_result = {
   lr_mismatches : Mismatch.t list;
   lr_simulated : int;
   lr_verified : int;
+  lr_native : int;  (** variants validated by the native backend *)
+  lr_native_skipped : int;  (** 1 when the toolchain was unavailable *)
   lr_error : Error.t option;
 }
+
+let empty_lr =
+  { lr_mismatches = [];
+    lr_simulated = 0;
+    lr_verified = 0;
+    lr_native = 0;
+    lr_native_skipped = 0;
+    lr_error = None }
 
 (* The verify layer: materialise every unroll vector of the searched
    space through the gated pipeline ({!Ujam_analysis.Passes.apply_seq}
@@ -120,14 +137,88 @@ let verify_check ~bound ~max_loops ~machine nest =
             diags);
   (List.rev !ms, !checked)
 
-let check_layer ?perturb ~cfg ~routine layer nest =
+(* The native layer: lower the original nest plus a deterministic
+   sample of its legalized unroll variants to one compiled program
+   ({!Ujam_native}) and demand that every variant's per-array checksums
+   match the reference interpreter run of that same variant.  A missing
+   toolchain is a skip, never a failure — the analytical layers keep
+   their verdicts. *)
+let native_max_variants = 4
+
+let native_check ?(drop_copy = false) ~cfg ~routine:_ nest =
+  match Ujam_native.Toolchain.find () with
+  | Error _ -> { empty_lr with lr_native_skipped = 1 }
+  | Ok tc ->
+      let { bound; max_loops; machine; seed; _ } = cfg in
+      let ctx = Ujam_core.Analysis_ctx.create ~bound ~max_loops ~machine nest in
+      let space = Ujam_core.Analysis_ctx.space ctx in
+      let graph = Ujam_core.Analysis_ctx.graph ctx in
+      let legal = ref [] in
+      Ujam_core.Unroll_space.iter space (fun u ->
+          if not (Ujam_linalg.Vec.is_zero u) then
+            match
+              Ujam_analysis.Passes.apply_seq ~graph nest
+                [ Ujam_ir.Transform.Unroll u ]
+            with
+            | Ok (nest', _) -> legal := (u, nest') :: !legal
+            | Error _ -> ());
+      let legal = List.rev !legal in
+      (* deterministic, evenly spaced sample: compiling every vector of
+         the space per nest would swamp the run *)
+      let sampled =
+        let n = List.length legal in
+        if n <= native_max_variants then legal
+        else
+          List.filteri
+            (fun i _ ->
+              i * native_max_variants / n
+              <> (i + 1) * native_max_variants / n)
+            legal
+      in
+      let variants =
+        { Ujam_native.Emit.vname = "orig"; nest }
+        :: List.map
+             (fun (u, nest') ->
+               { Ujam_native.Emit.vname = "u=" ^ Ujam_linalg.Vec.to_string u;
+                 nest = nest' })
+             sampled
+      in
+      let spec =
+        { Ujam_native.Emit.uname = Nest.name nest;
+          seed;
+          repeats = 1;
+          variants }
+      in
+      (match Ujam_native.Native.run_units ~drop_last_stmt:drop_copy tc [ spec ] with
+      | Error msg -> failwith msg
+      | Ok [ res ] ->
+          let eqs = Ujam_native.Native.equivalences spec res in
+          let ms =
+            List.concat_map
+              (fun (e : Ujam_native.Native.equivalence) ->
+                List.map
+                  (fun (d : Ujam_native.Native.diff) ->
+                    Mismatch.make ~nest:(Nest.name nest)
+                      ~machine:machine.Machine.name
+                      (Mismatch.Native
+                         { variant = e.Ujam_native.Native.vname;
+                           array_name = d.Ujam_native.Native.array_name;
+                           native = d.Ujam_native.Native.native;
+                           expected = d.Ujam_native.Native.expected }))
+                  e.Ujam_native.Native.diffs)
+              eqs
+          in
+          { empty_lr with
+            lr_mismatches = ms;
+            lr_native = List.length variants }
+      | Ok _ -> failwith "native program returned wrong unit count")
+
+let check_layer ?perturb ?(native_drop_copy = false) ~cfg ~routine layer nest =
   let { bound; max_loops; machine; _ } = cfg in
   let guard stage f =
     match Error.guard ~stage ~routine f with
     | Ok r -> r
-    | Error e ->
-        { lr_mismatches = []; lr_simulated = 0; lr_verified = 0;
-          lr_error = Some e }
+    | Error e -> { empty_lr with lr_error = Some e }
   in
   match layer with
   | Recount ->
@@ -135,25 +226,24 @@ let check_layer ?perturb ~cfg ~routine layer nest =
           let ms =
             Recount.check ~bound ~max_loops ?perturb ~machine nest
           in
-          { lr_mismatches = ms; lr_simulated = 0; lr_verified = 0;
-            lr_error = None })
+          { empty_lr with lr_mismatches = ms })
   | Sim ->
       guard Error.Sim (fun () ->
           let o = Simcheck.check ~bound ~max_loops ~machine nest in
-          { lr_mismatches = o.Simcheck.mismatches;
-            lr_simulated = o.Simcheck.simulated;
-            lr_verified = 0;
-            lr_error = None })
+          { empty_lr with
+            lr_mismatches = o.Simcheck.mismatches;
+            lr_simulated = o.Simcheck.simulated })
   | Cross_model ->
       guard Error.Search (fun () ->
           let ms = Crossmodel.check ~bound ~max_loops ~machine nest in
-          { lr_mismatches = ms; lr_simulated = 0; lr_verified = 0;
-            lr_error = None })
+          { empty_lr with lr_mismatches = ms })
   | Verify ->
       guard Error.Transform (fun () ->
           let ms, checked = verify_check ~bound ~max_loops ~machine nest in
-          { lr_mismatches = ms; lr_simulated = 0; lr_verified = checked;
-            lr_error = None })
+          { empty_lr with lr_mismatches = ms; lr_verified = checked })
+  | Native ->
+      guard Error.Native (fun () ->
+          native_check ~drop_copy:native_drop_copy ~cfg ~routine nest)
 
 let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 
@@ -162,12 +252,17 @@ let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 type job_result = {
   jr_simulated : bool;
   jr_verified : int;
+  jr_native : int;
+  jr_native_skipped : int;
   jr_failure : failure option;
 }
 
-let check_nest ?perturb ~cfg ~routine nest =
+let check_nest ?perturb ?native_drop_copy ~cfg ~routine nest =
   let results =
-    List.map (fun l -> (l, check_layer ?perturb ~cfg ~routine l nest)) cfg.layers
+    List.map
+      (fun l ->
+        (l, check_layer ?perturb ?native_drop_copy ~cfg ~routine l nest))
+      cfg.layers
   in
   let mismatches = List.concat_map (fun (_, r) -> r.lr_mismatches) results in
   let error = List.find_map (fun (_, r) -> r.lr_error) results in
@@ -177,9 +272,19 @@ let check_nest ?perturb ~cfg ~routine nest =
   let verified =
     List.fold_left (fun acc (_, r) -> acc + r.lr_verified) 0 results
   in
+  let native =
+    List.fold_left (fun acc (_, r) -> acc + r.lr_native) 0 results
+  in
+  let native_skipped =
+    List.fold_left (fun acc (_, r) -> acc + r.lr_native_skipped) 0 results
+  in
   let bad = unexplained_of mismatches <> [] || error <> None in
   if not bad then
-    { jr_simulated = simulated; jr_verified = verified; jr_failure = None }
+    { jr_simulated = simulated;
+      jr_verified = verified;
+      jr_native = native;
+      jr_native_skipped = native_skipped;
+      jr_failure = None }
   else
     let reduced =
       if not cfg.shrink then None
@@ -202,7 +307,7 @@ let check_nest ?perturb ~cfg ~routine nest =
         let still_fails n =
           List.exists
             (fun l ->
-              let r = check_layer ?perturb ~cfg ~routine l n in
+              let r = check_layer ?perturb ?native_drop_copy ~cfg ~routine l n in
               if want_error then r.lr_error <> None
               else unexplained_of r.lr_mismatches <> [])
             fail_layers
@@ -211,11 +316,13 @@ let check_nest ?perturb ~cfg ~routine nest =
     in
     { jr_simulated = simulated;
       jr_verified = verified;
+      jr_native = native;
+      jr_native_skipped = native_skipped;
       jr_failure = Some { routine; nest; error; mismatches; reduced } }
 
 (* ---- the run ---------------------------------------------------------- *)
 
-let run ?perturb cfg =
+let run ?perturb ?native_drop_copy cfg =
   let stats = Generator.stats () in
   let st = Random.State.make [| cfg.seed |] in
   let jobs = ref [] in
@@ -258,7 +365,7 @@ let run ?perturb cfg =
   let results =
     Engine.parallel_map ~domains:cfg.domains
       ~f:(fun ~domain:_ (routine, nest) ->
-        check_nest ?perturb ~cfg ~routine nest)
+        check_nest ?perturb ?native_drop_copy ~cfg ~routine nest)
       jobs
   in
   let failures =
@@ -275,6 +382,12 @@ let run ?perturb cfg =
   let verify_checked =
     Array.fold_left (fun acc r -> acc + r.jr_verified) 0 results
   in
+  let native_checked =
+    Array.fold_left (fun acc r -> acc + r.jr_native) 0 results
+  in
+  let native_skipped =
+    Array.fold_left (fun acc r -> acc + r.jr_native_skipped) 0 results
+  in
   let verify_failed =
     List.fold_left
       (fun acc f ->
@@ -289,6 +402,8 @@ let run ?perturb cfg =
   Obs.Counter.add m_failures (List.length failures);
   Obs.Counter.add m_verify_checked verify_checked;
   Obs.Counter.add m_verify_failed verify_failed;
+  Obs.Counter.add m_native_checked native_checked;
+  Obs.Counter.add m_native_skipped native_skipped;
   { config = cfg;
     nests = Array.length jobs;
     routines = !idx;
@@ -303,6 +418,8 @@ let run ?perturb cfg =
         0 results;
     verify_checked;
     verify_failed;
+    native_checked;
+    native_skipped;
     total_mismatches;
     unexplained;
     failures }
@@ -334,6 +451,15 @@ let pp ppf r =
   Format.fprintf ppf
     "verify layer: %d unrolled bodies checked, %d rejected@."
     r.verify_checked r.verify_failed;
+  if List.mem Native c.layers then
+    if r.native_skipped > 0 && r.native_checked = 0 then
+      Format.fprintf ppf
+        "native layer: native_skipped (no toolchain, %d nests not compiled)@."
+        r.native_skipped
+    else
+      Format.fprintf ppf
+        "native layer: %d variants compiled and validated (%d nests skipped)@."
+        r.native_checked r.native_skipped;
   Format.fprintf ppf "mismatches: %d total, %d unexplained@."
     r.total_mismatches r.unexplained;
   List.iter
@@ -390,7 +516,7 @@ let failure_to_json f =
 let to_json r =
   let c = r.config in
   Json.Obj
-    [ ("seed", Json.Int c.seed);
+    ([ ("seed", Json.Int c.seed);
       ("n", Json.Int c.n);
       ("machine", Json.Str c.machine.Machine.name);
       ("bound", Json.Int c.bound);
@@ -408,8 +534,14 @@ let to_json r =
       ("fenced", Json.Int r.fenced);
       ("sim_checked", Json.Int r.sim_checked);
       ("verify_checked", Json.Int r.verify_checked);
-      ("verify_failed", Json.Int r.verify_failed);
-      ("mismatches", Json.Int r.total_mismatches);
+      ("verify_failed", Json.Int r.verify_failed) ]
+    (* native fields appear only when the layer was configured, so the
+       pinned default-run JSON stays byte-stable *)
+    @ (if List.mem Native c.layers then
+         [ ("native_checked", Json.Int r.native_checked);
+           ("native_skipped", Json.Int r.native_skipped) ]
+       else [])
+    @ [ ("mismatches", Json.Int r.total_mismatches);
       ("unexplained", Json.Int r.unexplained);
       ("ok", Json.Bool (ok r));
-      ("failures", Json.List (List.map failure_to_json r.failures)) ]
+      ("failures", Json.List (List.map failure_to_json r.failures)) ])

@@ -13,10 +13,16 @@
 
 open Ujam_linalg
 
-type layer = Recount | Sim | Cross_model | Verify
+type layer = Recount | Sim | Cross_model | Verify | Native
 
 val layer_name : layer -> string
+
 val all_layers : layer list
+(** The default layer set.  {!Native} is not in it: compiling and
+    executing each nest through the host toolchain ({!Ujam_native}) is
+    orders of magnitude slower than the analytical layers, so the
+    ground-truth column stays opt-in ([ujc fuzz --native]).  Without a
+    toolchain the layer degrades to a skip count, never a failure. *)
 
 type config = {
   n : int;  (** nests to check *)
@@ -69,14 +75,26 @@ type report = {
   sim_checked : int;  (** nests the simulator layer replayed *)
   verify_checked : int;  (** unrolled bodies checked by the verifier *)
   verify_failed : int;  (** verifier rejections (multiset mismatches) *)
+  native_checked : int;
+      (** variants compiled, executed and checksum-validated by the
+          native layer (0 unless {!Native} is configured) *)
+  native_skipped : int;
+      (** nests the native layer skipped for lack of a toolchain *)
   total_mismatches : int;
   unexplained : int;
   failures : failure list;
 }
 
-val run : ?perturb:(Vec.t -> Counts.t -> Counts.t) -> config -> report
-(** [perturb] is threaded to the recount layer (fault injection for the
-    oracle's own regression tests). *)
+val run :
+  ?perturb:(Vec.t -> Counts.t -> Counts.t) ->
+  ?native_drop_copy:bool ->
+  config ->
+  report
+(** [perturb] is threaded to the recount layer and [native_drop_copy]
+    to the native layer's emitter (it drops the final statement of every
+    multi-statement body — the classic lost-jammed-copy bug); both are
+    fault injection for the oracle's own regression tests.  Shrinking
+    re-runs failing layers with the same injections. *)
 
 val ok : report -> bool
 (** No unexplained mismatch and no crashed layer. *)

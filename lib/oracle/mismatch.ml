@@ -19,6 +19,12 @@ type kind =
       reference_objective : float;
     }
   | Verify of { u : Vec.t; rule : string; detail : string }
+  | Native of {
+      variant : string;
+      array_name : string;
+      native : float;
+      expected : float;
+    }
 
 type t = {
   nest : string;
@@ -36,6 +42,7 @@ let layer m =
   | Sim_order _ -> "sim"
   | Model_divergence _ -> "cross-model"
   | Verify _ -> "verify"
+  | Native _ -> "native"
 
 let pp_f ppf v =
   if Float.is_integer v && Float.abs v < 1e9 then
@@ -60,7 +67,12 @@ let pp ppf m =
         reference_objective
   | Verify { u; rule; detail } ->
       Format.fprintf ppf "%s [verify] %s at u=%a: %s" m.nest rule Vec.pp u
-        detail);
+        detail
+  | Native { variant; array_name; native; expected } ->
+      Format.fprintf ppf
+        "%s [native] variant %s array %s: compiled run says %a, interpreter \
+         says %a"
+        m.nest variant array_name pp_f native pp_f expected);
   match m.explained with
   | Some why -> Format.fprintf ppf " (explained: %s)" why
   | None -> ()
@@ -98,6 +110,12 @@ let to_json m =
           ("rule", Json.Str rule);
           ("u", Json.of_vec u);
           ("detail", Json.Str detail) ]
+    | Native { variant; array_name; native; expected } ->
+        [ ("kind", Json.Str "native");
+          ("variant", Json.Str variant);
+          ("array", Json.Str array_name);
+          ("native", json_f native);
+          ("expected", json_f expected) ]
   in
   Json.Obj
     (("nest", Json.Str m.nest) :: ("machine", Json.Str m.machine)

@@ -38,6 +38,16 @@ type kind =
           rejected the materialised unroll-and-jam at [u]: the
           transformed nest does not preserve the per-array access
           multisets.  [rule] is the diagnostic id (UJ020). *)
+  | Native of {
+      variant : string;
+      array_name : string;
+      native : float;
+      expected : float;
+    }
+      (** The compiled-and-executed variant's checksum for one array
+          disagrees with the reference interpreter run of the same
+          nest beyond the native tolerance ([native] is NaN when the
+          emitted program never reported the array at all). *)
 
 type t = {
   nest : string;
@@ -52,7 +62,7 @@ val make :
 val is_explained : t -> bool
 
 val layer : t -> string
-(** ["recount"], ["sim"], ["cross-model"] or ["verify"]. *)
+(** ["recount"], ["sim"], ["cross-model"], ["verify"] or ["native"]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Ujam_engine.Json.t

@@ -99,20 +99,8 @@ let to_program ?(scalars = []) nest =
         (String.concat ","
            (Array.to_list (Array.map string_of_int extents))))
     decls;
-  let assigned_scalars =
-    List.filter_map
-      (fun (s : Stmt.t) ->
-        match s.Stmt.lhs with
-        | Stmt.Scalar_var v -> Some v
-        | Stmt.Array_elt _ -> None)
-      (Nest.body nest)
-    |> List.sort_uniq compare
-  in
-  let scalar_names =
-    List.sort_uniq compare
-      (assigned_scalars
-      @ List.concat_map (fun (s : Stmt.t) -> Expr.scalars s.Stmt.rhs) (Nest.body nest))
-  in
+  let assigned_scalars = Nest.assigned_scalars nest in
+  let scalar_names = Nest.scalars nest in
   List.iter (fun s -> line "DOUBLE PRECISION %s" s) scalar_names;
   line "DOUBLE PRECISION CHKSUM";
   line "INTEGER %s"

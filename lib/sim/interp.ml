@@ -3,29 +3,65 @@ open Ujam_ir
 type store = {
   arrays : (string * int list, float) Hashtbl.t;  (* written locations *)
   scalars : (string, float) Hashtbl.t;
+  seed : int;
 }
 
-let initial_element key =
-  float_of_int (Hashtbl.hash key land 0xFFFF) /. 65536.0
+(* ---- deterministic seeded initialisation --------------------------------
 
-let initial_scalar name =
-  float_of_int (Hashtbl.hash ("scalar", name) land 0xFF) /. 256.0
+   Array elements and free scalars are initialised from one explicit
+   PRNG state: a splitmix64-style finalizer folded over the seed, the
+   base name, and the index vector.  The point of spelling the mixer
+   out (rather than using [Hashtbl.hash]) is that the native backend
+   ({!Ujam_native.Emit}) embeds a textually identical copy in every
+   emitted program, so the interpreter and a natively compiled nest see
+   bit-identical inputs.  Any edit here must be mirrored in
+   [Emit.runtime_src]; the pinned kernel equivalences in
+   [test/test_native.ml] enforce the sync. *)
+
+let default_seed = 1997
+
+let mix z =
+  let z = z lxor (z lsr 30) in
+  let z = z * 0x4be98134a5976fd3 in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x3bc0993a5ad19a13 in
+  z lxor (z lsr 32)
+
+let fold_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix (!h + Char.code c)) s;
+  !h
+
+let init_element ~seed base idx =
+  let h = List.fold_left (fun h i -> mix (h + i)) (fold_string (mix seed) base) idx in
+  0.25 +. (float_of_int (h land 0xFFFF) /. 131072.0)
+
+let init_scalar ~seed name =
+  0.25 +. (float_of_int (fold_string (mix (seed + 1)) name land 0xFF) /. 512.0)
+
+let cell_weight base idx =
+  let h = List.fold_left (fun h i -> mix (h + i)) (fold_string 0 base) idx in
+  1.0 +. (float_of_int (h land 0xFFFF) /. 65536.0)
 
 let key (r : Aref.t) iv =
   (Aref.base r, Array.to_list (Array.map (fun s -> Affine.eval s iv) r.Aref.subs))
 
-let run ?preheader nest =
-  let store = { arrays = Hashtbl.create 4096; scalars = Hashtbl.create 16 } in
+let run ?preheader ?(seed = default_seed) nest =
+  let store =
+    { arrays = Hashtbl.create 4096; scalars = Hashtbl.create 16; seed }
+  in
   let read_array r iv =
     let k = key r iv in
     match Hashtbl.find_opt store.arrays k with
     | Some x -> x
-    | None -> initial_element k
+    | None ->
+        let base, idx = k in
+        init_element ~seed base idx
   in
   let read_scalar name =
     match Hashtbl.find_opt store.scalars name with
     | Some x -> x
-    | None -> initial_scalar name
+    | None -> init_scalar ~seed name
   in
   let rec eval iv = function
     | Expr.Const f -> f
@@ -80,9 +116,7 @@ let run ?preheader nest =
 
 let checksum store =
   Hashtbl.fold
-    (fun (base, subs) v acc ->
-      let h = float_of_int (Hashtbl.hash (base, subs) land 0xFFFF) /. 65536.0 in
-      acc +. (v *. (1.0 +. h)))
+    (fun (base, subs) v acc -> acc +. (v *. cell_weight base subs))
     store.arrays 0.0
 
 let value_equal eps v v' =
@@ -103,4 +137,10 @@ let equal ?(eps = 1e-9) a b =
        a.arrays true
 
 let read store base subs = Hashtbl.find_opt store.arrays (base, subs)
+
+let final_value store base subs =
+  match Hashtbl.find_opt store.arrays (base, subs) with
+  | Some v -> v
+  | None -> init_element ~seed:store.seed base subs
+
 let written store = Hashtbl.length store.arrays

@@ -1,20 +1,48 @@
 (** Reference interpreter: execute a nest over a floating-point store.
 
-    Array contents are initialised deterministically from a hash of the
-    element's identity, free scalars from a hash of their name, so two
-    semantically equivalent loops produce identical stores — the oracle
-    behind `ujc verify` and the transformation tests.  Compiler
-    temporaries (scalar assignments in the body) live in a mutable
-    environment that persists across iterations, which is exactly what a
-    rotating register chain needs. *)
+    Array contents and free scalars are initialised deterministically
+    from one explicit PRNG state (a seeded splitmix-style mixer over the
+    element's base name and index vector), so two semantically
+    equivalent loops produce identical stores — the oracle behind
+    `ujc verify`, the transformation tests, and the native backend's
+    semantic-equivalence column ({!Ujam_native}): the emitted programs
+    embed the same mixer, making interpreted and natively executed runs
+    bit-identical on their inputs.  Compiler temporaries (scalar
+    assignments in the body) live in a mutable environment that persists
+    across iterations, which is exactly what a rotating register chain
+    needs. *)
 
 type store
 
-val run : ?preheader:(int array -> Ujam_ir.Stmt.t list) -> Ujam_ir.Nest.t -> store
+val default_seed : int
+(** The initialisation seed used when [?seed] is omitted (1997). *)
+
+val init_element : seed:int -> string -> int list -> float
+(** The initial value of one array element, a pure function of the
+    seed, the array's base name, and the (raw, pre-layout) subscript
+    vector.  Strictly positive and O(1) by construction, so generated
+    arithmetic stays finite. *)
+
+val init_scalar : seed:int -> string -> float
+(** The initial value of a free scalar, a pure function of seed and
+    name. *)
+
+val cell_weight : string -> int list -> float
+(** The per-location weight the order-insensitive digests use: a pure
+    function of base name and subscript vector in [1, 2).  Shared with
+    the native backend's emitted checksum loops so both sides integrate
+    the same functional. *)
+
+val run :
+  ?preheader:(int array -> Ujam_ir.Stmt.t list) ->
+  ?seed:int ->
+  Ujam_ir.Nest.t ->
+  store
 (** Execute the nest.  When [preheader] is given, its statements run
     before each entry of the innermost loop (receiving the index vector
     with the innermost component at its lower bound) — the chain-priming
-    hook used by {!Ujam_core.Scalar_replace} lowering. *)
+    hook used by {!Ujam_core.Scalar_replace} lowering.  [seed] selects
+    the initial store contents (default {!default_seed}). *)
 
 val checksum : store -> float
 (** Order-insensitive digest of the final array contents. *)
@@ -24,6 +52,12 @@ val equal : ?eps:float -> store -> store -> bool
 
 val read : store -> string -> int list -> float option
 (** Final value of one element, if it was written. *)
+
+val final_value : store -> string -> int list -> float
+(** Final value of one element: the written value, or its seeded
+    initial value when the nest never stored there — the cell-level
+    semantics the native backend's per-array checksums integrate
+    over. *)
 
 val written : store -> int
 (** Number of distinct locations written. *)

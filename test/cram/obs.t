@@ -9,7 +9,7 @@ version, bench generation, seed, item counts — stay exact.
   $ ujam-bench --quick --json --seed 1997 --out B.json
   wrote B.json (2 experiments, schema v1)
   $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' B.json
-  {"schema_version":1,"bench":5,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
+  {"schema_version":1,"bench":6,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
 
 The compare gate diffs two trajectory files by experiment name.  A
 synthetic pair keeps the verdicts deterministic: "a" loses 5% (inside
@@ -77,4 +77,4 @@ measurement.
   trace: wrote t2.json (15 events; graph=6 tables=3 search=3 corpus=1)
   trace: t2.json is well-formed Chrome trace JSON
   $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' m.json
-  {"counters":{"analysis.monotone.checks":3,"analysis.monotone.degraded":0,"engine.jobs.claimed":2,"engine.nests.failed":0,"engine.nests.ok":3,"oracle.failures":0,"oracle.mismatches":0,"oracle.nests":0,"oracle.shrink.steps":0,"oracle.unexplained":0,"oracle.verify.checked":0,"oracle.verify.failed":0,"seq.candidates":0,"seq.engaged":0,"seq.legalized":0,"sim.cache.accesses":0,"sim.cache.evictions":0,"sim.cache.misses":0},"gauges":{"engine.queue.remaining":<f>},"histograms":{"engine.routine_s":{"count":2,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.graph_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.search_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.sim_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.tables_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"search.pruned_cells":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"tables.build_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>}}}
+  {"counters":{"analysis.monotone.checks":3,"analysis.monotone.degraded":0,"engine.jobs.claimed":2,"engine.nests.failed":0,"engine.nests.ok":3,"native.compiles":0,"native.runs":0,"native.variants":0,"oracle.failures":0,"oracle.mismatches":0,"oracle.native.checked":0,"oracle.native.skipped":0,"oracle.nests":0,"oracle.shrink.steps":0,"oracle.unexplained":0,"oracle.verify.checked":0,"oracle.verify.failed":0,"seq.candidates":0,"seq.engaged":0,"seq.legalized":0,"sim.cache.accesses":0,"sim.cache.evictions":0,"sim.cache.misses":0},"gauges":{"engine.queue.remaining":<f>},"histograms":{"engine.routine_s":{"count":2,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.graph_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.search_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.sim_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.tables_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"search.pruned_cells":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"tables.build_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>}}}

@@ -57,7 +57,7 @@ while unambiguous prefixes keep dispatching:
 
   $ ujc frobnicate
   ujc: unknown subcommand "frobnicate"
-  known subcommands: analyze, compile, corpus, dot, explain, fortran, fuzz, graph, lint, list, optimize, serve, show, simulate, tables, trace, verify
+  known subcommands: analyze, compile, corpus, dot, emit, explain, fortran, fuzz, graph, lint, list, optimize, serve, show, simulate, tables, trace, verify
   [2]
 
   $ ujc optim dmxpy0 -n 16 -b 3 --no-cache | head -1

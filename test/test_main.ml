@@ -28,5 +28,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
+      ("native", Test_native.suite);
       ("serve", Test_serve.suite);
       ("invariants", Test_invariants.suite) ]
