@@ -34,7 +34,7 @@ open Ujam_core
 open Ujam_engine
 
 let schema_version = 1
-let bench_generation = 6
+let bench_generation = 7
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
@@ -49,6 +49,8 @@ type report = {
   title : string;  (** section header shown in text mode *)
   wall_s : float;
   items : int;  (** work items processed; throughput = items / wall_s *)
+  minor_words : float;  (** words allocated on the minor heap *)
+  major_words : float;  (** words allocated directly on the major heap *)
   metrics : (string * float) list;
   body : string;  (** rendered text output *)
 }
@@ -336,6 +338,11 @@ let corpus_throughput ppf =
   let metrics = ref [] in
   List.iter
     (fun domains ->
+      (* process-wide memos would let later domain counts ride on the
+         first run's answers; clear them so every run pays full price
+         and the determinism check stays honest *)
+      Engine.memo_clear ();
+      Ujam_ir.Canon.memo_clear ();
       let r = Engine.run_corpus ~domains ~bound:4 ~machine routines in
       let rendered = Engine.to_string r in
       let deterministic =
@@ -356,6 +363,67 @@ let corpus_throughput ppf =
       Format.fprintf ppf "  %a@." Engine.pp_timings r)
     [ 1; 2; 4 ];
   (count * 3, List.rev !metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing: sharing across the catalogue + a synthetic corpus,    *)
+(* and the O(1) payoff of the memoized canonical digest.  The gate     *)
+(* metrics are [sharing_ratio] > 0 and [digest_speedup] >= 10.         *)
+
+let hashcons_bench ppf =
+  let module H = Ujam_ir.Hashcons in
+  H.clear ();
+  H.reset_stats ();
+  Ujam_ir.Canon.memo_clear ();
+  let kernels =
+    List.map
+      (fun (e : Ujam_kernels.Catalogue.entry) ->
+        e.Ujam_kernels.Catalogue.build ~n:12 ())
+      Ujam_kernels.Catalogue.all
+  in
+  let corpus =
+    Ujam_workload.Generator.corpus ~seed:!seed ~count:200 ()
+    |> List.concat_map (fun r -> r.Ujam_workload.Generator.nests)
+  in
+  let nests = kernels @ corpus in
+  let consed = List.map H.nest nests in
+  let ratio = H.sharing_ratio () in
+  let idempotent = List.for_all2 ( == ) consed (List.map H.nest consed) in
+  Format.fprintf ppf
+    "%d nests consed (%d kernels + %d corpus), sharing ratio %.3f@."
+    (List.length nests) (List.length kernels) (List.length corpus) ratio;
+  Format.fprintf ppf "%-8s %8s %8s %8s@." "table" "hits" "misses" "live";
+  List.iter
+    (fun (table, (s : H.stats)) ->
+      Format.fprintf ppf "%-8s %8d %8d %8d@." table s.H.hits s.H.misses s.H.live)
+    (H.stats ());
+  (* the digest payoff: a consed nest answers Canon.digest from the
+     identity-keyed memo; digest_uncached re-canonicalizes, re-encodes
+     and re-hashes every time *)
+  let sample = List.hd consed in
+  let time reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (f () : string) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  ignore (Ujam_ir.Canon.digest sample : string);
+  let memo_s = time 100_000 (fun () -> Ujam_ir.Canon.digest sample) in
+  let uncached_s = time 500 (fun () -> Ujam_ir.Canon.digest_uncached sample) in
+  let speedup = uncached_s /. Float.max 1e-9 memo_s in
+  Format.fprintf ppf
+    "digest: memoized %.1f ns, uncached %.1f ns, speedup %.0fx@."
+    (1e9 *. memo_s) (1e9 *. uncached_s) speedup;
+  Format.fprintf ppf "consing idempotent: %b@." idempotent;
+  (* the @hashcons-smoke gate rides on this experiment's exit code *)
+  if not idempotent then failwith "hashcons: consing is not idempotent";
+  if ratio <= 0.0 then failwith "hashcons: no sharing observed";
+  if speedup < 10.0 then
+    failwith "hashcons: memoized digest under 10x faster than uncached";
+  ( List.length nests,
+    [ ("sharing_ratio", ratio);
+      ("digest_memo_ns", 1e9 *. memo_s);
+      ("digest_uncached_ns", 1e9 *. uncached_s);
+      ("digest_speedup", speedup);
+      ("idempotent", if idempotent then 1.0 else 0.0) ] )
 
 (* ------------------------------------------------------------------ *)
 (* --quick: a deterministic smoke subset for cram — no wall-clock       *)
@@ -787,6 +855,9 @@ let experiments =
     ( "native",
       "Native ground truth — compiled-kernel speedup of the chosen unroll",
       native_bench );
+    ( "hashcons",
+      "Hash-consed IR — sharing ratio and O(1) memoized canonical digest",
+      hashcons_bench );
     ( "quick-matrix",
       "Quick smoke — strategy matrix (shared context per kernel)",
       quick_matrix );
@@ -798,7 +869,7 @@ let experiments =
 let all_names =
   [ "table1"; "table2"; "fig8"; "fig9"; "ablation-model"; "ablation-brute";
     "ablation-prefetch"; "ablation-permute"; "ablation-registers"; "corpus";
-    "table-build"; "search"; "serve"; "speed" ]
+    "table-build"; "search"; "serve"; "hashcons"; "speed" ]
 
 let run_experiment name =
   let _, title, f =
@@ -806,11 +877,24 @@ let run_experiment name =
   in
   let buf = Buffer.create 4096 in
   let ppf = Format.formatter_of_buffer buf in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let items, metrics = f ppf in
   Format.pp_print_flush ppf ();
   let wall_s = Unix.gettimeofday () -. t0 in
-  { name; title; wall_s; items; metrics; body = Buffer.contents buf }
+  let g1 = Gc.quick_stat () in
+  (* major_words includes promotions; subtracting them leaves direct
+     major allocations, so minor + major here never double-counts *)
+  { name;
+    title;
+    wall_s;
+    items;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_words =
+      g1.Gc.major_words -. g0.Gc.major_words
+      -. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    metrics;
+    body = Buffer.contents buf }
 
 let section title =
   Format.printf "@.=============================================================@.";
@@ -827,6 +911,8 @@ let report_to_json r =
       ("wall_s", Json.Float r.wall_s);
       ("items", Json.Int r.items);
       ("throughput", Json.Float (throughput r));
+      ("minor_words", Json.Float r.minor_words);
+      ("major_words", Json.Float r.major_words);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.metrics))
     ]
 
@@ -873,38 +959,68 @@ let load_trajectory path =
             (fun e ->
               match (Json.member "name" e, Json.member "throughput" e) with
               | Some (Json.Str n), Some v ->
-                  Option.map (fun f -> (n, f)) (Json.to_float_opt v)
+                  Option.map
+                    (fun f ->
+                      (* allocation fields arrived in bench generation 7:
+                         older trajectories simply lack them, and the
+                         allocation gate skips such pairs *)
+                      let words field =
+                        Option.bind (Json.member field e) Json.to_float_opt
+                      in
+                      let alloc =
+                        match (words "minor_words", words "major_words") with
+                        | Some mi, Some ma -> Some (mi +. ma)
+                        | _ -> None
+                      in
+                      (n, (f, alloc)))
+                    (Json.to_float_opt v)
               | _ -> None)
             l
       | _ ->
           Format.eprintf "compare: %s lacks an experiments list@." path;
           exit 2)
 
-let compare_trajectories old_path new_path threshold =
+let compare_trajectories old_path new_path threshold alloc_threshold =
   let old_t = load_trajectory old_path in
   let new_t = load_trajectory new_path in
   let failed = ref false in
   List.iter
-    (fun (name, old_tp) ->
+    (fun (name, (old_tp, old_alloc)) ->
       match List.assoc_opt name new_t with
       | None ->
           failed := true;
           Format.printf "%-20s %.1f -> MISSING  REGRESSION@." name old_tp
-      | Some new_tp ->
+      | Some (new_tp, new_alloc) ->
           let delta = (new_tp -. old_tp) /. Float.max 1e-9 old_tp in
           let regressed = delta < -.threshold in
           if regressed then failed := true;
-          Format.printf "%-20s %.1f -> %.1f items/s (%+.1f%%)  %s@." name old_tp
-            new_tp (100.0 *. delta)
-            (if regressed then "REGRESSION" else "OK"))
+          let alloc_note =
+            match (old_alloc, new_alloc) with
+            | Some ow, Some nw ->
+                let adelta = (nw -. ow) /. Float.max 1e-9 ow in
+                let aregressed = adelta > alloc_threshold in
+                if aregressed then failed := true;
+                Printf.sprintf ", alloc %+.1f%% %s" (100.0 *. adelta)
+                  (if aregressed then "ALLOC-REGRESSION" else "ok")
+            | _ -> ""
+          in
+          Format.printf "%-20s %.1f -> %.1f items/s (%+.1f%%)  %s%s@." name
+            old_tp new_tp (100.0 *. delta)
+            (if regressed then "REGRESSION" else "OK")
+            alloc_note)
     old_t;
   if !failed then begin
-    Format.printf "compare: throughput regression beyond %.0f%% threshold@."
-      (100.0 *. threshold);
+    Format.printf
+      "compare: regression beyond thresholds (throughput %.0f%%, alloc %.0f%%)@."
+      (100.0 *. threshold)
+      (100.0 *. alloc_threshold);
     exit 1
   end
-  else Format.printf "compare: no regression beyond %.0f%% threshold@."
+  else
+    Format.printf
+      "compare: no regression beyond thresholds (throughput %.0f%%, alloc %.0f%%)@."
       (100.0 *. threshold)
+      (100.0 *. alloc_threshold)
 
 (* ------------------------------------------------------------------ *)
 (* Argument parsing and dispatch.                                      *)
@@ -913,16 +1029,21 @@ let json_mode = ref false
 let native_mode = ref false
 let out_file = ref (Printf.sprintf "BENCH_%d.json" bench_generation)
 let threshold = ref 0.10
+
+(* Allocation varies less than wall time between runs, but fresh code
+   paths legitimately shift it; 25% headroom flags order-of-magnitude
+   leaks without tripping on noise. *)
+let alloc_threshold = ref 0.25
 let compare_files = ref None
 
 let usage () =
   Format.eprintf
     "usage: bench [EXPERIMENT...] [--quick] [--native] [--seed S] [--json] [--out FILE]@.\
-    \       bench --compare OLD.json NEW.json [--threshold T]@.\
+    \       bench --compare OLD.json NEW.json [--threshold T] [--alloc-threshold T]@.\
      experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
     \             ablation-prefetch ablation-permute ablation-registers@.\
-    \             corpus table-build search serve native speed quick-matrix@.\
-    \             quick-corpus all@.\
+    \             corpus table-build search serve native speed hashcons@.\
+    \             quick-matrix quick-corpus all@.\
      `all' excludes `native' (needs a host OCaml toolchain); add it with@.\
     \ --native or by naming it explicitly.@.";
   exit 2
@@ -953,6 +1074,14 @@ let rec extract_options = function
           Format.eprintf "--threshold: expected a non-negative float, got %S@." v;
           exit 2);
       extract_options rest
+  | "--alloc-threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> alloc_threshold := t
+      | _ ->
+          Format.eprintf
+            "--alloc-threshold: expected a non-negative float, got %S@." v;
+          exit 2);
+      extract_options rest
   | "--compare" :: a :: b :: rest ->
       compare_files := Some (a, b);
       extract_options rest
@@ -974,7 +1103,7 @@ let () =
     | [] -> []
   in
   match !compare_files with
-  | Some (a, b) -> compare_trajectories a b !threshold
+  | Some (a, b) -> compare_trajectories a b !threshold !alloc_threshold
   | None ->
       let names =
         match args with [] -> all_names | args -> List.concat_map names_of_arg args

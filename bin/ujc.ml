@@ -1162,6 +1162,12 @@ let serve_cmd =
       & info [ "batch" ] ~docv:"N"
           ~doc:"Max cache-miss requests dispatched to the domain pool per               round.")
   in
+  let cache_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-file" ] ~docv:"FILE"
+          ~doc:"Persist the result cache to $(docv) on shutdown and reload               it at startup, so warm-cache performance survives restarts.               A missing file starts cold.")
+  in
   let timeout_arg =
     Arg.(
       value & opt int 30_000
@@ -1192,8 +1198,8 @@ let serve_cmd =
       & info [ "quiet" ] ~doc:"Suppress the stderr lifecycle summary.")
   in
   let run machine bound max_loops no_cache model seq domains socket stdio smoke
-      cache_size batch timeout_ms max_request_bytes metrics_out trace_out quiet
-      =
+      cache_size cache_file batch timeout_ms max_request_bytes metrics_out
+      trace_out quiet =
     let model = effective_model no_cache model in
     match smoke with
     | Some n ->
@@ -1212,8 +1218,8 @@ let serve_cmd =
         end;
         let cfg =
           { Serve.machine; bound; max_loops; model; seq; domains; cache_size;
-            batch; timeout_ms; max_request_bytes; metrics_out; trace_out;
-            quiet }
+            cache_file; batch; timeout_ms; max_request_bytes; metrics_out;
+            trace_out; quiet }
         in
         let (_ : Serve.summary) = Serve.run ?listen:socket ~stdio cfg in
         ()
@@ -1223,8 +1229,9 @@ let serve_cmd =
        ~doc:"Run the persistent optimization service: line-delimited JSON              requests (optimize, explain, lint, metrics, ping, shutdown)              over a Unix socket and/or stdio, answered from a              content-addressed result cache and a Domain worker pool.")
     Term.(const run $ machine_arg $ serve_bound_arg $ max_loops_arg $ cache_arg
           $ model_arg $ seq_arg $ domains_arg $ socket_arg $ stdio_flag
-          $ smoke_arg $ cache_size_arg $ batch_arg $ timeout_arg
-          $ max_bytes_arg $ metrics_out_arg $ trace_out_arg $ quiet_flag)
+          $ smoke_arg $ cache_size_arg $ cache_file_arg $ batch_arg
+          $ timeout_arg $ max_bytes_arg $ metrics_out_arg $ trace_out_arg
+          $ quiet_flag)
 
 let () =
   let doc = "unroll-and-jam using uniformly generated sets" in

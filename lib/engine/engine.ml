@@ -8,6 +8,7 @@ module Diagnostic = Ujam_analysis.Diagnostic
 let m_nests_ok = Obs.counter "engine.nests.ok"
 let m_nests_failed = Obs.counter "engine.nests.failed"
 let m_routines = Obs.counter "engine.jobs.claimed"
+let m_steals = Obs.counter "engine.jobs.stolen"
 let g_queue = Obs.gauge "engine.queue.remaining"
 let h_routine = Obs.histogram "engine.routine_s"
 
@@ -49,14 +50,56 @@ type corpus_report = {
 
 let default_model : (module Model.MODEL) = (module Model.Ugs_tables)
 
+let outcome_with_name ~routine nest outcome =
+  match outcome with
+  | Ok r -> Ok { r with nest_name = Nest.name nest }
+  | Error e -> Error { e with Error.routine }
+
+(* Process-wide outcome memo, keyed by the content fingerprint.  With
+   hash-consed nests the digest inside the fingerprint is an O(1)
+   memo hit, so asking "have we solved this problem already?" costs a
+   hash lookup — repeated structures across a corpus, a fuzz run, or a
+   serve session are analyzed once per process (LRU-bounded).
+
+   Only {e clean} Ok outcomes are memoized: diagnostics and sequence
+   notes embed the originating nest's name, which must not leak into a
+   different nest's report ([outcome_with_name] patches the top-level
+   name only).  Errors also recompute — they are rare and carry
+   routine-specific context.  Guarded by its own mutex ([Result_cache]
+   itself is not thread-safe). *)
+
+let memo_lock = Mutex.create ()
+let memo : nest_outcome Result_cache.t = Result_cache.create ~capacity:8192 ()
+
+let memo_find key =
+  Mutex.lock memo_lock;
+  let r = Result_cache.find memo key in
+  Mutex.unlock memo_lock;
+  r
+
+let memo_store key v =
+  Mutex.lock memo_lock;
+  Result_cache.store memo key v;
+  Mutex.unlock memo_lock
+
+let memo_clear () =
+  Mutex.lock memo_lock;
+  Result_cache.clear memo;
+  Mutex.unlock memo_lock
+
+let memo_stats () =
+  Mutex.lock memo_lock;
+  let s = Result_cache.stats memo in
+  Mutex.unlock memo_lock;
+  s
+
 let add_timings (acc : Analysis_ctx.timings) (t : Analysis_ctx.timings) =
   acc.Analysis_ctx.graph_s <- acc.Analysis_ctx.graph_s +. t.Analysis_ctx.graph_s;
   acc.Analysis_ctx.tables_s <- acc.Analysis_ctx.tables_s +. t.Analysis_ctx.tables_s;
   acc.Analysis_ctx.search_s <- acc.Analysis_ctx.search_s +. t.Analysis_ctx.search_s;
   acc.Analysis_ctx.sim_s <- acc.Analysis_ctx.sim_s +. t.Analysis_ctx.sim_s
 
-let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
-    ?(seq = false) ~machine ~routine nest =
+let analyze_fresh ?into ~bound ~max_loops ~model ~seq ~machine ~routine nest =
   let module M = (val model : Model.MODEL) in
   let ( let* ) = Result.bind in
   let outcome =
@@ -146,13 +189,28 @@ let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
   in
   outcome
 
+let analyze_into ?into ?(bound = 4) ?(max_loops = 2) ?(model = default_model)
+    ?(seq = false) ~machine ~routine nest =
+  let module M = (val model : Model.MODEL) in
+  let key =
+    Result_cache.fingerprint ~op:"memo" ~machine ~bound ~max_loops
+      ~model:M.name ~seq nest
+  in
+  match memo_find key with
+  | Some outcome -> outcome_with_name ~routine nest outcome
+  | None ->
+      let outcome =
+        analyze_fresh ?into ~bound ~max_loops ~model ~seq ~machine ~routine
+          nest
+      in
+      (match outcome with
+      | Ok r when r.diagnostics = [] && r.sequence = [] ->
+          memo_store key outcome
+      | Ok _ | Error _ -> ());
+      outcome
+
 let analyze ?bound ?max_loops ?model ?seq ~machine ?(routine = "<nest>") nest =
   analyze_into ?bound ?max_loops ?model ?seq ~machine ~routine nest
-
-let outcome_with_name ~routine nest outcome =
-  match outcome with
-  | Ok r -> Ok { r with nest_name = Nest.name nest }
-  | Error e -> Error { e with Error.routine }
 
 let analyze_cached ~cache ?(op = "optimize") ?(bound = 4) ?(max_loops = 2)
     ?(model = default_model) ?(seq = false) ~machine ?(routine = "<nest>") nest
@@ -187,6 +245,8 @@ let parallel_map ?(domains = 1) ~f jobs =
         Obs.Counter.incr m_routines;
         Obs.Gauge.set g_queue (float_of_int remaining)
       end)
+    ~on_steal:(fun ~thief:_ ~victim:_ ~count ->
+      if Obs.enabled () then Obs.Counter.add m_steals count)
     ~f jobs
 
 let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
@@ -231,21 +291,30 @@ let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
      the corpus shape while the analysis runs once per distinct
      problem. *)
   let run_dedup () =
+    (* One digest per nest: the classification pass records each
+       slot's class index alongside the nest, so the patch-back pass
+       below never re-digests (the digest itself is memoized for
+       consed nests, but duplicates here may be distinct objects). *)
     let index = Hashtbl.create 64 in
     let uniq = ref [] and n_uniq = ref 0 and total = ref 0 in
-    Array.iter
-      (fun (r : Ujam_workload.Generator.routine) ->
-        List.iter
-          (fun nest ->
-            incr total;
-            let d = Ujam_ir.Canon.digest nest in
-            if not (Hashtbl.mem index d) then begin
-              Hashtbl.add index d !n_uniq;
-              uniq := (r.Ujam_workload.Generator.name, nest) :: !uniq;
-              incr n_uniq
-            end)
-          r.Ujam_workload.Generator.nests)
-      jobs;
+    let slotted =
+      Array.map
+        (fun (r : Ujam_workload.Generator.routine) ->
+          List.map
+            (fun nest ->
+              incr total;
+              let d = Ujam_ir.Canon.digest nest in
+              match Hashtbl.find_opt index d with
+              | Some slot -> (nest, slot)
+              | None ->
+                  let slot = !n_uniq in
+                  Hashtbl.add index d slot;
+                  uniq := (r.Ujam_workload.Generator.name, nest) :: !uniq;
+                  incr n_uniq;
+                  (nest, slot))
+            r.Ujam_workload.Generator.nests)
+        jobs
+    in
     let uniq = Array.of_list (List.rev !uniq) in
     let domains = clamp_domains domains (Array.length uniq) in
     let results =
@@ -257,17 +326,16 @@ let run_corpus ?(domains = 1) ?(bound = 4) ?(max_loops = 2)
             uniq)
     in
     let out =
-      Array.map
-        (fun (r : Ujam_workload.Generator.routine) ->
+      Array.map2
+        (fun (r : Ujam_workload.Generator.routine) slots ->
           { routine = r.Ujam_workload.Generator.name;
             nests =
               List.map
-                (fun nest ->
-                  let slot = Hashtbl.find index (Ujam_ir.Canon.digest nest) in
+                (fun (nest, slot) ->
                   outcome_with_name ~routine:r.Ujam_workload.Generator.name
                     nest results.(slot))
-                r.Ujam_workload.Generator.nests })
-        jobs
+                slots })
+        jobs slotted
     in
     (domains, !total - Array.length uniq, out)
   in

@@ -88,6 +88,17 @@ val analyze_cached :
     hit and miss paths render identically).  Not thread-safe: confine
     one cache to one thread of control. *)
 
+val memo_clear : unit -> unit
+(** Empty the process-wide outcome memo.  Every analysis entry point
+    consults a fingerprint-keyed LRU memo of {e clean} Ok outcomes
+    (no diagnostics, no sequence — anything name-bearing recomputes),
+    so repeated problems cost a digest lookup.  Benchmarks clear it
+    between timed runs to keep measurements independent. *)
+
+val memo_stats : unit -> Result_cache.stats
+(** Hit/miss/size counters of the outcome memo since process start or
+    the last {!memo_clear}. *)
+
 val parallel_map :
   ?domains:int -> f:(domain:int -> 'a -> 'b) -> 'a array -> 'b array
 (** The engine's deterministic work queue on its own: run [f] over the

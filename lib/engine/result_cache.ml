@@ -97,6 +97,18 @@ let store t key value =
       Hashtbl.replace t.table key node;
       push_front t node
 
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f acc node.key node.value) node.next
+  in
+  go init t.head
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
 type stats = {
   hits : int;
   misses : int;

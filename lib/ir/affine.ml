@@ -27,7 +27,9 @@ let shift t o =
   if Array.length o <> depth t then invalid_arg "Affine.shift: depth";
   let delta = ref 0 in
   Array.iteri (fun k c -> delta := !delta + (c * o.(k))) t.coefs;
-  { t with const = t.const + !delta }
+  (* Zero-offset shifts (every unchanged copy in an unroll-and-jam
+     body) return the original so consed subtrees keep sharing. *)
+  if !delta = 0 then t else { t with const = t.const + !delta }
 
 let subst t images =
   if Array.length images <> depth t then invalid_arg "Affine.subst: depth";
@@ -48,7 +50,8 @@ let subst t images =
     t.coefs;
   { coefs; const = !const }
 
-let equal a b = a.const = b.const && Array.for_all2 ( = ) a.coefs b.coefs
+let equal a b =
+  a == b || (a.const = b.const && Array.for_all2 ( = ) a.coefs b.coefs)
 let compare a b = Stdlib.compare (a.coefs, a.const) (b.coefs, b.const)
 
 let uses_level t k = t.coefs.(k) <> 0

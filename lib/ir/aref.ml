@@ -18,12 +18,15 @@ let depth t = Affine.depth t.subs.(0)
 let h_matrix t = Mat.of_rows (Array.map (fun (s : Affine.t) -> s.Affine.coefs) t.subs)
 let c_vector t = Vec.init (rank t) (fun i -> t.subs.(i).Affine.const)
 
-let shift t o = { t with subs = Array.map (fun s -> Affine.shift s o) t.subs }
+let shift t o =
+  let subs = Array.map (fun s -> Affine.shift s o) t.subs in
+  if Array.for_all2 ( == ) subs t.subs then t else { t with subs }
 
 let equal a b =
-  String.equal a.base b.base
-  && Array.length a.subs = Array.length b.subs
-  && Array.for_all2 Affine.equal a.subs b.subs
+  a == b
+  || String.equal a.base b.base
+     && Array.length a.subs = Array.length b.subs
+     && Array.for_all2 Affine.equal a.subs b.subs
 
 let compare a b =
   let c = String.compare a.base b.base in

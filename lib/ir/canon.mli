@@ -35,8 +35,21 @@ val encode : Nest.t -> string
 
 val digest : Nest.t -> string
 (** [digest n] is the MD5 hex digest of [encode (canon n)] — stable
-    under alpha-renaming, relabeling, and commutative operand order. *)
+    under alpha-renaming, relabeling, and commutative operand order.
+    Memoized per nest {e object} (identity-keyed, weak, Domain-safe):
+    the first call on a given value pays the full canonicalize+hash
+    cost, later calls on the same value are O(1).  {!Hashcons.nest}
+    collapses structurally equal nests to one object, making the memo
+    effective across the whole process. *)
+
+val digest_uncached : Nest.t -> string
+(** [digest] bypassing the memo — for measuring the amortization. *)
+
+val memo_stats : unit -> int * int
+(** [(hits, misses)] of the digest memo since start or {!memo_clear}. *)
+
+val memo_clear : unit -> unit
 
 val equal : Nest.t -> Nest.t -> bool
 (** Structural equality of canonical forms: [digest a = digest b]
-    without the hashing. *)
+    without the hashing.  Physically equal nests short-circuit. *)

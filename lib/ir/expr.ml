@@ -30,11 +30,21 @@ let scalars e =
   in
   List.rev (go [] e)
 
+(* Rebuilds preserve physical identity when [f] does: an unchanged
+   subtree comes back as the same object, so zero-offset shifts of
+   consed expressions share wholesale. *)
 let rec map_refs f = function
   | (Const _ | Scalar _) as e -> e
-  | Read r -> Read (f r)
-  | Neg e -> Neg (map_refs f e)
-  | Bin (op, a, b) -> Bin (op, map_refs f a, map_refs f b)
+  | Read r as e ->
+      let r' = f r in
+      if r' == r then e else Read r'
+  | Neg a as e ->
+      let a' = map_refs f a in
+      if a' == a then e else Neg a'
+  | Bin (op, a, b) as e ->
+      let a' = map_refs f a in
+      let b' = map_refs f b in
+      if a' == a && b' == b then e else Bin (op, a', b')
 
 (* Callers thread state through [f] in textual read order, so the
    traversal must be explicitly left-to-right (constructor arguments
@@ -42,15 +52,19 @@ let rec map_refs f = function
 let rec substitute f = function
   | (Const _ | Scalar _) as e -> e
   | Read r as e -> ( match f r with Some v -> v | None -> e)
-  | Neg e -> Neg (substitute f e)
-  | Bin (op, a, b) ->
+  | Neg a as e ->
+      let a' = substitute f a in
+      if a' == a then e else Neg a'
+  | Bin (op, a, b) as e ->
       let a' = substitute f a in
       let b' = substitute f b in
-      Bin (op, a', b')
+      if a' == a && b' == b then e else Bin (op, a', b')
 
 let shift e o = map_refs (fun r -> Aref.shift r o) e
 
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Const x, Const y -> Float.equal x y
   | Scalar x, Scalar y -> String.equal x y

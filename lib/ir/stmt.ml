@@ -10,25 +10,23 @@ let flops t = Expr.flops t.rhs
 let writes t = match t.lhs with Array_elt r -> [ r ] | Scalar_var _ -> []
 let reads t = Expr.reads t.rhs
 
-let shift t o =
-  let lhs =
-    match t.lhs with
-    | Array_elt r -> Array_elt (Aref.shift r o)
-    | Scalar_var _ as l -> l
-  in
-  { lhs; rhs = Expr.shift t.rhs o }
-
 let map_refs f t =
   let lhs =
     match t.lhs with
-    | Array_elt r -> Array_elt (f r)
+    | Array_elt r ->
+        let r' = f r in
+        if r' == r then t.lhs else Array_elt r'
     | Scalar_var _ as l -> l
   in
-  { lhs; rhs = Expr.map_refs f t.rhs }
+  let rhs = Expr.map_refs f t.rhs in
+  if lhs == t.lhs && rhs == t.rhs then t else { lhs; rhs }
+
+let shift t o = map_refs (fun r -> Aref.shift r o) t
 
 let equal a b =
-  Expr.equal a.rhs b.rhs
-  &&
+  a == b
+  || Expr.equal a.rhs b.rhs
+     &&
   match (a.lhs, b.lhs) with
   | Array_elt x, Array_elt y -> Aref.equal x y
   | Scalar_var x, Scalar_var y -> String.equal x y

@@ -39,7 +39,8 @@ let for_all = Array.for_all
 let fold = Array.fold_left
 
 let is_zero = for_all (fun x -> x = 0)
-let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+let equal a b =
+  a == b || (Array.length a = Array.length b && Array.for_all2 ( = ) a b)
 
 let compare a b =
   let c = Stdlib.compare (Array.length a) (Array.length b) in

@@ -74,6 +74,9 @@ type report = {
   rejected : int;
   skipped_depth : int;
   deduped : int;
+  digest_s : float;
+  digest_unique : int;
+  digest_reused : int;
   fenced : int;
   sim_checked : int;
   verify_checked : int;
@@ -327,7 +330,8 @@ let run ?perturb ?native_drop_copy cfg =
   let st = Random.State.make [| cfg.seed |] in
   let jobs = ref [] in
   let count = ref 0 and idx = ref 0 and skipped_depth = ref 0 in
-  let deduped = ref 0 in
+  let deduped = ref 0 and digest_s = ref 0.0 in
+  let memo_hits0, memo_misses0 = Canon.memo_stats () in
   let seen = Hashtbl.create 64 in
   let max_draws = (cfg.n * 8) + 16 in
   while !count < cfg.n && !idx < max_draws do
@@ -342,15 +346,23 @@ let run ?perturb ?native_drop_copy cfg =
           else begin
             (* duplicate-skipping: a nest whose canonical digest was
                already queued re-checks nothing — skip it and let the
-               loop draw a fresh one in its place *)
-            let dup =
-              cfg.dedup
-              &&
-              let d = Canon.digest nest in
-              if Hashtbl.mem seen d then true
+               loop draw a fresh one in its place.  Consing the nest
+               first means a structural duplicate interns to the same
+               representative, so its digest is an O(1) memo hit
+               instead of a full re-encode: each distinct nest is
+               digested exactly once per run. *)
+            let nest, dup =
+              if not cfg.dedup then (nest, false)
               else begin
-                Hashtbl.add seen d ();
-                false
+                let t0 = Sys.time () in
+                let nest = Hashcons.nest_no_digest nest in
+                let d = Canon.digest nest in
+                digest_s := !digest_s +. (Sys.time () -. t0);
+                if Hashtbl.mem seen d then (nest, true)
+                else begin
+                  Hashtbl.add seen d ();
+                  (nest, false)
+                end
               end
             in
             if dup then incr deduped
@@ -362,6 +374,7 @@ let run ?perturb ?native_drop_copy cfg =
       r.Generator.nests
   done;
   let jobs = Array.of_list (List.rev !jobs) in
+  let memo_hits1, memo_misses1 = Canon.memo_stats () in
   let results =
     Engine.parallel_map ~domains:cfg.domains
       ~f:(fun ~domain:_ (routine, nest) ->
@@ -411,6 +424,9 @@ let run ?perturb ?native_drop_copy cfg =
     rejected = stats.Generator.rejected;
     skipped_depth = !skipped_depth;
     deduped = !deduped;
+    digest_s = !digest_s;
+    digest_unique = memo_misses1 - memo_misses0;
+    digest_reused = memo_hits1 - memo_hits0;
     fenced = stats.Generator.fenced;
     sim_checked =
       Array.fold_left
@@ -440,8 +456,10 @@ let pp ppf r =
     "nests: %d checked (%d routines, %d draws, %d out-of-class re-rolls, %d over depth limit)@."
     r.nests r.routines r.draws r.rejected r.skipped_depth;
   if c.dedup then
-    Format.fprintf ppf "dedup: %d duplicate nests skipped by canonical digest@."
-      r.deduped;
+    Format.fprintf ppf
+      "dedup: %d duplicate nests skipped by canonical digest (%d digests \
+       computed, %d re-encodes avoided by the memo)@."
+      r.deduped r.digest_unique r.digest_reused;
   if c.recurrent then
     Format.fprintf ppf
       "recurrent mode: %d of %d emitted nests have a binding safety fence@."
@@ -530,8 +548,16 @@ let to_json r =
       ("draws", Json.Int r.draws);
       ("rejected", Json.Int r.rejected);
       ("skipped_depth", Json.Int r.skipped_depth);
-      ("deduped", Json.Int r.deduped);
-      ("fenced", Json.Int r.fenced);
+      ("deduped", Json.Int r.deduped) ]
+    (* digest accounting appears only under [--dedup], keeping the
+       pinned default-run JSON byte-stable (the native fields below
+       follow the same rule) *)
+    @ (if c.dedup then
+         [ ("digest_s", Json.Float r.digest_s);
+           ("digest_unique", Json.Int r.digest_unique);
+           ("digest_reused", Json.Int r.digest_reused) ]
+       else [])
+    @ [ ("fenced", Json.Int r.fenced);
       ("sim_checked", Json.Int r.sim_checked);
       ("verify_checked", Json.Int r.verify_checked);
       ("verify_failed", Json.Int r.verify_failed) ]

@@ -20,6 +20,7 @@ type config = {
   seq : bool;
   domains : int;
   cache_size : int;
+  cache_file : string option;
   batch : int;
   timeout_ms : int;
   max_request_bytes : int;
@@ -36,6 +37,7 @@ let default_config ?(machine = Presets.alpha) () =
     seq = false;
     domains = 1;
     cache_size = 1024;
+    cache_file = None;
     batch = 32;
     timeout_ms = 30_000;
     max_request_bytes = 1 lsl 20;
@@ -294,6 +296,12 @@ let enqueue_request st conn arrival (req : Protocol.request) =
                        ~diagnostics msg ))
                 st.pending
           | Ok (routine, nest) ->
+              (* Intern the nest: repeated problems (however spelled)
+                 collapse to one representative whose canonical digest
+                 is memoized, so the fingerprint below — and any
+                 re-ask of the same structure — costs a hash lookup
+                 instead of a canonicalization. *)
+              let nest = Ujam_ir.Hashcons.nest nest in
               let module M = (val model : Model.MODEL) in
               let extra =
                 routine
@@ -558,6 +566,73 @@ let write_file path contents =
   output_char oc '\n';
   close_out oc
 
+(* ---- cache persistence ------------------------------------------------ *)
+
+(* Line-delimited JSON, mirroring the wire format: a version header,
+   then one {key, ok, payload} object per entry, most-recently-used
+   first.  Keys are content fingerprints (machine + options + canonical
+   digest), which are stable across processes — hashcons ids are not
+   and never appear here (DESIGN.md §14). *)
+
+let cache_header = Json.Obj [ ("ujc-serve-cache", Json.Int 1) ]
+
+let save_cache cache path =
+  let oc = open_out path in
+  output_string oc (Json.to_string cache_header);
+  output_char oc '\n';
+  let n =
+    Result_cache.fold cache ~init:0 ~f:(fun n key (ok, payload) ->
+        output_string oc
+          (Json.to_string
+             (Json.Obj
+                [ ("key", Json.Str key);
+                  ("ok", Json.Bool ok);
+                  ("payload", payload) ]));
+        output_char oc '\n';
+        n + 1)
+  in
+  close_out oc;
+  n
+
+let load_cache cache path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let loaded = ref 0 in
+    (try
+       (match Json.of_string (input_line ic) with
+       | Ok h when Json.member "ujc-serve-cache" h = Some (Json.Int 1) ->
+           (* Collect entries (file is MRU-first), then store oldest
+              first so the rebuilt recency order matches the saved
+              one; overflow beyond capacity evicts the oldest. *)
+           let entries = ref [] in
+           (try
+              while true do
+                match Json.of_string (input_line ic) with
+                | Ok j -> (
+                    match
+                      ( Json.member "key" j,
+                        Json.member "ok" j,
+                        Json.member "payload" j )
+                    with
+                    | Some (Json.Str key), Some (Json.Bool ok), Some payload
+                      ->
+                        entries := (key, ok, payload) :: !entries
+                    | _ -> ())
+                | Error _ -> ()
+              done
+            with End_of_file -> ());
+           List.iter
+             (fun (key, ok, payload) ->
+               incr loaded;
+               Result_cache.store cache key (ok, payload))
+             !entries
+       | Ok _ | Error _ -> ())
+     with End_of_file -> ());
+    close_in ic;
+    !loaded
+  end
+
 let run ?listen ?stdio ?(stop = Atomic.make false) cfg =
   let stdio = Option.value stdio ~default:(listen = None) in
   if listen = None && not stdio then
@@ -579,6 +654,11 @@ let run ?listen ?stdio ?(stop = Atomic.make false) cfg =
       m_errors = Obs.counter "serve.errors";
       h_batch = Obs.histogram "serve.batch_size";
       h_request = Obs.histogram "serve.request_s" }
+  in
+  let loaded =
+    match cfg.cache_file with
+    | Some path -> load_cache st.cache path
+    | None -> 0
   in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let old_int =
@@ -648,6 +728,9 @@ let run ?listen ?stdio ?(stop = Atomic.make false) cfg =
         (fun path -> try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
         listen
   | None -> ());
+  let saved =
+    Option.map (fun path -> save_cache st.cache path) cfg.cache_file
+  in
   Option.iter
     (fun path -> write_file path (Json.to_string (metrics_payload st)))
     cfg.metrics_out;
@@ -661,6 +744,15 @@ let run ?listen ?stdio ?(stop = Atomic.make false) cfg =
     Printf.eprintf
       "serve: %d requests, %d ok, %d errors, %d cache hits, %d misses, %d evictions\n"
       s.requests s.ok s.errors s.hits s.misses s.evictions;
+    Option.iter
+      (fun path ->
+        Printf.eprintf "serve: loaded %d cached results from %s\n" loaded path)
+      (if loaded > 0 then cfg.cache_file else None);
+    Option.iter
+      (fun n ->
+        Printf.eprintf "serve: persisted %d cached results to %s\n" n
+          (Option.get cfg.cache_file))
+      saved;
     Option.iter
       (fun path -> Printf.eprintf "serve: wrote metrics to %s\n" path)
       cfg.metrics_out;

@@ -38,6 +38,13 @@ type config = {
   seq : bool;
   domains : int;  (** worker domains for cache-miss batches *)
   cache_size : int;  (** LRU capacity, entries *)
+  cache_file : string option;
+      (** when set, the result cache is reloaded from this path at
+          startup and persisted back (most-recently-used first, keys
+          are machine+options+canonical-digest fingerprints — never
+          hashcons ids) after the drain, so warm-cache performance
+          survives restarts; a missing or unreadable file starts
+          cold *)
   batch : int;  (** max cache-miss jobs dispatched per round *)
   timeout_ms : int;
       (** default request deadline, measured from arrival to dispatch;
@@ -51,7 +58,8 @@ type config = {
 
 val default_config : ?machine:Ujam_machine.Machine.t -> unit -> config
 (** alpha machine, bound 4, max_loops 2, ugs model, seq off, 1 domain,
-    cache 1024, batch 32, timeout 30000 ms, 1 MiB lines, no dumps. *)
+    cache 1024 (not persisted), batch 32, timeout 30000 ms, 1 MiB
+    lines, no dumps. *)
 
 val machine_of_name : string -> Ujam_machine.Machine.t option
 (** Preset lookup for the request ["machine"] field:

@@ -9,7 +9,7 @@ version, bench generation, seed, item counts — stay exact.
   $ ujam-bench --quick --json --seed 1997 --out B.json
   wrote B.json (2 experiments, schema v1)
   $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' B.json
-  {"schema_version":1,"bench":6,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
+  {"schema_version":1,"bench":7,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
 
 The compare gate diffs two trajectory files by experiment name.  A
 synthetic pair keeps the verdicts deterministic: "a" loses 5% (inside
@@ -24,7 +24,7 @@ the default 10% threshold), "b" loses half its throughput.
   $ ujam-bench --compare OLD.json NEW.json
   a                    100.0 -> 95.0 items/s (-5.0%)  OK
   b                    100.0 -> 50.0 items/s (-50.0%)  REGRESSION
-  compare: throughput regression beyond 10% threshold
+  compare: regression beyond thresholds (throughput 10%, alloc 25%)
   [1]
 
 A generous threshold waves the same pair through:
@@ -32,7 +32,26 @@ A generous threshold waves the same pair through:
   $ ujam-bench --compare OLD.json NEW.json --threshold 0.6
   a                    100.0 -> 95.0 items/s (-5.0%)  OK
   b                    100.0 -> 50.0 items/s (-50.0%)  OK
-  compare: no regression beyond 60% threshold
+  compare: no regression beyond thresholds (throughput 60%, alloc 25%)
+
+When both files carry allocation counts, growth beyond the alloc
+threshold is a regression of its own, even at stable throughput; files
+without the counts (pre-generation-7) skip the allocation gate, as the
+pairs above did:
+
+  $ cat > AOLD.json << 'EOF'
+  > {"schema_version":1,"bench":7,"seed":1997,"experiments":[{"name":"a","wall_s":1.0,"items":100,"throughput":100.0,"minor_words":1000.0,"major_words":0.0,"metrics":{}}]}
+  > EOF
+  $ cat > ANEW.json << 'EOF'
+  > {"schema_version":1,"bench":7,"seed":1997,"experiments":[{"name":"a","wall_s":1.0,"items":100,"throughput":100.0,"minor_words":2000.0,"major_words":0.0,"metrics":{}}]}
+  > EOF
+  $ ujam-bench --compare AOLD.json ANEW.json
+  a                    100.0 -> 100.0 items/s (+0.0%)  OK, alloc +100.0% ALLOC-REGRESSION
+  compare: regression beyond thresholds (throughput 10%, alloc 25%)
+  [1]
+  $ ujam-bench --compare AOLD.json ANEW.json --alloc-threshold 2.0
+  a                    100.0 -> 100.0 items/s (+0.0%)  OK, alloc +100.0% ok
+  compare: no regression beyond thresholds (throughput 10%, alloc 200%)
 
 Experiments missing from the new file are regressions, and files
 without the pinned schema version are rejected up front:
@@ -43,7 +62,7 @@ without the pinned schema version are rejected up front:
   $ ujam-bench --compare OLD.json SHORT.json
   a                    100.0 -> 100.0 items/s (+0.0%)  OK
   b                    100.0 -> MISSING  REGRESSION
-  compare: throughput regression beyond 10% threshold
+  compare: regression beyond thresholds (throughput 10%, alloc 25%)
   [1]
   $ echo '{"schema_version":99}' > BAD.json
   $ ujam-bench --compare OLD.json BAD.json
@@ -77,4 +96,4 @@ measurement.
   trace: wrote t2.json (15 events; graph=6 tables=3 search=3 corpus=1)
   trace: t2.json is well-formed Chrome trace JSON
   $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' m.json
-  {"counters":{"analysis.monotone.checks":3,"analysis.monotone.degraded":0,"engine.jobs.claimed":2,"engine.nests.failed":0,"engine.nests.ok":3,"native.compiles":0,"native.runs":0,"native.variants":0,"oracle.failures":0,"oracle.mismatches":0,"oracle.native.checked":0,"oracle.native.skipped":0,"oracle.nests":0,"oracle.shrink.steps":0,"oracle.unexplained":0,"oracle.verify.checked":0,"oracle.verify.failed":0,"seq.candidates":0,"seq.engaged":0,"seq.legalized":0,"sim.cache.accesses":0,"sim.cache.evictions":0,"sim.cache.misses":0},"gauges":{"engine.queue.remaining":<f>},"histograms":{"engine.routine_s":{"count":2,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.graph_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.search_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.sim_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.tables_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"search.pruned_cells":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"tables.build_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>}}}
+  {"counters":{"analysis.monotone.checks":3,"analysis.monotone.degraded":0,"engine.jobs.claimed":2,"engine.jobs.stolen":0,"engine.nests.failed":0,"engine.nests.ok":3,"native.compiles":0,"native.runs":0,"native.variants":0,"oracle.failures":0,"oracle.mismatches":0,"oracle.native.checked":0,"oracle.native.skipped":0,"oracle.nests":0,"oracle.shrink.steps":0,"oracle.unexplained":0,"oracle.verify.checked":0,"oracle.verify.failed":0,"seq.candidates":0,"seq.engaged":0,"seq.legalized":0,"sim.cache.accesses":0,"sim.cache.evictions":0,"sim.cache.misses":0},"gauges":{"engine.queue.remaining":<f>},"histograms":{"engine.routine_s":{"count":2,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.graph_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.search_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.sim_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"engine.stage.tables_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"search.pruned_cells":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>},"tables.build_s":{"count":3,"min":<f>,"max":<f>,"mean":<f>,"p50":<f>,"p95":<f>,"p99":<f>}}}

@@ -63,6 +63,25 @@ metrics are flushed, and the socket path is unlinked.
   $ test -e sig.sock || echo socket unlinked
   socket unlinked
 
+The result cache survives a restart when --cache-file is set: the
+first process misses and persists its answer; a second process reloads
+the file, answers the identical request as a cache hit, and writes the
+same response bytes.
+
+  $ printf '%s\n' '{"id":1,"method":"optimize","params":{"kernel":"jacobi","n":16}}' \
+  > | ujc serve --stdio --cache-file cache.json > cold.txt 2> cold.err
+  $ cat cold.err
+  serve: 1 requests, 1 ok, 0 errors, 0 cache hits, 1 misses, 0 evictions
+  serve: persisted 1 cached results to cache.json
+  $ printf '%s\n' '{"id":1,"method":"optimize","params":{"kernel":"jacobi","n":16}}' \
+  > | ujc serve --stdio --cache-file cache.json > warm.txt 2> warm.err
+  $ cat warm.err
+  serve: 1 requests, 1 ok, 0 errors, 1 cache hits, 0 misses, 0 evictions
+  serve: loaded 1 cached results from cache.json
+  serve: persisted 1 cached results to cache.json
+  $ cmp cold.txt warm.txt && echo identical
+  identical
+
 An undersized line budget turns a long line into a typed error instead
 of a dropped connection:
 
