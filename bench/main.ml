@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- table-build  sweep vs per-cell table builds
      dune exec bench/main.exe -- search    pruned vs exhaustive unroll search
      dune exec bench/main.exe -- serve     daemon load generator, cold vs warm
+     dune exec bench/main.exe -- reuse     miss-ratio predictor accuracy/speed
      dune exec bench/main.exe -- speed     Bechamel micro-benchmarks
      dune exec bench/main.exe -- --quick   deterministic smoke subset
 
@@ -34,7 +35,7 @@ open Ujam_core
 open Ujam_engine
 
 let schema_version = 1
-let bench_generation = 7
+let bench_generation = 8
 
 (* Generator seed for every synthetic corpus below; --seed overrides.
    The default matches Generator.corpus's own, keeping the pinned
@@ -818,6 +819,85 @@ let native_bench ppf =
           (2 * List.length cases, ("available", 1.0) :: List.concat metrics))
 
 (* ------------------------------------------------------------------ *)
+(* The static miss-ratio predictor: accuracy against the hierarchy     *)
+(* simulator on a seeded corpus, and the closed form's speed advantage *)
+(* over full trace replay.                                             *)
+
+let reuse_bench ppf =
+  let count = 120 in
+  let routines = Ujam_workload.Generator.corpus ~seed:!seed ~count () in
+  let nests =
+    List.concat_map (fun r -> r.Ujam_workload.Generator.nests) routines
+  in
+  let metrics = ref [] in
+  let items = ref 0 in
+  Format.fprintf ppf "%-22s %-8s %-10s %-10s %-10s %-12s %s@." "machine"
+    "levels" "mean|err|" "max|err|" "flagged" "predict" "replay";
+  List.iter
+    (fun (machine : Ujam_machine.Machine.t) ->
+      let levels = ref 0
+      and flagged = ref 0
+      and err_sum = ref 0.0
+      and err_max = ref 0.0
+      and t_predict = ref 0.0
+      and t_replay = ref 0.0
+      and compared = ref 0 in
+      List.iter
+        (fun nest ->
+          match Ujam_ir.Nest.iterations nest with
+          | None -> ()
+          | Some iters ->
+              let accesses =
+                iters * List.length (Ujam_ir.Site.of_nest nest)
+              in
+              if accesses > 0 && accesses <= 200_000 then (
+                let t0 = Unix.gettimeofday () in
+                let report = Ujam_analysis.Cachecheck.run ~machine nest in
+                t_predict := !t_predict +. (Unix.gettimeofday () -. t0);
+                match report with
+                | None -> ()
+                | Some t ->
+                    let t0 = Unix.gettimeofday () in
+                    let stats = Ujam_sim.Runner.run_levels ~machine nest in
+                    t_replay := !t_replay +. (Unix.gettimeofday () -. t0);
+                    let out = Ujam_oracle.Cachepred.check ~machine nest in
+                    levels := !levels + out.Ujam_oracle.Cachepred.levels_checked;
+                    flagged :=
+                      !flagged
+                      + List.length out.Ujam_oracle.Cachepred.mismatches;
+                    incr compared;
+                    List.iter2
+                      (fun (_, _, p, _) (_, acc, miss) ->
+                        let m = float_of_int miss /. float_of_int acc in
+                        let e = Float.abs (p -. m) in
+                        err_sum := !err_sum +. e;
+                        err_max := Float.max !err_max e)
+                      (Ujam_analysis.Cachecheck.predicted_ratios t)
+                      stats))
+        nests;
+      items := !items + !levels;
+      let n_lv = float_of_int (List.length (Ujam_machine.Machine.effective_levels machine)) in
+      let per ns = ns /. Float.max 1.0 (float_of_int !compared) *. 1e6 in
+      let mean =
+        !err_sum /. Float.max 1.0 (float_of_int !compared *. n_lv)
+      in
+      Format.fprintf ppf "%-22s %-8d %-10.4f %-10.4f %-10d %-12s %s@."
+        machine.Ujam_machine.Machine.name !levels mean !err_max !flagged
+        (Printf.sprintf "%.0fus/nest" (per !t_predict))
+        (Printf.sprintf "%.0fus/nest" (per !t_replay));
+      let key suffix = machine.Ujam_machine.Machine.name ^ "_" ^ suffix in
+      metrics :=
+        [ (key "levels", float_of_int !levels);
+          (key "mean_abs_err", mean);
+          (key "max_abs_err", !err_max);
+          (key "flagged", float_of_int !flagged);
+          (key "predict_us_per_nest", per !t_predict);
+          (key "replay_us_per_nest", per !t_replay) ]
+        @ !metrics)
+    Ujam_machine.Presets.[ alpha_mem; hppa_mem ];
+  (!items, List.rev !metrics)
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, runner, and JSON trajectory.                   *)
 
 let experiments =
@@ -858,6 +938,9 @@ let experiments =
     ( "hashcons",
       "Hash-consed IR — sharing ratio and O(1) memoized canonical digest",
       hashcons_bench );
+    ( "reuse",
+      "Static miss-ratio predictor — accuracy and speed vs. trace replay",
+      reuse_bench );
     ( "quick-matrix",
       "Quick smoke — strategy matrix (shared context per kernel)",
       quick_matrix );
@@ -869,7 +952,7 @@ let experiments =
 let all_names =
   [ "table1"; "table2"; "fig8"; "fig9"; "ablation-model"; "ablation-brute";
     "ablation-prefetch"; "ablation-permute"; "ablation-registers"; "corpus";
-    "table-build"; "search"; "serve"; "hashcons"; "speed" ]
+    "table-build"; "search"; "serve"; "hashcons"; "reuse"; "speed" ]
 
 let run_experiment name =
   let _, title, f =
@@ -1042,7 +1125,7 @@ let usage () =
     \       bench --compare OLD.json NEW.json [--threshold T] [--alloc-threshold T]@.\
      experiments: table1 table2 fig8 fig9 ablation-model ablation-brute@.\
     \             ablation-prefetch ablation-permute ablation-registers@.\
-    \             corpus table-build search serve native speed hashcons@.\
+    \             corpus table-build search serve native speed hashcons reuse@.\
     \             quick-matrix quick-corpus all@.\
      `all' excludes `native' (needs a host OCaml toolchain); add it with@.\
     \ --native or by naming it explicitly.@.";

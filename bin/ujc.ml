@@ -15,8 +15,14 @@ let machine_conv =
     match String.lowercase_ascii s with
     | "alpha" -> Ok Ujam_machine.Presets.alpha
     | "hppa" | "pa-risc" -> Ok Ujam_machine.Presets.hppa
+    | "alpha-mem" | "alpha_mem" -> Ok Ujam_machine.Presets.alpha_mem
+    | "hppa-mem" | "hppa_mem" -> Ok Ujam_machine.Presets.hppa_mem
     | "generic" -> Ok (Ujam_machine.Presets.generic ())
-    | _ -> Error (`Msg (Printf.sprintf "unknown machine %S (alpha|hppa|generic)" s))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown machine %S (alpha|hppa|alpha-mem|hppa-mem|generic)" s))
   in
   let print ppf (m : Ujam_machine.Machine.t) =
     Format.pp_print_string ppf m.Ujam_machine.Machine.name
@@ -27,7 +33,8 @@ let machine_arg =
   Arg.(
     value
     & opt machine_conv Ujam_machine.Presets.alpha
-    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Target machine (alpha, hppa, generic).")
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine (alpha, hppa, alpha-mem, hppa-mem, generic).")
 
 let size_arg =
   Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size.")
@@ -41,6 +48,13 @@ let cache_arg =
   Arg.(
     value & flag
     & info [ "no-cache" ] ~doc:"Use the all-hits balance model of Carr-Kennedy.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "level" ] ~docv:"K"
+        ~doc:"Hierarchy level (1-based).  $(b,optimize) prices the balance at             level K (the ugs-lK model); $(b,lint)/$(b,explain) restrict the             predicted miss profile to level K.")
 
 let model_conv =
   let parse s =
@@ -60,7 +74,7 @@ let model_arg =
     value
     & opt model_conv (module Model.Ugs_tables : Model.MODEL)
     & info [ "model" ] ~docv:"MODEL"
-        ~doc:"Selection strategy: ugs, dep, brute, no-cache.")
+        ~doc:"Selection strategy: ugs, dep, brute, no-cache, ugs-l2.")
 
 let domains_arg =
   Arg.(
@@ -292,8 +306,12 @@ let optimize_cmd =
           ~doc:"After optimizing, compile and run the original nest and the               chosen unroll with the host OCaml toolchain: validate both               against the reference interpreter and measure the actual               speedup over (1,...,1).  Exits 2 when no toolchain is on               PATH, 1 when the compiled run diverges from the               interpreter.")
   in
   let run e_opt n machine bound no_cache model all domains json timings seq
-      check native_check =
-    let model = effective_model no_cache model in
+      check native_check level =
+    let model =
+      match level with
+      | Some k -> Model.at_level k
+      | None -> effective_model no_cache model
+    in
     let tc_opt =
       if not native_check then None
       else
@@ -398,7 +416,7 @@ let optimize_cmd =
        ~doc:"Choose unroll amounts, transform, and scalar-replace a kernel              (or batch-optimize the whole catalogue with $(b,--all)).")
     Term.(const run $ kernel_opt_arg $ size_arg $ machine_arg $ bound_arg
           $ cache_arg $ model_arg $ all_flag $ domains_arg $ json_arg
-          $ timings_arg $ seq_arg $ check_arg $ native_check_flag)
+          $ timings_arg $ seq_arg $ check_arg $ native_check_flag $ level_arg)
 
 let simulate_cmd =
   let run e n machine bound no_cache =
@@ -637,8 +655,9 @@ let fuzz_cmd =
         | "sim" -> Ok Fuzz.Sim
         | "cross-model" | "cross" -> Ok Fuzz.Cross_model
         | "verify" -> Ok Fuzz.Verify
+        | "cachepred" -> Ok Fuzz.Cachepred
         | "native" -> Ok Fuzz.Native
-        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model|verify|native)" s))
+        | _ -> Error (`Msg (Printf.sprintf "unknown layer %S (recount|sim|cross-model|verify|cachepred|native)" s))
       in
       Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Fuzz.layer_name l))
     in
@@ -646,7 +665,7 @@ let fuzz_cmd =
       value
       & opt (list layer_conv) Fuzz.all_layers
       & info [ "layers" ] ~docv:"LAYERS"
-          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify, native).")
+          ~doc:"Comma-separated oracle layers to run (recount, sim,               cross-model, verify, cachepred, native).")
   in
   let native_flag =
     Arg.(
@@ -880,7 +899,7 @@ let lint_cmd =
       & info [ "rules" ] ~docv:"IDS"
           ~doc:"Only report these rule ids (e.g. UJ005,UJ008).")
   in
-  let run target all fuzz seed n machine bound json rules =
+  let run target all fuzz seed n machine bound json rules level =
     (match rules with
     | None -> ()
     | Some ids ->
@@ -894,7 +913,7 @@ let lint_cmd =
             end)
           ids);
     let lint_nest nest =
-      (Ujam_ir.Nest.name nest, Lint.run ?rules ~bound ~machine nest)
+      (Ujam_ir.Nest.name nest, Lint.run ?rules ?level ~bound ~machine nest)
     in
     let targeted =
       match target with
@@ -972,7 +991,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Run the rule-based static analyzer over a kernel, a loop-nest              file, the whole catalogue ($(b,--all)), or generated nests              ($(b,--fuzz)); exit 1 on any Error-severity diagnostic.")
     Term.(const run $ target_arg $ all_flag $ fuzz_arg $ seed_arg $ size_arg
-          $ machine_arg $ bound_arg $ json_arg $ rules_arg)
+          $ machine_arg $ bound_arg $ json_arg $ rules_arg $ level_arg)
 
 let explain_cmd =
   let open Ujam_analysis in
@@ -983,9 +1002,9 @@ let explain_cmd =
       & info [] ~docv:"TARGET"
           ~doc:"Kernel name from Table 2 or a loop-nest file.")
   in
-  let run target n machine bound json seq =
+  let run target n machine bound json seq level =
     let nest = require_target target n in
-    let e = Explain.run ~bound ~seq ~machine nest in
+    let e = Explain.run ~bound ?level ~seq ~machine nest in
     if json then print_endline (Json.to_string (Explain.to_json e))
     else Format.printf "%a@." Explain.pp e
   in
@@ -993,7 +1012,7 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Explain which selection path applies to a nest and why: the              supported-class verdict, legality caps, search-box clamping,              the monotonicity guard, what the cache term changed, and              ($(b,--seq)) the legalizing transformation sequence.")
     Term.(const run $ target_req $ size_arg $ machine_arg $ bound_arg
-          $ json_arg $ seq_arg)
+          $ json_arg $ seq_arg $ level_arg)
 
 let dot_cmd =
   let input_flag =

@@ -1,0 +1,73 @@
+(** Per-level miss-ratio prediction: fold the static reuse-distance
+    profiles ({!Ujam_reuse.Distance}) of a nest — and optionally of its
+    unroll-and-jammed form at a chosen vector — against every level of a
+    machine's memory hierarchy, and surface the capacity verdicts as
+    located diagnostics UJ027-UJ030.
+
+    One code path renders the result: [pp_table] for [ujc explain]'s
+    text output, [to_json] for its JSON, [diagnostics] for [ujc lint]. *)
+
+open Ujam_linalg
+
+type level_report = {
+  level : Ujam_machine.Machine.Level.t;
+  capacity_lines : float;
+  predicted : float;  (** nest miss ratio: misses per reference *)
+  floor : float;
+      (** confident lower bound: only buckets clearing the capacity by
+          {!confidence_slack} count (the distances are interval
+          estimates, so knife-edge buckets may in truth fit) *)
+  ceiling : float;
+      (** confident upper bound: buckets within a {!confidence_slack}
+          factor of the capacity on the near side also count — a
+          knife-edge working set may in truth overflow *)
+  per_ugs : (Ujam_reuse.Distance.profile * float) list;
+      (** each UGS's profile (at this level's line) and predicted ratio *)
+}
+
+val confidence_slack : float
+
+type t = {
+  nest : string;
+  machine : string;
+  u : Vec.t option;
+  original : level_report list;
+  transformed : level_report list option;  (** at [u], when given *)
+}
+
+val run : ?u:Vec.t -> machine:Ujam_machine.Machine.t -> Ujam_ir.Nest.t -> t option
+(** [None] when the nest's trip counts are not compile-time constant
+    (the iteration box is unknown, so there is no closed form). *)
+
+val diagnostics :
+  ?level:int ->
+  ?u:Vec.t ->
+  machine:Ujam_machine.Machine.t ->
+  Ujam_ir.Nest.t ->
+  Diagnostic.t list
+(** UJ027 (a UGS's dominant reuse distance exceeds a level it loads
+    heavily), UJ028 (no carried reuse fits a level), UJ029 (the chosen
+    vector degrades a level's predicted ratio), UJ030 (invalid machine
+    geometry — the only Error, and the only rule that can fire on an
+    unparseable hierarchy).  [level] restricts to one 1-based level. *)
+
+val geometry_diagnostics :
+  machine:Ujam_machine.Machine.t -> Ujam_ir.Nest.t -> Diagnostic.t list
+(** Just the UJ030 geometry validation ({!Ujam_machine.Machine.validate_levels})
+    as a located Error — runs even when the nest itself is unsupported. *)
+
+val pp_table : Format.formatter -> t -> unit
+val to_json : t -> Ujam_obs.Json.t
+
+val predicted_ratios :
+  t -> (Ujam_machine.Machine.Level.t * float * float * float) list
+(** The original nest's per-level [(level, floor, predicted, ceiling)]
+    intervals — what the oracle layer checks the hierarchy simulator
+    against: the measured ratio must not sit far below [floor]
+    (overprediction), nor far above [ceiling] at a level associative
+    enough for the LRU-stack model to bound misses from above
+    (underprediction at a direct-mapped level is conflict misses,
+    outside the model). *)
+
+val select_level : int -> t -> t
+(** Restrict a report to one 1-based level (empty when out of range). *)

@@ -23,12 +23,13 @@ type t = {
   sequence : Passes.step list;
   reasons : string list;
   diagnostics : Diagnostic.t list;
+  cache : Cachecheck.t option;
 }
 
 let model_of t = t.model
 let choice_u t = Option.map (fun (c : Search.choice) -> c.Search.u) t.choice
 
-let run ?bound ?max_loops ?(seq = false) ~machine nest =
+let run ?bound ?max_loops ?level ?(seq = false) ~machine nest =
   let name = Nest.name nest in
   let flops = Nest.flops_per_iteration nest in
   let coupled_sites =
@@ -60,6 +61,7 @@ let run ?bound ?max_loops ?(seq = false) ~machine nest =
       sequence = [];
       reasons;
       diagnostics = [];
+      cache = None;
     }
   in
   match supported with
@@ -187,7 +189,22 @@ let run ?bound ?max_loops ?(seq = false) ~machine nest =
                 (Vec.to_string choice_no_cache.Search.u) ]
         else []
       in
+      let cache =
+        let u =
+          match seq_outcome with
+          | Some o -> o.Seqsearch.choice.Search.u
+          | None -> choice.Search.u
+        in
+        match Cachecheck.run ~u ~machine nest with
+        | None -> None
+        | Some c ->
+            Some
+              (match level with
+              | Some k -> Cachecheck.select_level k c
+              | None -> c)
+      in
       { (base reasons model) with
+        cache;
         star_edges;
         safety;
         ranked = Analysis_ctx.ranked ctx;
@@ -203,8 +220,8 @@ let run ?bound ?max_loops ?(seq = false) ~machine nest =
         sequence;
         diagnostics =
           (match seq_outcome with
-          | Some o -> o.Seqsearch.diagnostics @ Lint.run_ctx ctx
-          | None -> Lint.run_ctx ctx);
+          | Some o -> o.Seqsearch.diagnostics @ Lint.run_ctx ?level ctx
+          | None -> Lint.run_ctx ?level ctx);
       }
 
 let pp_cap ppf c =
@@ -249,6 +266,9 @@ let pp ppf t =
             (Vec.to_string c.Search.u) c.Search.balance c.Search.objective
             c.Search.registers
       | None -> ());
+  (match t.cache with
+  | Some c -> fprintf ppf "@,%a" Cachecheck.pp_table c
+  | None -> ());
   if t.reasons <> [] then begin
     fprintf ppf "@,  why:";
     List.iter (fun r -> fprintf ppf "@,    - %s" r) t.reasons
@@ -293,6 +313,7 @@ let to_json t =
     @ opt "choice_no_cache" choice_to_json t.choice_no_cache
     @ (if t.sequence = [] then []
        else [ ("sequence", Seqsearch.steps_json t.sequence) ])
+    @ opt "cache" Cachecheck.to_json t.cache
     @ [ ("reasons", Json.List (List.map (fun r -> Json.Str r) t.reasons));
         ( "diagnostics",
           Json.List (List.map Diagnostic.to_json t.diagnostics) ) ])

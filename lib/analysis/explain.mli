@@ -46,11 +46,15 @@ type t = {
           why-legal notes); non-empty only with [~seq:true] *)
   reasons : string list;
   diagnostics : Diagnostic.t list;
+  cache : Cachecheck.t option;
+      (** per-level miss profile at the chosen vector ({!Cachecheck});
+          [None] when unsupported or the iteration box is unknown *)
 }
 
 val run :
   ?bound:int ->
   ?max_loops:int ->
+  ?level:int ->
   ?seq:bool ->
   machine:Ujam_machine.Machine.t ->
   Ujam_ir.Nest.t ->

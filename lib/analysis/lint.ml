@@ -17,7 +17,11 @@ let rules =
     ("UJ011", Diagnostic.Info, "no floating-point work; balance undefined");
     ("UJ020", Diagnostic.Error, "unroll-and-jam changed the access multiset");
     ("UJ021", Diagnostic.Error, "interchange changed the access multiset");
-    ("UJ022", Diagnostic.Error, "tiling changed the access multiset") ]
+    ("UJ022", Diagnostic.Error, "tiling changed the access multiset");
+    ("UJ027", Diagnostic.Warning, "UGS reuse distance thrashes a cache level");
+    ("UJ028", Diagnostic.Info, "no carried reuse fits a cache level");
+    ("UJ029", Diagnostic.Warning, "chosen vector degrades a predicted miss ratio");
+    ("UJ030", Diagnostic.Error, "invalid cache geometry in the machine description") ]
 
 let error = Diagnostic.Error
 let warning = Diagnostic.Warning
@@ -212,8 +216,18 @@ let rule_search ctx (choice, violation) =
   in
   pressure @ monotone
 
-let analysis_phase ctx =
-  rule_star ctx @ rule_clamped ctx @ rule_search ctx (guarded_search ctx)
+(* The miss-profile verdicts (UJ027-UJ029): judge the nest at the vector
+   the guarded search chose, against every hierarchy level (or the one
+   [level] selects). *)
+let rule_cache ?level ctx (choice, _violation) =
+  let nest = Analysis_ctx.nest ctx in
+  let machine = Analysis_ctx.machine ctx in
+  Cachecheck.diagnostics ?level ~u:choice.Search.u ~machine nest
+
+let analysis_phase ?level ctx =
+  let search = guarded_search ctx in
+  rule_star ctx @ rule_clamped ctx @ rule_search ctx search
+  @ rule_cache ?level ctx search
 
 (* ---- driver ------------------------------------------------------------ *)
 
@@ -230,20 +244,26 @@ let finish ?rules:selected ds =
       ds;
   List.stable_sort Diagnostic.compare ds
 
-let run_ctx ?rules ctx =
-  let structure = structure_phase (Analysis_ctx.nest ctx) in
+let run_ctx ?rules ?level ctx =
+  let nest = Analysis_ctx.nest ctx in
+  let machine = Analysis_ctx.machine ctx in
+  let geometry = Cachecheck.geometry_diagnostics ~machine nest in
+  let structure = structure_phase nest in
   let ds =
-    if List.exists Diagnostic.is_error structure then structure
-    else structure @ analysis_phase ctx
+    if List.exists Diagnostic.is_error (geometry @ structure) then
+      geometry @ structure
+    else geometry @ structure @ analysis_phase ?level ctx
   in
   finish ?rules ds
 
-let run ?rules ?bound ?max_loops ~machine nest =
+let run ?rules ?level ?bound ?max_loops ~machine nest =
+  let geometry = Cachecheck.geometry_diagnostics ~machine nest in
   let structure = structure_phase nest in
   let ds =
-    if List.exists Diagnostic.is_error structure then structure
+    if List.exists Diagnostic.is_error (geometry @ structure) then
+      geometry @ structure
     else
       let ctx = Analysis_ctx.create ?bound ?max_loops ~machine nest in
-      structure @ analysis_phase ctx
+      geometry @ structure @ analysis_phase ?level ctx
   in
   finish ?rules ds

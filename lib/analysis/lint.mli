@@ -38,6 +38,18 @@
     - [UJ011] Info — no floating-point work; loop balance is undefined
       and unroll-and-jam has nothing to improve.
 
+    - [UJ027] Warning — a UGS the nest loads heavily has its dominant
+      reuse distance beyond a cache level's capacity at the chosen
+      unroll vector (see {!Cachecheck}).
+    - [UJ028] Info — no carried reuse fits a cache level: every reuse
+      distance in the nest's profile exceeds that level's capacity.
+    - [UJ029] Warning — the chosen unroll vector degrades a level's
+      predicted miss ratio relative to the nest as written.
+    - [UJ030] Error — invalid cache geometry in the machine
+      description ({!Ujam_machine.Machine.validate_levels}); checked
+      before both phases, and the only Error a well-formed nest on a
+      well-formed machine can never collect.
+
     [UJ020]–[UJ022] (transformation post-conditions) are produced by
     {!Verify}, not by [run].  Every fired rule bumps the Obs counter
     [lint.rule.<id>]. *)
@@ -49,19 +61,22 @@ val rules : (string * Diagnostic.severity * string) list
 
 val run :
   ?rules:string list ->
+  ?level:int ->
   ?bound:int ->
   ?max_loops:int ->
   machine:Ujam_machine.Machine.t ->
   Ujam_ir.Nest.t ->
   Diagnostic.t list
 (** Run both phases over one nest.  [rules] restricts the output to
-    the given ids (default: all).  [bound]/[max_loops] shape the
-    search box exactly as in {!Ujam_core.Analysis_ctx.create}, so
-    UJ008/UJ009/UJ010 describe the same search the engine would run.
-    Diagnostics come back sorted by severity, then rule id, then
-    location. *)
+    the given ids (default: all); [level] restricts the miss-profile
+    rules (UJ027–UJ029) to one 1-based hierarchy level.
+    [bound]/[max_loops] shape the search box exactly as in
+    {!Ujam_core.Analysis_ctx.create}, so UJ008/UJ009/UJ010 describe
+    the same search the engine would run.  Diagnostics come back
+    sorted by severity, then rule id, then location. *)
 
-val run_ctx : ?rules:string list -> Ujam_core.Analysis_ctx.t -> Diagnostic.t list
+val run_ctx :
+  ?rules:string list -> ?level:int -> Ujam_core.Analysis_ctx.t -> Diagnostic.t list
 (** Same, reusing an existing context (and its memoised tables). *)
 
 val check_supported : Ujam_ir.Nest.t -> Diagnostic.t list

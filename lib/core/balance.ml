@@ -92,8 +92,13 @@ let flops t u = t.flops_body * Unroll_space.copies u
 let memory_ops t u = Unroll_space.Table.get t.mem_table u
 let registers t u = Unroll_space.Table.get t.reg_table u
 
-let misses t u =
-  let l = float_of_int t.machine.Machine.cache_line in
+(* The per-UGS g_T/g_S tables are line-independent; the line enters
+   only at fold time, so the same tables price any hierarchy level. *)
+let misses_with ?line t u =
+  let l =
+    float_of_int
+      (match line with Some l -> l | None -> t.machine.Machine.cache_line)
+  in
   List.fold_left
     (fun acc g ->
       let g_t = Unroll_space.Table.get g.gts u in
@@ -107,6 +112,8 @@ let misses t u =
       in
       acc +. (groups *. base))
     0.0 t.groups
+
+let misses t u = misses_with t u
 
 let cycles t u =
   let m = t.machine in
@@ -124,6 +131,25 @@ let loop_balance t ~cache u =
     let serviced = t.machine.Machine.prefetch_bandwidth *. cycles t u in
     let unserviced = Float.max 0.0 (m -. serviced) in
     (v_m +. (unserviced *. Machine.miss_ratio_cost t.machine)) /. v_f
+  end
+
+(* Same balance shape, priced at one hierarchy level: misses at that
+   level's line, each unserviced miss charged its penalty over its
+   access time.  With the flat machine's synthesized L1 this reduces to
+   [loop_balance ~cache:true]. *)
+let loop_balance_level t ~(level : Machine.Level.t) u =
+  let v_m = float_of_int (memory_ops t u) in
+  let v_f = float_of_int (flops t u) in
+  if v_f = 0.0 then infinity
+  else begin
+    let m = misses_with ~line:level.Machine.Level.line t u in
+    let serviced = t.machine.Machine.prefetch_bandwidth *. cycles t u in
+    let unserviced = Float.max 0.0 (m -. serviced) in
+    let cost =
+      float_of_int level.Machine.Level.penalty
+      /. float_of_int level.Machine.Level.access
+    in
+    (v_m +. (unserviced *. cost)) /. v_f
   end
 
 let group_counts t u =

@@ -48,10 +48,21 @@ val registers : t -> Vec.t -> int
 val misses : t -> Vec.t -> float
 (** Cache misses per unrolled iteration (Equation 1 over all UGSs). *)
 
+val misses_with : ?line:int -> t -> Vec.t -> float
+(** {!misses} folded at another line size.  The per-UGS tables are
+    line-independent, so one [prepare] prices every hierarchy level. *)
+
 val cycles : t -> Vec.t -> float
 (** Steady-state issue-bound cycles per unrolled iteration. *)
 
 val loop_balance : t -> cache:bool -> Vec.t -> float
+
+val loop_balance_level :
+  t -> level:Ujam_machine.Machine.Level.t -> Vec.t -> float
+(** The cache balance priced at one hierarchy level: misses at the
+    level's line, charged [penalty / access].  On the flat machine's
+    synthesized L1 ({!Ujam_machine.Machine.effective_levels}) this
+    coincides with [loop_balance ~cache:true]. *)
 
 val group_counts : t -> Vec.t -> (string * int * int) list
 (** Per UGS: base name, [g_T(u)], [g_S(u)] — exposed for reporting. *)

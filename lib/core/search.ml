@@ -13,9 +13,13 @@ type choice = {
   flops : int;
 }
 
-let evaluate ~cache b u =
+let evaluate ?level ~cache b u =
   let beta_m = Ujam_machine.Machine.balance (Balance.machine b) in
-  let balance = Balance.loop_balance b ~cache u in
+  let balance =
+    match level with
+    | Some l -> Balance.loop_balance_level b ~level:l u
+    | None -> Balance.loop_balance b ~cache u
+  in
   { u;
     balance;
     objective = Float.abs (balance -. beta_m);
@@ -39,11 +43,11 @@ let better a b =
    violation.  Feasible candidates are enumerated in the same lex order
    as the plain [iter], so pruning never changes the chosen vector —
    the QCheck soundness suite and [~prune:false] keep that honest. *)
-let best ?(prune = true) ~cache b =
+let best ?(prune = true) ?level ~cache b =
   let max_regs = (Balance.machine b).Ujam_machine.Machine.fp_registers in
   let best = ref None in
   let consider u =
-    let c = evaluate ~cache b u in
+    let c = evaluate ?level ~cache b u in
     if c.registers <= max_regs then
       match !best with
       | None -> best := Some c
@@ -62,4 +66,5 @@ let best ?(prune = true) ~cache b =
   Obs.Histogram.record h_pruned (float_of_int pruned);
   match !best with
   | Some c -> c
-  | None -> evaluate ~cache b (Vec.zero (Unroll_space.depth (Balance.space b)))
+  | None ->
+      evaluate ?level ~cache b (Vec.zero (Unroll_space.depth (Balance.space b)))

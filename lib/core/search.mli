@@ -19,11 +19,23 @@ type choice = {
   flops : int;
 }
 
-val best : ?prune:bool -> cache:bool -> Balance.t -> choice
+val best :
+  ?prune:bool ->
+  ?level:Ujam_machine.Machine.Level.t ->
+  cache:bool ->
+  Balance.t ->
+  choice
 (** [prune] (default true) skips the upward box above any [u] whose
     register count already exceeds the register file — sound because
     [R] is pointwise monotone — and records the number of skipped cells
     in the [search.pruned_cells] histogram.  [~prune:false] forces the
-    exhaustive scan; both return the same choice. *)
+    exhaustive scan; both return the same choice.  [level] prices the
+    balance at one hierarchy level ({!Balance.loop_balance_level}),
+    overriding [cache]. *)
 
-val evaluate : cache:bool -> Balance.t -> Vec.t -> choice
+val evaluate :
+  ?level:Ujam_machine.Machine.Level.t ->
+  cache:bool ->
+  Balance.t ->
+  Vec.t ->
+  choice

@@ -84,9 +84,35 @@ module Brute_force = struct
           (Bruteforce.best ~cache ~machine space nest))
 end
 
+(* UGS tables with the balance priced at one hierarchy level (the
+   tables are line-independent, see [Balance.misses_with]); falls back
+   to the deepest available level when the machine is shallower. *)
+let at_level k : (module MODEL) =
+  (module struct
+    let name = Printf.sprintf "ugs-l%d" k
+    let description =
+      Printf.sprintf "UGS tables, balance priced at hierarchy level %d" k
+    let cache = true
+    let prunes = true
+
+    let analyze ?(exhaustive = false) ctx =
+      let machine = Analysis_ctx.machine ctx in
+      let levels = Ujam_machine.Machine.effective_levels machine in
+      let level =
+        match Ujam_machine.Machine.level_at machine k with
+        | Some l -> l
+        | None -> List.nth levels (List.length levels - 1)
+      in
+      let balance = Analysis_ctx.balance ctx in
+      Analysis_ctx.timed ctx Analysis_ctx.Search (fun () ->
+          Search.best ~prune:(not exhaustive) ~level ~cache balance)
+  end)
+
+module Ugs_l2 = (val at_level 2)
+
 let all : (module MODEL) list =
   [ (module Ugs_tables); (module Dep_based); (module Brute_force);
-    (module No_cache) ]
+    (module No_cache); (module Ugs_l2) ]
 
 let name (module M : MODEL) = M.name
 
@@ -100,6 +126,7 @@ let find s =
     | "dep" | "dep-based" | "dependence" -> Some "dep"
     | "brute" | "brute-force" | "bruteforce" -> Some "brute"
     | "no-cache" | "nocache" | "carr-kennedy" -> Some "no-cache"
+    | "ugs-l2" | "l2" -> Some "ugs-l2"
     | _ -> None
   in
   Option.bind canonical (fun c ->

@@ -39,6 +39,15 @@ module Brute_force : MODEL
 module No_cache : MODEL
 (** UGS tables under the all-hits Carr-Kennedy balance model. *)
 
+module Ugs_l2 : MODEL
+(** UGS tables with the balance priced at hierarchy level 2
+    ({!Ujam_core.Balance.loop_balance_level}) — jam for the L2 working
+    set instead of the L1.  Falls back to the machine's deepest level
+    when no level 2 exists. *)
+
+val at_level : int -> (module MODEL)
+(** Generalisation of {!Ugs_l2} to any 1-based level. *)
+
 val all : (module MODEL) list
 (** The registry, in presentation order. *)
 

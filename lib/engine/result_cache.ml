@@ -151,6 +151,21 @@ let fingerprint ~op ~(machine : Machine.t) ~bound ~max_loops ~model ~seq
   int machine.Machine.miss_penalty;
   Buffer.add_string buf
     (Printf.sprintf "%Lx;" (Int64.bits_of_float machine.Machine.prefetch_bandwidth));
+  (* the hierarchy, when present: two machines differing only in their
+     levels must not share analysis results *)
+  List.iter
+    (fun (l : Machine.Level.t) ->
+      str l.Machine.Level.name;
+      int l.Machine.Level.size;
+      int l.Machine.Level.line;
+      int l.Machine.Level.assoc;
+      int l.Machine.Level.access;
+      int l.Machine.Level.penalty;
+      Buffer.add_char buf
+        (match l.Machine.Level.write with
+        | Machine.Level.Write_allocate -> 'A'
+        | Machine.Level.Write_through -> 'T'))
+    machine.Machine.levels;
   int bound;
   int max_loops;
   str model;

@@ -14,7 +14,18 @@
 val alpha : Machine.t
 val hppa : Machine.t
 
+val alpha_mem : Machine.t
+(** [alpha] with the memory hierarchy spelled out: 8 KB write-through L1,
+    128 KB board L2, 32-entry TLB over 8 KB pages.  Flat fields match
+    [alpha] so single-level consumers see the same machine. *)
+
+val hppa_mem : Machine.t
+(** [hppa] with an L1 + L2 + TLB hierarchy. *)
+
 val generic :
   ?fp_registers:int -> ?miss_penalty:int -> ?prefetch_bandwidth:float -> unit -> Machine.t
 
 val all : Machine.t list
+
+val scenarios : Machine.t list
+(** The multi-level scenario machines ([alpha_mem]; [hppa_mem]). *)

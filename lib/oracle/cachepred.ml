@@ -1,0 +1,68 @@
+open Ujam_ir
+open Ujam_machine
+
+type outcome = { levels_checked : int; mismatches : Mismatch.t list }
+
+let nothing = { levels_checked = 0; mismatches = [] }
+
+(* A level associative enough for the LRU-stack model to bound misses
+   from above: fully associative, or at least 4-way.  At a direct-mapped
+   (or 2-way) level conflict misses sit on top of the capacity model, so
+   only overprediction is checkable there. *)
+let stack_like (l : Machine.Level.t) =
+  l.Machine.Level.assoc >= 4
+  || l.Machine.Level.size / (l.Machine.Level.line * l.Machine.Level.assoc) <= 1
+
+let check ?(rel_tol = 0.5) ?(abs_tol = 0.05) ?(max_accesses = 200_000)
+    ?(warmup = 10.0) ?(strict = false) ?steal_lines ~machine nest =
+  match Nest.iterations nest with
+  | None -> nothing (* affine bounds: no closed form and no replay *)
+  | Some iterations -> (
+      let accesses = iterations * List.length (Site.of_nest nest) in
+      if accesses = 0 || accesses > max_accesses then nothing
+      else
+        match Ujam_analysis.Cachecheck.run ~machine nest with
+        | None -> nothing
+        | Some t ->
+            (* the profile predicts steady-state ratios: a level is only
+               comparable once the run is long enough to amortize its
+               compulsory transient (the whole footprint fetched once) *)
+            let warm (l : Machine.Level.t) =
+              let line = l.Machine.Level.line in
+              let lay = Ujam_sim.Layout.of_nest nest ~line in
+              let lines = (Ujam_sim.Layout.footprint lay / line) + 1 in
+              float_of_int accesses >= warmup *. float_of_int lines
+            in
+            let stats = Ujam_sim.Runner.run_levels ?steal_lines ~machine nest in
+            let preds = Ujam_analysis.Cachecheck.predicted_ratios t in
+            let band a b = abs_tol +. (rel_tol *. Float.max a b) in
+            let mismatches, levels_checked =
+              List.fold_left2
+                (fun (ms, ck) ((l : Machine.Level.t), floor, predicted, ceiling)
+                     (_, acc, miss) ->
+                  if not (warm l) then (ms, ck)
+                  else
+                    let m = float_of_int miss /. float_of_int acc in
+                    let over = floor -. m > band floor m in
+                    (* strict mode drops the knife-edge allowance: for
+                       self-tests on nests whose distances are exact,
+                       compare against the point prediction so a
+                       one-line geometry fault is still visible *)
+                    let upper = if strict then predicted else ceiling in
+                    let under =
+                      stack_like l && m -. upper > band upper m
+                    in
+                    if over || under then
+                      ( Mismatch.make ~nest:(Nest.name nest)
+                          ~machine:machine.Machine.name
+                          (Mismatch.Cachepred
+                             { level = l.Machine.Level.name;
+                               floor;
+                               predicted;
+                               measured = m })
+                        :: ms,
+                        ck + 1 )
+                    else (ms, ck + 1))
+                ([], 0) preds stats
+            in
+            { levels_checked; mismatches = List.rev mismatches })

@@ -1,0 +1,59 @@
+(** Oracle layer 5: the static per-level miss-ratio predictor vs. the
+    hierarchy simulator.
+
+    For every level of the machine's memory hierarchy, compare the
+    closed-form [(floor, predicted)] interval from
+    {!Ujam_analysis.Cachecheck.predicted_ratios} against the measured
+    miss ratio of a full trace replay
+    ({!Ujam_sim.Runner.run_levels}), and flag:
+
+    - {b overprediction}: even the confident floor (buckets clearing
+      the capacity by {!Ujam_analysis.Cachecheck.confidence_slack})
+      sits clearly above the measurement — the model claims misses the
+      cache does not take;
+    - {b underprediction}, but only at levels associative enough for
+      the LRU-stack model to be an upper bound (fully associative or
+      at least 4-way): the measurement sits clearly above the
+      {e ceiling} (the fold counting every bucket within a
+      confidence factor of the capacity — a knife-edge working set
+      may in truth overflow).  At a direct-mapped level the gap is
+      conflict misses, which live outside any stack-distance model,
+      so only the overprediction direction is checked there.
+
+    "Clearly" is [abs_tol +. rel_tol *. max] — the same significance
+    shape as {!Simcheck}. *)
+
+type outcome = {
+  levels_checked : int;  (** hierarchy levels actually compared *)
+  mismatches : Mismatch.t list;
+}
+
+val check :
+  ?rel_tol:float ->
+  ?abs_tol:float ->
+  ?max_accesses:int ->
+  ?warmup:float ->
+  ?strict:bool ->
+  ?steal_lines:int ->
+  machine:Ujam_machine.Machine.t ->
+  Ujam_ir.Nest.t ->
+  outcome
+(** Defaults: [rel_tol] 0.5, [abs_tol] 0.05, [max_accesses] 200_000
+    replayed references (larger nests and nests without constant trip
+    counts are skipped, reported via [levels_checked = 0]).  The
+    profile predicts steady-state ratios, so each level is compared
+    only when the trace is at least [warmup] (default 10) times its
+    compulsory transient — the nest's footprint in that level's lines;
+    shorter runs are dominated by cold misses the closed form
+    amortizes away.
+
+    [strict] (default false) makes the underprediction direction
+    compare against the point prediction instead of the ceiling.  The
+    interval is deliberately blind to knife-edge working sets (within
+    a {!Ujam_analysis.Cachecheck.confidence_slack} factor of the
+    capacity the model cannot know which side the hardware lands on),
+    so the shipped fuzz layer keeps [strict] off; the oracle
+    self-test turns it on for a nest whose distances are exact.
+    [steal_lines] forwards the deliberate capacity fault of
+    {!Ujam_sim.Cache.create} to the simulated hierarchy — together
+    they prove this layer catches an off-by-one-line geometry bug. *)

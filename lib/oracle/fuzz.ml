@@ -14,7 +14,7 @@ let m_verify_failed = Obs.counter "oracle.verify.failed"
 let m_native_checked = Obs.counter "oracle.native.checked"
 let m_native_skipped = Obs.counter "oracle.native.skipped"
 
-type layer = Recount | Sim | Cross_model | Verify | Native
+type layer = Recount | Sim | Cross_model | Verify | Native | Cachepred
 
 let layer_name = function
   | Recount -> "recount"
@@ -22,10 +22,11 @@ let layer_name = function
   | Cross_model -> "cross-model"
   | Verify -> "verify"
   | Native -> "native"
+  | Cachepred -> "cachepred"
 
 (* The native layer stays opt-in: it forks the host toolchain per nest,
    which is orders of magnitude slower than the analytical layers. *)
-let all_layers = [ Recount; Sim; Cross_model; Verify ]
+let all_layers = [ Recount; Sim; Cross_model; Verify; Cachepred ]
 
 type config = {
   n : int;
@@ -79,6 +80,7 @@ type report = {
   digest_reused : int;
   fenced : int;
   sim_checked : int;
+  cachepred_checked : int;
   verify_checked : int;
   verify_failed : int;
   native_checked : int;
@@ -93,6 +95,7 @@ type report = {
 type layer_result = {
   lr_mismatches : Mismatch.t list;
   lr_simulated : int;
+  lr_cachepred : int;  (** hierarchy levels compared by the cachepred layer *)
   lr_verified : int;
   lr_native : int;  (** variants validated by the native backend *)
   lr_native_skipped : int;  (** 1 when the toolchain was unavailable *)
@@ -102,6 +105,7 @@ type layer_result = {
 let empty_lr =
   { lr_mismatches = [];
     lr_simulated = 0;
+    lr_cachepred = 0;
     lr_verified = 0;
     lr_native = 0;
     lr_native_skipped = 0;
@@ -247,6 +251,12 @@ let check_layer ?perturb ?(native_drop_copy = false) ~cfg ~routine layer nest =
   | Native ->
       guard Error.Native (fun () ->
           native_check ~drop_copy:native_drop_copy ~cfg ~routine nest)
+  | Cachepred ->
+      guard Error.Sim (fun () ->
+          let o = Cachepred.check ~machine nest in
+          { empty_lr with
+            lr_mismatches = o.Cachepred.mismatches;
+            lr_cachepred = o.Cachepred.levels_checked })
 
 let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 
@@ -254,6 +264,7 @@ let unexplained_of ms = List.filter (fun m -> not (Mismatch.is_explained m)) ms
 
 type job_result = {
   jr_simulated : bool;
+  jr_cachepred : bool;
   jr_verified : int;
   jr_native : int;
   jr_native_skipped : int;
@@ -272,6 +283,9 @@ let check_nest ?perturb ?native_drop_copy ~cfg ~routine nest =
   let simulated =
     List.exists (fun (_, r) -> r.lr_simulated > 0) results
   in
+  let cachepred =
+    List.exists (fun (_, r) -> r.lr_cachepred > 0) results
+  in
   let verified =
     List.fold_left (fun acc (_, r) -> acc + r.lr_verified) 0 results
   in
@@ -284,6 +298,7 @@ let check_nest ?perturb ?native_drop_copy ~cfg ~routine nest =
   let bad = unexplained_of mismatches <> [] || error <> None in
   if not bad then
     { jr_simulated = simulated;
+      jr_cachepred = cachepred;
       jr_verified = verified;
       jr_native = native;
       jr_native_skipped = native_skipped;
@@ -318,6 +333,7 @@ let check_nest ?perturb ?native_drop_copy ~cfg ~routine nest =
         Some (Shrink.run ~still_fails nest)
     in
     { jr_simulated = simulated;
+      jr_cachepred = cachepred;
       jr_verified = verified;
       jr_native = native;
       jr_native_skipped = native_skipped;
@@ -432,6 +448,10 @@ let run ?perturb ?native_drop_copy cfg =
       Array.fold_left
         (fun acc r -> if r.jr_simulated then acc + 1 else acc)
         0 results;
+    cachepred_checked =
+      Array.fold_left
+        (fun acc r -> if r.jr_cachepred then acc + 1 else acc)
+        0 results;
     verify_checked;
     verify_failed;
     native_checked;
@@ -466,6 +486,9 @@ let pp ppf r =
       r.fenced r.nests;
   Format.fprintf ppf "sim layer: %d nests replayed through the cache model@."
     r.sim_checked;
+  Format.fprintf ppf
+    "cachepred layer: %d nests checked against the hierarchy simulator@."
+    r.cachepred_checked;
   Format.fprintf ppf
     "verify layer: %d unrolled bodies checked, %d rejected@."
     r.verify_checked r.verify_failed;
@@ -559,6 +582,7 @@ let to_json r =
        else [])
     @ [ ("fenced", Json.Int r.fenced);
       ("sim_checked", Json.Int r.sim_checked);
+      ("cachepred_checked", Json.Int r.cachepred_checked);
       ("verify_checked", Json.Int r.verify_checked);
       ("verify_failed", Json.Int r.verify_failed) ]
     (* native fields appear only when the layer was configured, so the

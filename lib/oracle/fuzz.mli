@@ -13,7 +13,7 @@
 
 open Ujam_linalg
 
-type layer = Recount | Sim | Cross_model | Verify | Native
+type layer = Recount | Sim | Cross_model | Verify | Native | Cachepred
 
 val layer_name : layer -> string
 
@@ -22,7 +22,9 @@ val all_layers : layer list
     executing each nest through the host toolchain ({!Ujam_native}) is
     orders of magnitude slower than the analytical layers, so the
     ground-truth column stays opt-in ([ujc fuzz --native]).  Without a
-    toolchain the layer degrades to a skip count, never a failure. *)
+    toolchain the layer degrades to a skip count, never a failure.
+    {!Cachepred} (the static per-level miss-ratio predictor vs. the
+    hierarchy simulator, {!Cachepred.check}) is in it. *)
 
 type config = {
   n : int;  (** nests to check *)
@@ -83,6 +85,9 @@ type report = {
       (** emitted nests whose safety cap binds at a non-innermost level
           (only counted in recurrent mode) *)
   sim_checked : int;  (** nests the simulator layer replayed *)
+  cachepred_checked : int;
+      (** nests whose per-level miss predictions the cachepred layer
+          compared against the hierarchy simulator *)
   verify_checked : int;  (** unrolled bodies checked by the verifier *)
   verify_failed : int;  (** verifier rejections (multiset mismatches) *)
   native_checked : int;

@@ -25,6 +25,12 @@ type kind =
       native : float;
       expected : float;
     }
+  | Cachepred of {
+      level : string;
+      floor : float;
+      predicted : float;
+      measured : float;
+    }
 
 type t = {
   nest : string;
@@ -43,6 +49,7 @@ let layer m =
   | Model_divergence _ -> "cross-model"
   | Verify _ -> "verify"
   | Native _ -> "native"
+  | Cachepred _ -> "cachepred"
 
 let pp_f ppf v =
   if Float.is_integer v && Float.abs v < 1e9 then
@@ -72,7 +79,12 @@ let pp ppf m =
       Format.fprintf ppf
         "%s [native] variant %s array %s: compiled run says %a, interpreter \
          says %a"
-        m.nest variant array_name pp_f native pp_f expected);
+        m.nest variant array_name pp_f native pp_f expected
+  | Cachepred { level; floor; predicted; measured } ->
+      Format.fprintf ppf
+        "%s [cachepred] %s miss ratio predicted in [%.3f, %.3f], hierarchy \
+         simulator measured %.3f"
+        m.nest level floor predicted measured);
   match m.explained with
   | Some why -> Format.fprintf ppf " (explained: %s)" why
   | None -> ()
@@ -116,6 +128,12 @@ let to_json m =
           ("array", Json.Str array_name);
           ("native", json_f native);
           ("expected", json_f expected) ]
+    | Cachepred { level; floor; predicted; measured } ->
+        [ ("kind", Json.Str "cachepred");
+          ("level", Json.Str level);
+          ("floor", json_f floor);
+          ("predicted", json_f predicted);
+          ("measured", json_f measured) ]
   in
   Json.Obj
     (("nest", Json.Str m.nest) :: ("machine", Json.Str m.machine)

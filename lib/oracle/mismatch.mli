@@ -48,6 +48,17 @@ type kind =
           disagrees with the reference interpreter run of the same
           nest beyond the native tolerance ([native] is NaN when the
           emitted program never reported the array at all). *)
+  | Cachepred of {
+      level : string;
+      floor : float;
+      predicted : float;
+      measured : float;
+    }
+      (** The static reuse-distance predictor's
+          [[floor, predicted]] miss-ratio interval for one hierarchy
+          level ({!Ujam_analysis.Cachecheck.predicted_ratios}) misses
+          the hierarchy simulator's measurement beyond the calibration
+          tolerance. *)
 
 type t = {
   nest : string;
@@ -62,7 +73,8 @@ val make :
 val is_explained : t -> bool
 
 val layer : t -> string
-(** ["recount"], ["sim"], ["cross-model"], ["verify"] or ["native"]. *)
+(** ["recount"], ["sim"], ["cross-model"], ["verify"], ["native"] or
+    ["cachepred"]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Ujam_engine.Json.t

@@ -11,6 +11,7 @@ type t = {
   line : int;
   sets : int;
   assoc : int;
+  steal : int;        (* fault injection: ways disabled in the last set *)
   tags : int array;   (* sets * assoc; -1 = invalid *)
   ages : int array;   (* LRU stamps *)
   mutable clock : int;
@@ -18,14 +19,17 @@ type t = {
   mutable misses : int;
 }
 
-let create ~size ~line ~assoc =
+let create ?(steal_lines = 0) ~size ~line ~assoc () =
   if line <= 0 || assoc <= 0 || size <= 0 then invalid_arg "Cache.create";
   if size mod (line * assoc) <> 0 then
     invalid_arg "Cache.create: size not a multiple of line * assoc";
+  if steal_lines < 0 || steal_lines >= assoc then
+    invalid_arg "Cache.create: steal_lines out of range";
   let sets = size / (line * assoc) in
   { line;
     sets;
     assoc;
+    steal = steal_lines;
     tags = Array.make (sets * assoc) (-1);
     ages = Array.make (sets * assoc) 0;
     clock = 0;
@@ -34,17 +38,19 @@ let create ~size ~line ~assoc =
 
 let of_machine (m : Ujam_machine.Machine.t) =
   create ~size:m.Ujam_machine.Machine.cache_size ~line:m.Ujam_machine.Machine.cache_line
-    ~assoc:m.Ujam_machine.Machine.associativity
+    ~assoc:m.Ujam_machine.Machine.associativity ()
 
-let access t addr =
+let access_gen ~allocate t addr =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let block = if addr >= 0 then addr / t.line else (addr - t.line + 1) / t.line in
   let set = ((block mod t.sets) + t.sets) mod t.sets in
   let base = set * t.assoc in
+  (* injected-fault support: the last set loses [steal] ways *)
+  let ways = if set = t.sets - 1 then t.assoc - t.steal else t.assoc in
   let hit = ref false in
   (try
-     for w = base to base + t.assoc - 1 do
+     for w = base to base + ways - 1 do
        if t.tags.(w) = block then begin
          t.ages.(w) <- t.clock;
          hit := true;
@@ -55,14 +61,16 @@ let access t addr =
   let evicted = ref false in
   if not !hit then begin
     t.misses <- t.misses + 1;
-    (* Fill the LRU way. *)
-    let victim = ref base in
-    for w = base + 1 to base + t.assoc - 1 do
-      if t.ages.(w) < t.ages.(!victim) then victim := w
-    done;
-    evicted := t.tags.(!victim) >= 0;
-    t.tags.(!victim) <- block;
-    t.ages.(!victim) <- t.clock
+    if allocate then begin
+      (* Fill the LRU way. *)
+      let victim = ref base in
+      for w = base + 1 to base + ways - 1 do
+        if t.ages.(w) < t.ages.(!victim) then victim := w
+      done;
+      evicted := t.tags.(!victim) >= 0;
+      t.tags.(!victim) <- block;
+      t.ages.(!victim) <- t.clock
+    end
   end;
   if Obs.enabled () then begin
     Obs.Counter.incr m_accesses;
@@ -72,6 +80,8 @@ let access t addr =
     end
   end;
   !hit
+
+let access t addr = access_gen ~allocate:true t addr
 
 let accesses t = t.accesses
 let misses t = t.misses
@@ -83,3 +93,86 @@ let reset t =
   t.clock <- 0;
   t.accesses <- 0;
   t.misses <- 0
+
+(* Reference LRU stack: the textbook stack-distance algorithm (Mattson
+   et al.).  A fully-associative LRU cache of capacity [C] lines hits
+   exactly the accesses whose stack distance is < C, which is both the
+   QCheck cross-check for the set-associative simulator above and the
+   semantic ground the static predictor's histograms stand on. *)
+module Stack = struct
+  type nonrec t = { line : int; mutable stack : int list }
+
+  let create ~line =
+    if line <= 0 then invalid_arg "Cache.Stack.create";
+    { line; stack = [] }
+
+  let access t addr =
+    let block =
+      if addr >= 0 then addr / t.line else (addr - t.line + 1) / t.line
+    in
+    let rec pull i acc = function
+      | [] -> (None, List.rev acc)
+      | b :: rest when b = block -> (Some i, List.rev_append acc rest)
+      | b :: rest -> pull (i + 1) (b :: acc) rest
+    in
+    let d, rest = pull 0 [] t.stack in
+    t.stack <- block :: rest;
+    d
+
+  let depth t = List.length t.stack
+end
+
+(* Multi-level hierarchy: every level observes the full reference
+   stream independently (for same-line LRU levels this equals the
+   probe-on-miss chain by stack inclusion, and it is the only sane
+   semantics once a TLB-style level with a different "line" joins the
+   list).  Write-through levels do not allocate on write misses. *)
+module Hierarchy = struct
+  module Level = Ujam_machine.Machine.Level
+
+  type nonrec t = { caches : (Level.t * t) array }
+
+  let create ?steal_lines levels =
+    (match Ujam_machine.Machine.validate_levels levels with
+    | Ok () -> ()
+    | Error e ->
+        invalid_arg
+          ("Cache.Hierarchy.create: " ^ Ujam_machine.Machine.geometry_message e));
+    { caches =
+        Array.of_list
+          (List.map
+             (fun (l : Level.t) ->
+               ( l,
+                 create ?steal_lines ~size:l.Level.size ~line:l.Level.line
+                   ~assoc:l.Level.assoc () ))
+             levels) }
+
+  let of_machine ?steal_lines m =
+    create ?steal_lines (Ujam_machine.Machine.effective_levels m)
+
+  let access t ?(write = false) addr =
+    Array.iter
+      (fun ((l : Level.t), c) ->
+        let allocate =
+          match l.Level.write with
+          | Level.Write_allocate -> true
+          | Level.Write_through -> not write
+        in
+        ignore (access_gen ~allocate c addr))
+      t.caches
+
+  let stats t =
+    Array.to_list
+      (Array.map (fun (l, c) -> (l, c.accesses, c.misses)) t.caches)
+
+  let miss_ratios t =
+    Array.to_list
+      (Array.map
+         (fun ((l : Level.t), c) ->
+           ( l,
+             if c.accesses = 0 then 0.0
+             else float_of_int c.misses /. float_of_int c.accesses ))
+         t.caches)
+
+  let reset t = Array.iter (fun (_, c) -> reset c) t.caches
+end

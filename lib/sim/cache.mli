@@ -5,9 +5,11 @@
 
 type t
 
-val create : size:int -> line:int -> assoc:int -> t
+val create : ?steal_lines:int -> size:int -> line:int -> assoc:int -> unit -> t
 (** All quantities in elements; [size] must be a multiple of
-    [line * assoc]. *)
+    [line * assoc].  [steal_lines] (default 0, must be [< assoc])
+    disables that many ways in the last set — a deliberate
+    off-by-[n]-lines capacity fault for oracle self-tests. *)
 
 val of_machine : Ujam_machine.Machine.t -> t
 
@@ -23,3 +25,52 @@ val accesses : t -> int
 val misses : t -> int
 val miss_rate : t -> float
 val reset : t -> unit
+
+(** Reference stack-distance implementation (Mattson's LRU stack): a
+    fully-associative LRU cache of capacity [C] lines hits exactly the
+    accesses whose stack distance is [< C].  O(stack depth) per access —
+    a specification, not a fast path; the property tests cross-check the
+    set-associative simulator against it. *)
+module Stack : sig
+  type t
+
+  val create : line:int -> t
+
+  val access : t -> int -> int option
+  (** Stack distance (in distinct lines touched since the previous
+      access to this line) of the element at [addr]; [None] on a cold
+      (first-ever) access.  Updates the stack. *)
+
+  val depth : t -> int
+  (** Distinct lines seen so far. *)
+end
+
+(** Multi-level memory hierarchy.  Every level observes the full
+    reference stream independently: for same-line LRU levels this
+    coincides with the probe-next-level-on-miss chain (stack inclusion),
+    and it remains well-defined for TLB-style levels whose "line" is the
+    page.  {!Ujam_machine.Machine.Level.Write_through} levels do not
+    allocate on write misses (write-around). *)
+module Hierarchy : sig
+  type t
+
+  val create : ?steal_lines:int -> Ujam_machine.Machine.Level.t list -> t
+  (** Raises [Invalid_argument] on an invalid geometry
+      ({!Ujam_machine.Machine.validate_levels}).  [steal_lines] injects
+      the capacity fault of {!val:create} into every level. *)
+
+  val of_machine : ?steal_lines:int -> Ujam_machine.Machine.t -> t
+  (** Levels from {!Ujam_machine.Machine.effective_levels}: the flat
+      single-level geometry when the machine carries no hierarchy. *)
+
+  val access : t -> ?write:bool -> int -> unit
+
+  val stats : t -> (Ujam_machine.Machine.Level.t * int * int) list
+  (** Per level: (level, accesses, misses). *)
+
+  val miss_ratios : t -> (Ujam_machine.Machine.Level.t * float) list
+  (** Per level: misses / total references (all levels see every
+      reference, so the denominators agree). *)
+
+  val reset : t -> unit
+end

@@ -44,6 +44,21 @@ let run ~machine ?plan ?sites nest =
     cycles_per_iteration =
       (if iterations = 0 then 0.0 else (issue +. stall) /. float_of_int iterations) }
 
+let run_levels ?steal_lines ~machine ?sites nest =
+  let layout = Layout.of_nest nest ~line:machine.Machine.cache_line in
+  let hierarchy = Cache.Hierarchy.of_machine ?steal_lines machine in
+  let sites = match sites with Some s -> s | None -> Site.of_nest nest in
+  let refs =
+    Array.of_list
+      (List.map (fun (s : Site.t) -> (s.Site.ref_, Site.is_write s)) sites)
+  in
+  Nest.iter_index_vectors nest (fun iv ->
+      Array.iter
+        (fun (r, write) ->
+          Cache.Hierarchy.access hierarchy ~write (Layout.address layout r iv))
+        refs);
+  Cache.Hierarchy.stats hierarchy
+
 let normalized ~baseline r =
   if baseline.cycles = 0.0 then 1.0 else r.cycles /. baseline.cycles
 

@@ -26,6 +26,19 @@ val run :
 (** [sites] supplies the nest's precomputed reference sites (e.g. from
     [Analysis_ctx.sites]) so a baseline run does not re-enumerate them. *)
 
+val run_levels :
+  ?steal_lines:int ->
+  machine:Ujam_machine.Machine.t ->
+  ?sites:Ujam_ir.Site.t list ->
+  Ujam_ir.Nest.t ->
+  (Ujam_machine.Machine.Level.t * int * int) list
+(** Replay the full (unreplaced) address trace through the machine's
+    memory hierarchy ({!Cache.Hierarchy.of_machine}); per level:
+    (level, accesses, misses).  Writes respect each level's write
+    policy.  This is the ground truth the static reuse-distance
+    predictor is calibrated against.  [steal_lines] injects the
+    capacity fault of {!Cache.create} (oracle self-tests only). *)
+
 val normalized : baseline:result -> result -> float
 (** Execution time relative to [baseline], correcting for the number of
     original iterations each body covers (cycles-per-element ratio). *)

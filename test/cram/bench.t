@@ -6,11 +6,11 @@ numbers, small sizes, fixed seeds — safe to pin.
   =============================================================
   Quick smoke — strategy matrix (shared context per kernel)
   =============================================================
-  loop       ugs        dep        brute      no-cache  
-  dmxpy0     (3,0)      (3,0)      (3,0)      (3,0)     
-  mmjki      (2,3,0)    (2,3,0)    (2,3,0)    (1,1,0)   
-  sor        (3,0)      (3,0)      (3,0)      (0,0)     
-  jacobi     (3,0)      (3,0)      (3,0)      (0,0)     
+  loop       ugs        dep        brute      no-cache   ugs-l2    
+  dmxpy0     (3,0)      (3,0)      (3,0)      (3,0)      (3,0)     
+  mmjki      (2,3,0)    (2,3,0)    (2,3,0)    (1,1,0)    (2,3,0)   
+  sor        (3,0)      (3,0)      (3,0)      (0,0)      (3,0)     
+  jacobi     (3,0)      (3,0)      (3,0)      (0,0)      (3,0)     
   
   =============================================================
   Quick smoke — engine corpus (20 routines, 2 domains)

@@ -4,9 +4,10 @@ monotonicity against the cache simulator, and cross-model agreement.
 A seeded run is deterministic and clean:
 
   $ ujc fuzz --n 12 --seed 42
-  differential oracle: seed=42 machine=DEC-Alpha-21064 bound=4 depth<=3 layers=recount,sim,cross-model,verify
+  differential oracle: seed=42 machine=DEC-Alpha-21064 bound=4 depth<=3 layers=recount,sim,cross-model,verify,cachepred
   nests: 12 checked (7 routines, 12 draws, 0 out-of-class re-rolls, 0 over depth limit)
   sim layer: 7 nests replayed through the cache model
+  cachepred layer: 1 nests checked against the hierarchy simulator
   verify layer: 56 unrolled bodies checked, 0 rejected
   mismatches: 0 total, 0 unexplained
   result: ok
@@ -17,6 +18,7 @@ Layers can be restricted; skipping the sim layer skips the replay:
   differential oracle: seed=42 machine=DEC-Alpha-21064 bound=4 depth<=3 layers=recount,cross-model
   nests: 12 checked (7 routines, 12 draws, 0 out-of-class re-rolls, 0 over depth limit)
   sim layer: 0 nests replayed through the cache model
+  cachepred layer: 0 nests checked against the hierarchy simulator
   verify layer: 0 unrolled bodies checked, 0 rejected
   mismatches: 0 total, 0 unexplained
   result: ok
@@ -24,7 +26,7 @@ Layers can be restricted; skipping the sim layer skips the replay:
 JSON output for machine consumption:
 
   $ ujc fuzz --n 12 --seed 42 --json
-  {"seed":42,"n":12,"machine":"DEC-Alpha-21064","bound":4,"max_depth":3,"deep":false,"recurrent":false,"layers":["recount","sim","cross-model","verify"],"nests":12,"routines":7,"draws":12,"rejected":0,"skipped_depth":0,"deduped":0,"fenced":0,"sim_checked":7,"verify_checked":56,"verify_failed":0,"mismatches":0,"unexplained":0,"ok":true,"failures":[]}
+  {"seed":42,"n":12,"machine":"DEC-Alpha-21064","bound":4,"max_depth":3,"deep":false,"recurrent":false,"layers":["recount","sim","cross-model","verify","cachepred"],"nests":12,"routines":7,"draws":12,"rejected":0,"skipped_depth":0,"deduped":0,"fenced":0,"sim_checked":7,"cachepred_checked":1,"verify_checked":56,"verify_failed":0,"mismatches":0,"unexplained":0,"ok":true,"failures":[]}
 
 Deep-space mode stresses the sweep-based table engine where the
 per-cell costs used to bite: 4-deep nests over a bound-8 unroll
@@ -35,6 +37,7 @@ materialisation, so a clean run is a parity proof at scale:
   differential oracle: seed=42 machine=DEC-Alpha-21064 bound=8 depth<=4 layers=recount deep-space
   nests: 12 checked (9 routines, 13 draws, 0 out-of-class re-rolls, 0 over depth limit)
   sim layer: 0 nests replayed through the cache model
+  cachepred layer: 0 nests checked against the hierarchy simulator
   verify layer: 0 unrolled bodies checked, 0 rejected
   mismatches: 0 total, 0 unexplained
   result: ok

@@ -20,7 +20,7 @@ Strategy selection by registry name:
 Unknown strategies are rejected up front:
 
   $ ujc optimize sor --model magic
-  ujc: option '--model': unknown model "magic" (ugs|dep|brute|no-cache)
+  ujc: option '--model': unknown model "magic" (ugs|dep|brute|no-cache|ugs-l2)
   Usage: ujc optimize [OPTION]… [KERNEL]
   Try 'ujc optimize --help' or 'ujc --help' for more information.
   [124]

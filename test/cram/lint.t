@@ -46,7 +46,7 @@ locations, severity totals, and an ok flag:
 Unknown rule ids are rejected up front (exit 2, not 1):
 
   $ ujc lint bigcoef.f --rules UJ999
-  ujc lint: unknown rule id "UJ999" (known: UJ000, UJ001, UJ002, UJ003, UJ004, UJ005, UJ006, UJ007, UJ008, UJ009, UJ010, UJ011, UJ020, UJ021, UJ022)
+  ujc lint: unknown rule id "UJ999" (known: UJ000, UJ001, UJ002, UJ003, UJ004, UJ005, UJ006, UJ007, UJ008, UJ009, UJ010, UJ011, UJ020, UJ021, UJ022, UJ027, UJ028, UJ029, UJ030)
   [2]
 
 Explain mode names the effective selection path and why — here the
@@ -59,6 +59,11 @@ paper's ugs path, with the monotonicity guard's verdict spelled out:
     reuse ranking: loop0 (0.25)
     search box: [8; 0] over loops {0}
     chosen: u=(8,0) balance 4.39, objective 3.39, 28 regs
+    miss profile (DEC-Alpha-21064):
+      lvl  cap(lin)  predicted  per-UGS
+      L1       4096     0.062  Y=0.000, X=0.000, M=0.250
+      at u=(8,0):
+      L1       4096     0.007  Y=0.000, X=0.000, M=0.028
     why:
       - 2 dependences with unknown (*) components; legality uses direction information only
       - register table certified monotone; pruned search is sound

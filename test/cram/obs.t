@@ -9,7 +9,7 @@ version, bench generation, seed, item counts — stay exact.
   $ ujam-bench --quick --json --seed 1997 --out B.json
   wrote B.json (2 experiments, schema v1)
   $ sed -E 's/-?[0-9]+\.[0-9]*([eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+/<f>/g' B.json
-  {"schema_version":1,"bench":7,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
+  {"schema_version":1,"bench":8,"seed":1997,"experiments":[{"name":"quick-matrix","wall_s":<f>,"items":4,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{}},{"name":"quick-corpus","wall_s":<f>,"items":20,"throughput":<f>,"minor_words":<f>,"major_words":<f>,"metrics":{"ok":<f>,"failed":<f>}}]}
 
 The compare gate diffs two trajectory files by experiment name.  A
 synthetic pair keeps the verdicts deterministic: "a" loses 5% (inside

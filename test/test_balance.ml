@@ -13,9 +13,13 @@ let test_machine_balance () =
 
 let test_machine_validation () =
   Alcotest.check_raises "bad associativity"
-    (Invalid_argument "Machine.make: associativity must divide the cache")
+    (Invalid_argument
+       "Machine.make: cache geometry (cache): size 100 is not a multiple of \
+        line 4 * assoc 3")
     (fun () -> ignore (Machine.make ~name:"x" ~cache_size:100 ~associativity:3 ()));
-  Alcotest.check_raises "bad geometry" (Invalid_argument "Machine.make: cache geometry")
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument
+       "Machine.make: cache geometry (cache): size must be at least one line")
     (fun () -> ignore (Machine.make ~name:"x" ~cache_size:2 ~cache_line:4 ()))
 
 let prepare ?(machine = Presets.alpha) ?(bounds = [| 4; 4; 0 |]) nest =

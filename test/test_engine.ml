@@ -173,7 +173,7 @@ let test_ctx_shared_across_calls () =
 
 let test_registry () =
   Alcotest.(check (list string)) "registry order"
-    [ "ugs"; "dep"; "brute"; "no-cache" ]
+    [ "ugs"; "dep"; "brute"; "no-cache"; "ugs-l2" ]
     Model.names;
   List.iter
     (fun (alias, expect) ->

@@ -171,7 +171,7 @@ let test_cache_counters () =
       let accesses = Obs.counter "sim.cache.accesses" in
       let misses = Obs.counter "sim.cache.misses" in
       let a0 = Obs.Counter.value accesses and m0 = Obs.Counter.value misses in
-      let c = Ujam_sim.Cache.create ~size:16 ~line:4 ~assoc:1 in
+      let c = Ujam_sim.Cache.create ~size:16 ~line:4 ~assoc:1 () in
       for a = 0 to 31 do
         ignore (Ujam_sim.Cache.access c a)
       done;

@@ -206,6 +206,117 @@ let prop_spatial_coarsens_temporal =
             gts.Groups.classes)
         (Ugs.of_nest nest))
 
+(* --- static per-level miss-ratio prediction vs. the hierarchy simulator --- *)
+
+let mismatch_strings (out : Ujam_oracle.Cachepred.outcome) =
+  List.map
+    (Format.asprintf "%a" Ujam_oracle.Mismatch.pp)
+    out.Ujam_oracle.Cachepred.mismatches
+
+(* every shipped kernel, on every preset (flat and hierarchical), must
+   predict within the shipped tolerance at every warm level *)
+let test_predictor_kernels () =
+  let levels = ref 0 in
+  List.iter
+    (fun (e : Ujam_kernels.Catalogue.entry) ->
+      let nest = e.Ujam_kernels.Catalogue.build () in
+      List.iter
+        (fun (machine : Ujam_machine.Machine.t) ->
+          let out = Ujam_oracle.Cachepred.check ~machine nest in
+          levels := !levels + out.Ujam_oracle.Cachepred.levels_checked;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s on %s" e.Ujam_kernels.Catalogue.name
+               machine.Ujam_machine.Machine.name)
+            [] (mismatch_strings out))
+        Ujam_machine.Presets.[ alpha; hppa; alpha_mem; hppa_mem ])
+    Ujam_kernels.Catalogue.all;
+  Alcotest.(check bool) "kernel levels actually compared" true (!levels >= 40)
+
+(* a pinned seeded slice of the random-nest corpus: the calibration the
+   fuzz layer's defaults were tuned against must not regress *)
+let test_predictor_corpus () =
+  let rs = Random.State.make [| 42 |] in
+  let levels = ref 0 in
+  for i = 1 to 60 do
+    let routine = Ujam_workload.Generator.routine rs i in
+    List.iter
+      (fun nest ->
+        List.iter
+          (fun (machine : Ujam_machine.Machine.t) ->
+            let out = Ujam_oracle.Cachepred.check ~machine nest in
+            levels := !levels + out.Ujam_oracle.Cachepred.levels_checked;
+            Alcotest.(check (list string))
+              (Printf.sprintf "corpus %d (%s) on %s" i (Nest.name nest)
+                 machine.Ujam_machine.Machine.name)
+              [] (mismatch_strings out))
+          Ujam_machine.Presets.[ alpha_mem; hppa_mem ])
+      routine.Ujam_workload.Generator.nests
+  done;
+  Alcotest.(check bool) "corpus levels actually compared" true (!levels >= 100)
+
+(* the oracle self-test: a fully associative level whose capacity the
+   sweep fills exactly.  With correct geometry the sweep just fits
+   (steady state is cold misses only) and the strict check is clean;
+   stealing a single line tips every first-touch into an LRU capacity
+   miss, which the underprediction direction must flag — and the
+   reproducer must survive shrinking. *)
+let test_predictor_catches_stolen_line () =
+  let machine =
+    Ujam_machine.Machine.make ~name:"fa-test"
+      ~levels:
+        [ Ujam_machine.Machine.Level.make ~name:"FA" ~size:4096 ~line:4
+            ~assoc:1024 () ]
+      ()
+  in
+  let d = 2 in
+  let jv = var d 1 in
+  let sweep =
+    nest "sweep"
+      [ loop d "R" ~level:0 ~lo:1 ~hi:16 ();
+        loop d "J" ~level:1 ~lo:0 ~hi:4095 () ]
+      [ "t" <<~ rd "A" [ jv ] ]
+  in
+  let ok = Ujam_oracle.Cachepred.check ~strict:true ~machine sweep in
+  Alcotest.(check (list string)) "correct geometry: clean" []
+    (mismatch_strings ok);
+  Alcotest.(check bool) "level compared" true
+    (ok.Ujam_oracle.Cachepred.levels_checked > 0);
+  let still_fails n =
+    (Ujam_oracle.Cachepred.check ~strict:true ~steal_lines:1 ~machine n)
+      .Ujam_oracle.Cachepred.mismatches
+    <> []
+  in
+  Alcotest.(check bool) "one stolen line flagged" true (still_fails sweep);
+  let shrunk = Ujam_oracle.Shrink.run ~still_fails sweep in
+  Alcotest.(check bool) "shrunk reproducer still fails" true
+    (still_fails shrunk);
+  Alcotest.(check bool) "shrunk no deeper" true
+    (Nest.depth shrunk <= Nest.depth sweep)
+
+let test_machine_geometry_validation () =
+  let module M = Ujam_machine.Machine in
+  (match
+     M.make_checked ~name:"bad" ~cache_size:1000 ~cache_line:16
+       ~associativity:1 ()
+   with
+  | Error e -> Alcotest.(check string) "flat fields named" "cache" e.M.level
+  | Ok _ -> Alcotest.fail "non-multiple flat geometry accepted");
+  let l ~name ~size = M.Level.make ~name ~size ~line:4 ~assoc:1 () in
+  (match
+     M.validate_levels [ l ~name:"L1" ~size:1024; l ~name:"L2" ~size:512 ]
+   with
+  | Error e -> Alcotest.(check string) "shrinking hierarchy named" "L2" e.M.level
+  | Ok () -> Alcotest.fail "shrinking hierarchy accepted");
+  match
+    M.make_checked ~name:"ok"
+      ~levels:[ l ~name:"L1" ~size:512; l ~name:"L2" ~size:1024 ]
+      ()
+  with
+  | Ok m ->
+      Alcotest.(check int) "two levels kept" 2
+        (List.length (M.effective_levels m))
+  | Error e -> Alcotest.fail (M.geometry_message e)
+
 let suite =
   [ Alcotest.test_case "ugs partition" `Quick test_ugs_partition;
     Alcotest.test_case "duplicate constants" `Quick test_ugs_duplicate_constants;
@@ -215,6 +326,14 @@ let suite =
     Alcotest.test_case "equation 1 costs" `Quick test_eq1_costs;
     Alcotest.test_case "equation 1 line sharing" `Quick test_eq1_group_sharing;
     Alcotest.test_case "loop ranking" `Quick test_rank_loops;
+    Alcotest.test_case "predictor: kernels within tolerance" `Quick
+      test_predictor_kernels;
+    Alcotest.test_case "predictor: seeded corpus within tolerance" `Slow
+      test_predictor_corpus;
+    Alcotest.test_case "predictor: catches a stolen line" `Quick
+      test_predictor_catches_stolen_line;
+    Alcotest.test_case "machine geometry validation" `Quick
+      test_machine_geometry_validation;
     Gen.to_alcotest prop_group_counts_consistent;
     Gen.to_alcotest prop_partition_is_partition;
     Gen.to_alcotest prop_spatial_coarsens_temporal ]

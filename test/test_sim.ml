@@ -6,7 +6,7 @@ open Ujam_sim
 open Ujam_machine
 
 let test_cache_basics () =
-  let c = Cache.create ~size:16 ~line:4 ~assoc:1 in
+  let c = Cache.create ~size:16 ~line:4 ~assoc:1 () in
   Alcotest.(check bool) "cold miss" false (Cache.access c 0);
   Alcotest.(check bool) "same line hits" true (Cache.access c 3);
   Alcotest.(check bool) "next line misses" false (Cache.access c 4);
@@ -19,14 +19,14 @@ let test_cache_basics () =
 let test_cache_conflict_directmapped () =
   (* 16 elements, line 4, direct-mapped: 4 sets; addresses 0 and 16 map
      to the same set. *)
-  let c = Cache.create ~size:16 ~line:4 ~assoc:1 in
+  let c = Cache.create ~size:16 ~line:4 ~assoc:1 () in
   ignore (Cache.access c 0);
   ignore (Cache.access c 16);
   Alcotest.(check bool) "conflict evicted" false (Cache.access c 0)
 
 let test_cache_associativity () =
   (* 2-way: both lines coexist. *)
-  let c = Cache.create ~size:32 ~line:4 ~assoc:2 in
+  let c = Cache.create ~size:32 ~line:4 ~assoc:2 () in
   ignore (Cache.access c 0);
   ignore (Cache.access c 32);
   Alcotest.(check bool) "2-way keeps both" true (Cache.access c 0);
@@ -36,7 +36,7 @@ let test_cache_associativity () =
   Alcotest.(check bool) "32 evicted" false (Cache.access c 32)
 
 let test_cache_capacity_sweep () =
-  let c = Cache.create ~size:64 ~line:4 ~assoc:2 in
+  let c = Cache.create ~size:64 ~line:4 ~assoc:2 () in
   (* stream over 128 elements twice: no reuse survives *)
   for _pass = 1 to 2 do
     for a = 0 to 127 do
@@ -45,7 +45,7 @@ let test_cache_capacity_sweep () =
   done;
   Alcotest.(check int) "compulsory+capacity misses" 64 (Cache.misses c);
   (* now a stream that fits: second pass all hits *)
-  let c2 = Cache.create ~size:64 ~line:4 ~assoc:2 in
+  let c2 = Cache.create ~size:64 ~line:4 ~assoc:2 () in
   for _pass = 1 to 2 do
     for a = 0 to 63 do
       ignore (Cache.access c2 a)
@@ -229,7 +229,7 @@ let prop_misses_bounded =
   QCheck2.Test.make ~name:"property: misses <= accesses" ~count:100
     ~print:trace_print trace_gen
     (fun ((size, line, assoc), trace) ->
-      let c = Cache.create ~size ~line ~assoc in
+      let c = Cache.create ~size ~line ~assoc () in
       List.iter (fun a -> ignore (Cache.access c a)) trace;
       Cache.misses c <= Cache.accesses c
       && Cache.accesses c = List.length trace)
@@ -239,7 +239,7 @@ let prop_same_line_hits =
     ~name:"property: immediate re-access within the same line hits" ~count:100
     ~print:trace_print trace_gen
     (fun ((size, line, assoc), trace) ->
-      let c = Cache.create ~size ~line ~assoc in
+      let c = Cache.create ~size ~line ~assoc () in
       List.for_all
         (fun a ->
           ignore (Cache.access c a);
@@ -252,11 +252,11 @@ let prop_reset_is_fresh =
     ~count:100 ~print:trace_print trace_gen
     (fun ((size, line, assoc), trace) ->
       let replay c = List.map (fun a -> Cache.access c a) trace in
-      let warm = Cache.create ~size ~line ~assoc in
+      let warm = Cache.create ~size ~line ~assoc () in
       ignore (replay warm);
       Cache.reset warm;
       let after_reset = replay warm in
-      let fresh = Cache.create ~size ~line ~assoc in
+      let fresh = Cache.create ~size ~line ~assoc () in
       let from_fresh = replay fresh in
       after_reset = from_fresh
       && Cache.accesses warm = Cache.accesses fresh
@@ -271,7 +271,7 @@ let prop_full_assoc_only_compulsory =
     ~print:(fun ws -> Printf.sprintf "working set = %d" ws)
     QCheck2.Gen.(int_range 1 64)
     (fun ws ->
-      let c = Cache.create ~size:64 ~line:4 ~assoc:16 in
+      let c = Cache.create ~size:64 ~line:4 ~assoc:16 () in
       for a = 0 to ws - 1 do
         ignore (Cache.access c a)
       done;
@@ -283,8 +283,89 @@ let prop_full_assoc_only_compulsory =
       done;
       Cache.misses c = compulsory && compulsory = ((ws + 3) / 4))
 
+let prop_miss_rate_clean_after_reset =
+  QCheck2.Test.make ~name:"property: miss_rate reads 0 after reset" ~count:100
+    ~print:trace_print trace_gen
+    (fun ((size, line, assoc), trace) ->
+      let c = Cache.create ~size ~line ~assoc () in
+      List.iter (fun a -> ignore (Cache.access c a)) trace;
+      Cache.reset c;
+      Cache.miss_rate c = 0.0 && Cache.accesses c = 0 && Cache.misses c = 0)
+
+let assoc_trace_gen =
+  let open QCheck2.Gen in
+  let* line = oneofl [ 1; 2; 4 ] in
+  let* capacity = oneofl [ 1; 2; 4; 8 ] in
+  let* trace = list_size (int_range 1 300) (int_range 0 255) in
+  return ((line, capacity), trace)
+
+let assoc_trace_print ((line, capacity), trace) =
+  Printf.sprintf "line=%d capacity=%d trace=[%s]" line capacity
+    (String.concat ";" (List.map string_of_int trace))
+
+let prop_full_assoc_matches_stack =
+  (* a fully-associative LRU cache of capacity C lines must hit exactly
+     the accesses whose Mattson stack distance is < C — the simulator
+     against its executable specification *)
+  QCheck2.Test.make
+    ~name:"property: fully-associative LRU = reference stack distance"
+    ~count:200 ~print:assoc_trace_print assoc_trace_gen
+    (fun ((line, capacity), trace) ->
+      let c = Cache.create ~size:(line * capacity) ~line ~assoc:capacity () in
+      let s = Cache.Stack.create ~line in
+      List.for_all
+        (fun a ->
+          let hit = Cache.access c a in
+          let expect =
+            match Cache.Stack.access s a with
+            | None -> false
+            | Some d -> d < capacity
+          in
+          hit = expect)
+        trace)
+
+let hierarchy_trace_gen =
+  let open QCheck2.Gen in
+  let* line = oneofl [ 1; 2; 4 ] in
+  let* caps = list_size (int_range 1 3) (oneofl [ 1; 2; 4; 8; 16 ]) in
+  let* trace = list_size (int_range 1 300) (int_range 0 255) in
+  return ((line, List.sort compare caps), trace)
+
+let hierarchy_trace_print ((line, caps), trace) =
+  Printf.sprintf "line=%d caps=[%s] trace=[%s]" line
+    (String.concat ";" (List.map string_of_int caps))
+    (String.concat ";" (List.map string_of_int trace))
+
+let prop_hierarchy_misses_monotone =
+  (* fully-associative levels with non-decreasing capacities and one
+     shared line size: LRU stack inclusion makes per-level miss counts
+     non-increasing from L1 outwards *)
+  QCheck2.Test.make
+    ~name:"property: hierarchy misses are level-monotone" ~count:200
+    ~print:hierarchy_trace_print hierarchy_trace_gen
+    (fun ((line, caps), trace) ->
+      let levels =
+        List.mapi
+          (fun i cap ->
+            Machine.Level.make
+              ~name:(Printf.sprintf "L%d" (i + 1))
+              ~size:(line * cap) ~line ~assoc:cap ())
+          caps
+      in
+      let h = Cache.Hierarchy.create levels in
+      List.iter (fun a -> Cache.Hierarchy.access h a) trace;
+      let misses = List.map (fun (_, _, m) -> m) (Cache.Hierarchy.stats h) in
+      let rec mono = function
+        | a :: (b :: _ as tl) -> a >= b && mono tl
+        | _ -> true
+      in
+      mono misses)
+
 let suite =
   [ Alcotest.test_case "cache basics" `Quick test_cache_basics;
+    Gen.to_alcotest prop_miss_rate_clean_after_reset;
+    Gen.to_alcotest prop_full_assoc_matches_stack;
+    Gen.to_alcotest prop_hierarchy_misses_monotone;
     Gen.to_alcotest prop_misses_bounded;
     Gen.to_alcotest prop_same_line_hits;
     Gen.to_alcotest prop_reset_is_fresh;
